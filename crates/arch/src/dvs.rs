@@ -1,0 +1,244 @@
+//! Dynamic voltage scaling: operating points and level sets (eq. 2, Table I).
+//!
+//! For the ARM7TDMI the paper uses the measured relationship
+//! `Vdd(f) = 0.1667 + 4.1667 · f/10³` (volts, f in MHz) from Pouwelse et al.,
+//! with discrete scaling coefficients `s` such that `f(s) = 200/s MHz`:
+//!
+//! | s | f (MHz) | Vdd (V) |
+//! |---|---------|---------|
+//! | 1 | 200     | 1.00    |
+//! | 2 | 100     | 0.58    |
+//! | 3 | 66.7    | 0.44    |
+//!
+//! Fig. 11 additionally studies a two-level set (dropping s=3) and a
+//! four-level set that introduces the faster point (236 MHz, 1.2 V).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ArchError;
+
+/// One discrete operating point of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageLevel {
+    /// Clock frequency in Hz.
+    pub f_hz: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl VoltageLevel {
+    /// Creates an operating point.
+    #[must_use]
+    pub const fn new(f_hz: f64, vdd: f64) -> Self {
+        VoltageLevel { f_hz, vdd }
+    }
+}
+
+/// ARM7TDMI supply voltage required for frequency `f_mhz`, eq. (2) of the
+/// paper evaluated directly: `Vdd = 0.1667 + 4.1667 · f/1000` volts.
+///
+/// ```
+/// let v = sea_arch::dvs::arm7_vdd_for_mhz(200.0);
+/// assert!((v - 1.0).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn arm7_vdd_for_mhz(f_mhz: f64) -> f64 {
+    0.1667 + 4.1667 * f_mhz / 1000.0
+}
+
+/// Nominal ARM7TDMI frequency (s = 1) in MHz.
+pub const ARM7_NOMINAL_MHZ: f64 = 200.0;
+
+/// An ordered set of operating points indexed by the paper's scaling
+/// coefficient `s` (1-based; `s = 1` is the fastest/nominal level and larger
+/// `s` means lower voltage and frequency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelSet {
+    name: String,
+    levels: Vec<VoltageLevel>,
+}
+
+impl LevelSet {
+    /// Creates a level set from fastest to slowest operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] if `levels` is empty, or if
+    /// frequencies/voltages are non-positive or not strictly decreasing.
+    pub fn try_new(
+        name: impl Into<String>,
+        levels: Vec<VoltageLevel>,
+    ) -> Result<Self, ArchError> {
+        if levels.is_empty() {
+            return Err(ArchError::InvalidParameter {
+                message: "level set needs at least one operating point".into(),
+            });
+        }
+        for w in levels.windows(2) {
+            if w[1].f_hz >= w[0].f_hz || w[1].vdd >= w[0].vdd {
+                return Err(ArchError::InvalidParameter {
+                    message: "levels must be strictly decreasing in f and Vdd".into(),
+                });
+            }
+        }
+        for l in &levels {
+            if !(l.f_hz > 0.0) || !(l.vdd > 0.0) {
+                return Err(ArchError::InvalidParameter {
+                    message: format!("non-positive operating point {l:?}"),
+                });
+            }
+        }
+        Ok(LevelSet {
+            name: name.into(),
+            levels,
+        })
+    }
+
+    /// The paper's three-level Table I set, computed from eq. (2) at
+    /// `f(s) = 200/s` MHz.
+    #[must_use]
+    pub fn arm7_three_level() -> Self {
+        let levels = (1..=3)
+            .map(|s| {
+                let f_mhz = ARM7_NOMINAL_MHZ / f64::from(s);
+                VoltageLevel::new(f_mhz * 1e6, arm7_vdd_for_mhz(f_mhz))
+            })
+            .collect();
+        LevelSet::try_new("arm7-3-level", levels).expect("static table is monotone")
+    }
+
+    /// The Fig. 11 two-level set: (200 MHz, 1 V) and (100 MHz, 0.58 V).
+    #[must_use]
+    pub fn arm7_two_level() -> Self {
+        let mut three = Self::arm7_three_level();
+        three.levels.truncate(2);
+        three.name = "arm7-2-level".into();
+        three
+    }
+
+    /// The Fig. 11 four-level set: Table I plus the faster point
+    /// (236 MHz, 1.2 V) quoted in §V.
+    #[must_use]
+    pub fn arm7_four_level() -> Self {
+        let mut levels = vec![VoltageLevel::new(236e6, 1.2)];
+        levels.extend(Self::arm7_three_level().levels);
+        LevelSet::try_new("arm7-4-level", levels).expect("static table is monotone")
+    }
+
+    /// The set's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of levels `L`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Returns true if there are no levels (never true for a built set).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The operating point for scaling coefficient `s` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is outside `1..=len()`; validate with
+    /// [`LevelSet::checked_level`] or [`crate::mpsoc::ScalingVector`] first.
+    #[must_use]
+    pub fn level(&self, s: u8) -> VoltageLevel {
+        self.checked_level(s)
+            .unwrap_or_else(|| panic!("scaling coefficient {s} outside 1..={}", self.len()))
+    }
+
+    /// The operating point for coefficient `s`, or `None` if out of range.
+    #[must_use]
+    pub fn checked_level(&self, s: u8) -> Option<VoltageLevel> {
+        if s == 0 {
+            return None;
+        }
+        self.levels.get(usize::from(s) - 1).copied()
+    }
+
+    /// Iterates over `(s, level)` pairs from nominal downwards.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, VoltageLevel)> + '_ {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (u8::try_from(i + 1).expect("level sets are tiny"), l))
+    }
+
+    /// The lowest-voltage coefficient (`L`), where the paper's optimization
+    /// starts (Fig. 5).
+    #[must_use]
+    pub fn lowest_coefficient(&self) -> u8 {
+        u8::try_from(self.levels.len()).expect("level sets are tiny")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let set = LevelSet::arm7_three_level();
+        let l1 = set.level(1);
+        let l2 = set.level(2);
+        let l3 = set.level(3);
+        assert!((l1.f_hz - 200e6).abs() < 1.0);
+        assert!((l1.vdd - 1.0).abs() < 2e-3, "Vdd(s=1)={}", l1.vdd);
+        assert!((l2.f_hz - 100e6).abs() < 1.0);
+        assert!((l2.vdd - 0.58).abs() < 5e-3, "Vdd(s=2)={}", l2.vdd);
+        assert!((l3.f_hz - 66.7e6).abs() < 0.05e6);
+        assert!((l3.vdd - 0.44).abs() < 5e-3, "Vdd(s=3)={}", l3.vdd);
+    }
+
+    #[test]
+    fn two_and_four_level_sets() {
+        assert_eq!(LevelSet::arm7_two_level().len(), 2);
+        let four = LevelSet::arm7_four_level();
+        assert_eq!(four.len(), 4);
+        let fastest = four.level(1);
+        assert!((fastest.f_hz - 236e6).abs() < 1.0);
+        assert!((fastest.vdd - 1.2).abs() < 1e-9);
+        // s=2 of the 4-level set is the nominal Table I point.
+        assert!((four.level(2).f_hz - 200e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn rejects_non_monotone_sets() {
+        let bad = LevelSet::try_new(
+            "bad",
+            vec![VoltageLevel::new(100e6, 0.5), VoltageLevel::new(200e6, 1.0)],
+        );
+        assert!(bad.is_err());
+        assert!(LevelSet::try_new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn checked_level_bounds() {
+        let set = LevelSet::arm7_three_level();
+        assert!(set.checked_level(0).is_none());
+        assert!(set.checked_level(4).is_none());
+        assert!(set.checked_level(3).is_some());
+        assert_eq!(set.lowest_coefficient(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scaling coefficient")]
+    fn level_panics_out_of_range() {
+        let _ = LevelSet::arm7_three_level().level(9);
+    }
+
+    #[test]
+    fn iter_yields_one_based_coefficients() {
+        let set = LevelSet::arm7_three_level();
+        let coeffs: Vec<u8> = set.iter().map(|(s, _)| s).collect();
+        assert_eq!(coeffs, vec![1, 2, 3]);
+    }
+}

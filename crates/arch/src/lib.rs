@@ -1,0 +1,100 @@
+//! MPSoC architecture, DVS, power and soft-error-rate models (paper §II-A/B).
+//!
+//! The paper's platform is a homogeneous MPSoC of `C` identical ARM7TDMI
+//! cores, each with data/instruction caches (8 kbit / 16 kbit) and 512 kbit
+//! private memory, fed by a clock-tree generator that gives every core its
+//! own discrete voltage/frequency operating point (Fig. 1, Table I).
+//!
+//! * [`dvs`] — the ARM7TDMI voltage/frequency relationship of eq. (2) and
+//!   the discrete [`dvs::LevelSet`]s used in the paper (2, 3 and 4 levels).
+//! * [`power`] — dynamic power `P = C_L Σ α_i f_i V²_i` (eqs. 1 and 5).
+//! * [`ser`] — soft error rate vs. supply voltage: exponential increase as
+//!   `Vdd` scales down, calibrated to the paper's Observation 3.
+//! * [`mpsoc`] — the [`mpsoc::Architecture`] description, per-core
+//!   [`mpsoc::CoreId`]s and the per-core [`mpsoc::ScalingVector`].
+//!
+//! # Example
+//!
+//! ```
+//! use sea_arch::dvs::LevelSet;
+//! use sea_arch::mpsoc::{Architecture, CoreId, ScalingVector};
+//!
+//! let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+//! let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).expect("valid coefficients");
+//! let lvl = arch.operating_point(CoreId::new(2), &s);
+//! assert!((lvl.f_hz - 66.7e6).abs() < 1e5); // s=3 -> 66.7 MHz
+//! ```
+
+pub mod dvs;
+pub mod mpsoc;
+pub mod power;
+pub mod ser;
+
+pub use dvs::{LevelSet, VoltageLevel};
+pub use mpsoc::{Architecture, CoreId, ScalingVector};
+pub use power::dynamic_power_w;
+pub use ser::SerModel;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while describing architectures or scaling vectors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A scaling coefficient was outside `1..=levels`.
+    InvalidCoefficient {
+        /// The offending coefficient.
+        coefficient: u8,
+        /// Number of levels available.
+        levels: usize,
+    },
+    /// A scaling vector's length did not match the core count.
+    WrongCoreCount {
+        /// Cores in the vector.
+        got: usize,
+        /// Cores in the architecture.
+        expected: usize,
+    },
+    /// An architecture parameter was invalid; the message names it.
+    InvalidParameter {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidCoefficient {
+                coefficient,
+                levels,
+            } => write!(f, "scaling coefficient {coefficient} outside 1..={levels}"),
+            ArchError::WrongCoreCount { got, expected } => {
+                write!(
+                    f,
+                    "scaling vector has {got} entries, architecture has {expected} cores"
+                )
+            }
+            ArchError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_error_is_well_behaved() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<ArchError>();
+        let e = ArchError::WrongCoreCount {
+            got: 3,
+            expected: 4,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,141 @@
+//! Dynamic power model (eqs. 1 and 5).
+//!
+//! Per core, `P_dyn = α · C_L · f · V²dd` (eq. 1); for the MPSoC under a
+//! scaling vector, `P = C_L · Σ_i α_i f_i(s_i) V²dd_i(s_i)` (eq. 5), where
+//! `α_i` is the utilization (busy fraction) of core i.
+
+use crate::dvs::VoltageLevel;
+
+/// Power contribution of one core: utilization, operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreActivity {
+    /// Busy fraction `α_i ∈ [0, 1]` of the core over the run.
+    pub alpha: f64,
+    /// Operating point `(f_i, Vdd_i)` of the core.
+    pub level: VoltageLevel,
+}
+
+/// MPSoC dynamic power in watts, eq. (5): `C_L · Σ α_i f_i V²_i`.
+///
+/// # Panics
+///
+/// Panics in debug builds if any `α` is outside `[0, 1]` or `c_load` is not
+/// positive.
+///
+/// ```
+/// use sea_arch::dvs::VoltageLevel;
+/// use sea_arch::power::{dynamic_power_w, CoreActivity};
+///
+/// let cores = [CoreActivity { alpha: 1.0, level: VoltageLevel::new(200e6, 1.0) }];
+/// let p = dynamic_power_w(55e-12, &cores);
+/// assert!((p - 55e-12 * 200e6).abs() < 1e-9); // 11 mW at full tilt
+/// ```
+#[must_use]
+pub fn dynamic_power_w(c_load_farads: f64, cores: &[CoreActivity]) -> f64 {
+    debug_assert!(c_load_farads > 0.0, "C_L must be positive");
+    cores
+        .iter()
+        .map(|c| {
+            debug_assert!(
+                (0.0..=1.0 + 1e-9).contains(&c.alpha),
+                "utilization must be in [0, 1], got {}",
+                c.alpha
+            );
+            c.alpha * c.level.f_hz * c.level.vdd * c.level.vdd
+        })
+        .sum::<f64>()
+        * c_load_farads
+}
+
+/// Convenience: watts → milliwatts (the paper reports mW).
+#[must_use]
+pub fn watts_to_mw(watts: f64) -> f64 {
+    watts * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvs::LevelSet;
+
+    #[test]
+    fn single_core_matches_eq1() {
+        let lvl = VoltageLevel::new(100e6, 0.5);
+        let p = dynamic_power_w(
+            1e-12,
+            &[CoreActivity {
+                alpha: 0.5,
+                level: lvl,
+            }],
+        );
+        // 0.5 * 1e-12 * 100e6 * 0.25 = 1.25e-5 W
+        assert!((p - 1.25e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_is_additive_over_cores() {
+        let lvl = VoltageLevel::new(100e6, 0.5);
+        let one = dynamic_power_w(
+            1e-12,
+            &[CoreActivity {
+                alpha: 1.0,
+                level: lvl,
+            }],
+        );
+        let two = dynamic_power_w(
+            1e-12,
+            &[
+                CoreActivity {
+                    alpha: 1.0,
+                    level: lvl,
+                },
+                CoreActivity {
+                    alpha: 1.0,
+                    level: lvl,
+                },
+            ],
+        );
+        assert!((two - 2.0 * one).abs() < 1e-18);
+    }
+
+    #[test]
+    fn voltage_scaling_saves_quadratically() {
+        // Scaling s=1 -> s=2 halves f and reduces Vdd 1.0 -> 0.583:
+        // power ratio should be 0.5 * 0.583² ≈ 0.17.
+        let set = LevelSet::arm7_three_level();
+        let p1 = dynamic_power_w(
+            55e-12,
+            &[CoreActivity {
+                alpha: 1.0,
+                level: set.level(1),
+            }],
+        );
+        let p2 = dynamic_power_w(
+            55e-12,
+            &[CoreActivity {
+                alpha: 1.0,
+                level: set.level(2),
+            }],
+        );
+        let ratio = p2 / p1;
+        assert!((ratio - 0.5 * 0.5834 * 0.5834).abs() < 1e-3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mw_conversion() {
+        assert_eq!(watts_to_mw(0.001), 1.0);
+    }
+
+    #[test]
+    fn idle_cores_draw_nothing() {
+        let lvl = VoltageLevel::new(100e6, 0.5);
+        let p = dynamic_power_w(
+            1e-12,
+            &[CoreActivity {
+                alpha: 0.0,
+                level: lvl,
+            }],
+        );
+        assert_eq!(p, 0.0);
+    }
+}

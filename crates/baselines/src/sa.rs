@@ -1,0 +1,288 @@
+//! Simulated-annealing task mapping (the paper's ref. [13], used by the
+//! soft error-unaware experiments Exp:1–Exp:3).
+//!
+//! Standard geometric-cooling annealing over the task-movement
+//! neighbourhood: start from a topology-aware balanced mapping, propose a
+//! random relocation/swap, always accept improvements, accept regressions
+//! with probability `exp(−Δ/T)` where `Δ` is the *relative* score increase
+//! (scale-free, so one schedule works for register-usage and
+//! execution-time objectives alike).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sea_arch::{CoreId, ScalingVector};
+use sea_opt::{OptError, SearchBudget};
+use sea_sched::metrics::{EvalContext, MappingEvaluation};
+use sea_sched::Mapping;
+
+use crate::objectives::Objective;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Number of proposals (evaluations).
+    pub iterations: usize,
+    /// Initial temperature on the relative-delta scale.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per proposal.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SaConfig {
+    /// Derives an annealing schedule comparable to a local-search budget,
+    /// with a cooling rate that reaches ~1 % of the initial temperature at
+    /// the end. The baselines spend their whole budget on a single
+    /// annealing run (mapping first, voltage scaling after), so the
+    /// iteration count is scaled up to match the proposed flow's
+    /// per-scaling searches.
+    #[must_use]
+    pub fn from_budget(budget: SearchBudget, seed: u64) -> Self {
+        let iterations = budget.max_evaluations.saturating_mul(4).max(100);
+        // T_end / T_0 = cooling^iterations = 0.01.
+        let cooling = (0.01f64).powf(1.0 / iterations as f64);
+        SaConfig {
+            iterations,
+            initial_temperature: 0.1,
+            cooling,
+            seed,
+        }
+    }
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig::from_budget(SearchBudget::default(), 0x5A)
+    }
+}
+
+/// Outcome of one annealing run.
+#[derive(Debug, Clone)]
+pub struct SaOutcome {
+    /// Best mapping found (by penalized objective).
+    pub mapping: Mapping,
+    /// Evaluation of the best mapping.
+    pub evaluation: MappingEvaluation,
+    /// Evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Simulated-annealing mapper.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    config: SaConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealer with the given schedule.
+    #[must_use]
+    pub fn new(config: SaConfig) -> Self {
+        SimulatedAnnealing { config }
+    }
+
+    /// Maps `ctx.app()` onto the architecture minimizing `objective` under
+    /// `scaling`, with infeasible (deadline-violating) designs penalized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors ([`OptError::Sched`]).
+    pub fn map(
+        &self,
+        ctx: &EvalContext<'_>,
+        scaling: &ScalingVector,
+        objective: Objective,
+    ) -> Result<SaOutcome, OptError> {
+        self.map_inner(ctx, scaling, objective, true)
+    }
+
+    /// Maps minimizing the *pure* objective, ignoring the deadline — the
+    /// paper's soft error-unaware mapping stage, where a separate voltage
+    /// scaling pass deals with the real-time constraint afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors ([`OptError::Sched`]).
+    pub fn map_unconstrained(
+        &self,
+        ctx: &EvalContext<'_>,
+        scaling: &ScalingVector,
+        objective: Objective,
+    ) -> Result<SaOutcome, OptError> {
+        self.map_inner(ctx, scaling, objective, false)
+    }
+
+    fn map_inner(
+        &self,
+        ctx: &EvalContext<'_>,
+        scaling: &ScalingVector,
+        objective: Objective,
+        penalize_deadline: bool,
+    ) -> Result<SaOutcome, OptError> {
+        let deadline = ctx.app().deadline_s();
+        let score_of = |eval: &MappingEvaluation| {
+            if penalize_deadline {
+                objective.penalized_score(eval, deadline)
+            } else {
+                objective.score(eval)
+            }
+        };
+        let n_cores = ctx.arch().n_cores();
+        let require_all_cores = ctx.app().graph().len() >= n_cores;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut current = balanced_seed(ctx, n_cores);
+        let mut current_eval = ctx.evaluate(&current, scaling)?;
+        let mut current_score = score_of(&current_eval);
+        let mut evaluations = 1usize;
+
+        let mut best = current.clone();
+        let mut best_eval = current_eval.clone();
+        let mut best_score = current_score;
+
+        let mut temperature = self.config.initial_temperature;
+        while evaluations < self.config.iterations {
+            let moves = current.neighbourhood();
+            if moves.is_empty() {
+                break;
+            }
+            let mv = moves[rng.gen_range(0..moves.len())];
+            let candidate = current.with_move(mv);
+            if require_all_cores && !candidate.uses_all_cores() {
+                temperature *= self.config.cooling;
+                continue;
+            }
+            let eval = ctx.evaluate(&candidate, scaling)?;
+            evaluations += 1;
+            let score = score_of(&eval);
+
+            let accept = if score <= current_score {
+                true
+            } else {
+                let delta = (score - current_score) / current_score.abs().max(f64::MIN_POSITIVE);
+                rng.gen_range(0.0..1.0f64) < (-delta / temperature.max(1e-12)).exp()
+            };
+            if accept {
+                current = candidate;
+                current_eval = eval;
+                current_score = score;
+                if current_score < best_score
+                    || (current_eval.meets_deadline && !best_eval.meets_deadline)
+                {
+                    best = current.clone();
+                    best_eval = current_eval.clone();
+                    best_score = current_score;
+                }
+            }
+            temperature *= self.config.cooling;
+        }
+
+        Ok(SaOutcome {
+            mapping: best,
+            evaluation: best_eval,
+            evaluations,
+        })
+    }
+}
+
+/// Topology-aware starting point: tasks in topological order are dealt onto
+/// cores in contiguous runs of roughly `N/C`, which keeps chains together
+/// and every core occupied.
+fn balanced_seed(ctx: &EvalContext<'_>, n_cores: usize) -> Mapping {
+    let g = ctx.app().graph();
+    let n = g.len();
+    let mut assign = vec![CoreId::new(0); n];
+    let chunk = n.div_ceil(n_cores);
+    for (pos, &t) in g.topological_order().iter().enumerate() {
+        assign[t.index()] = CoreId::new((pos / chunk).min(n_cores - 1));
+    }
+    Mapping::try_new(assign, n_cores).expect("balanced seed is complete")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_arch::{Architecture, LevelSet};
+    use sea_taskgraph::mpeg2;
+
+    fn setup() -> (sea_taskgraph::Application, Architecture) {
+        (
+            mpeg2::application(),
+            Architecture::homogeneous(4, LevelSet::arm7_three_level()),
+        )
+    }
+
+    fn fast_sa(seed: u64) -> SimulatedAnnealing {
+        SimulatedAnnealing::new(SaConfig {
+            iterations: 1_500,
+            initial_temperature: 0.1,
+            cooling: 0.997,
+            seed,
+        })
+    }
+
+    #[test]
+    fn minimizing_r_beats_minimizing_tm_on_r() {
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::uniform(2, &arch).unwrap();
+        let r_run = fast_sa(1).map(&ctx, &s, Objective::RegisterUsage).unwrap();
+        let tm_run = fast_sa(1).map(&ctx, &s, Objective::Parallelism).unwrap();
+        assert!(
+            r_run.evaluation.r_total <= tm_run.evaluation.r_total,
+            "R-objective should find lower R: {} vs {}",
+            r_run.evaluation.r_total_kbits(),
+            tm_run.evaluation.r_total_kbits()
+        );
+        assert!(
+            tm_run.evaluation.tm_seconds <= r_run.evaluation.tm_seconds,
+            "TM-objective should find lower TM"
+        );
+    }
+
+    #[test]
+    fn balanced_seed_uses_all_cores() {
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let m = balanced_seed(&ctx, 4);
+        assert!(m.uses_all_cores());
+        assert_eq!(m.n_tasks(), 11);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::uniform(2, &arch).unwrap();
+        let a = fast_sa(7).map(&ctx, &s, Objective::RegTimeProduct).unwrap();
+        let b = fast_sa(7).map(&ctx, &s, Objective::RegTimeProduct).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn annealing_improves_on_the_seed() {
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::uniform(2, &arch).unwrap();
+        let seed_eval = ctx.evaluate(&balanced_seed(&ctx, 4), &s).unwrap();
+        let out = fast_sa(3).map(&ctx, &s, Objective::RegisterUsage).unwrap();
+        assert!(out.evaluation.r_total <= seed_eval.r_total);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::uniform(2, &arch).unwrap();
+        let sa = SimulatedAnnealing::new(SaConfig {
+            iterations: 64,
+            initial_temperature: 0.1,
+            cooling: 0.9,
+            seed: 0,
+        });
+        let out = sa.map(&ctx, &s, Objective::Parallelism).unwrap();
+        assert!(out.evaluations <= 64);
+    }
+}

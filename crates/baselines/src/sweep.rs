@@ -1,0 +1,170 @@
+//! Random-mapping sweeps — the study behind Fig. 3.
+//!
+//! Section III evaluates 120 task mappings of the MPEG-2 decoder on the
+//! four-core MPSoC and plots (a) register usage vs. execution time,
+//! (b)/(c) SEUs experienced vs. execution time at uniform scalings 1 and 2.
+//! This module generates such mapping populations (complete, all cores
+//! occupied, duplicate-free) and evaluates them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sea_arch::{CoreId, ScalingVector};
+use sea_opt::OptError;
+use sea_sched::metrics::{EvalContext, MappingEvaluation};
+use sea_sched::Mapping;
+
+/// One evaluated point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The sampled mapping.
+    pub mapping: Mapping,
+    /// Its evaluation under the sweep's scaling vector.
+    pub evaluation: MappingEvaluation,
+}
+
+/// Generates `count` distinct random complete mappings (every core
+/// occupied when `N ≥ C`) and evaluates them under `scaling`.
+///
+/// Deterministic for a given seed; duplicate mappings are re-drawn (up to a
+/// bounded number of attempts, so tiny graphs with fewer distinct mappings
+/// than `count` still terminate).
+///
+/// # Errors
+///
+/// Propagates evaluation errors ([`OptError::Sched`]).
+pub fn random_mapping_sweep(
+    ctx: &EvalContext<'_>,
+    scaling: &ScalingVector,
+    count: usize,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, OptError> {
+    let n = ctx.app().graph().len();
+    let n_cores = ctx.arch().n_cores();
+    let require_all = n >= n_cores;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: Vec<Mapping> = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count.saturating_mul(50).max(1_000);
+
+    while out.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let mut assign: Vec<CoreId> = (0..n)
+            .map(|_| CoreId::new(rng.gen_range(0..n_cores)))
+            .collect();
+        if require_all {
+            // Repair: place one random task on each unused core.
+            for c in 0..n_cores {
+                if !assign.iter().any(|x| x.index() == c) {
+                    let t = rng.gen_range(0..n);
+                    assign[t] = CoreId::new(c);
+                }
+            }
+        }
+        let mapping = Mapping::try_new(assign, n_cores)?;
+        if require_all && !mapping.uses_all_cores() {
+            continue;
+        }
+        if seen.contains(&mapping) {
+            continue;
+        }
+        let evaluation = ctx.evaluate(&mapping, scaling)?;
+        seen.push(mapping.clone());
+        out.push(SweepPoint {
+            mapping,
+            evaluation,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_arch::{Architecture, LevelSet};
+    use sea_taskgraph::mpeg2;
+
+    fn setup() -> (sea_taskgraph::Application, Architecture) {
+        (
+            mpeg2::application(),
+            Architecture::homogeneous(4, LevelSet::arm7_three_level()),
+        )
+    }
+
+    #[test]
+    fn produces_requested_population() {
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::all_nominal(&arch);
+        let points = random_mapping_sweep(&ctx, &s, 120, 42).unwrap();
+        assert_eq!(points.len(), 120);
+        for p in &points {
+            assert!(p.mapping.uses_all_cores());
+        }
+    }
+
+    #[test]
+    fn population_is_duplicate_free_and_deterministic() {
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::all_nominal(&arch);
+        let a = random_mapping_sweep(&ctx, &s, 40, 7).unwrap();
+        let b = random_mapping_sweep(&ctx, &s, 40, 7).unwrap();
+        for i in 0..40 {
+            assert_eq!(a[i].mapping, b[i].mapping);
+        }
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                assert_ne!(a[i].mapping, a[j].mapping);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_exposes_r_tm_tradeoff() {
+        // The defining observation of Fig. 3(a): across the population the
+        // lowest-R mapping runs longer than the lowest-TM mapping.
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::all_nominal(&arch);
+        let points = random_mapping_sweep(&ctx, &s, 120, 42).unwrap();
+        let min_r = points
+            .iter()
+            .min_by(|a, b| a.evaluation.r_total.cmp(&b.evaluation.r_total))
+            .unwrap();
+        let min_tm = points
+            .iter()
+            .min_by(|a, b| a.evaluation.tm_seconds.total_cmp(&b.evaluation.tm_seconds))
+            .unwrap();
+        assert!(min_r.evaluation.tm_seconds > min_tm.evaluation.tm_seconds);
+        assert!(min_tm.evaluation.r_total > min_r.evaluation.r_total);
+    }
+
+    #[test]
+    fn tiny_graphs_terminate_without_enough_distinct_mappings() {
+        let mut b = sea_taskgraph::graph::TaskGraphBuilder::new("two");
+        use sea_taskgraph::units::{Bits, Cycles};
+        let t0 = b.add_task("a", Cycles::new(100));
+        let _t1 = b.add_task("b", Cycles::new(100));
+        let g = b.build().unwrap();
+        let mut rm = sea_taskgraph::registers::RegisterModelBuilder::new(2);
+        let blk = rm.add_block("x", Bits::new(8));
+        rm.assign(t0, blk).unwrap();
+        let app = sea_taskgraph::Application::new(
+            "two",
+            g,
+            rm.build(),
+            sea_taskgraph::ExecutionMode::Batch,
+            1.0,
+        )
+        .unwrap();
+        let arch = Architecture::homogeneous(2, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::all_nominal(&arch);
+        // Only two complete 2-core mappings of 2 tasks exist.
+        let points = random_mapping_sweep(&ctx, &s, 50, 3).unwrap();
+        assert!(points.len() <= 2);
+        assert!(!points.is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Ablation benches: exposure policy, seed contribution, SER sensitivity,
+//! Monte-Carlo validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sea_experiments::ablations::{
+    exposure_ablation, mc_validation, reference_design, seed_ablation, ser_sensitivity,
+};
+use sea_opt::SearchBudget;
+
+fn bench_ablations(c: &mut Criterion) {
+    let (app, arch, mapping, scaling) = reference_design();
+
+    let exp = exposure_ablation(&app, &arch, &mapping, &scaling).expect("exposure");
+    eprintln!(
+        "\n[ablations] exposure: whole-run Gamma = {:.3e}, busy-only = {:.3e} ({:.0}%)",
+        exp.gamma_whole_run,
+        exp.gamma_busy_only,
+        exp.gamma_busy_only / exp.gamma_whole_run * 100.0
+    );
+
+    let seed_ab = seed_ablation(
+        &app,
+        &arch,
+        &scaling,
+        SearchBudget {
+            max_evaluations: 1_000,
+            max_stale_sweeps: 2,
+            time_limit: None,
+        },
+        9,
+    )
+    .expect("seed ablation");
+    eprintln!(
+        "[ablations] seed: SEA -> {:.3e}, balanced -> {:.3e}, raw SEA seed {:.3e}",
+        seed_ab.gamma_from_sea_seed,
+        seed_ab.gamma_from_balanced_seed,
+        seed_ab.gamma_sea_seed_raw
+    );
+
+    let sens = ser_sensitivity(&app, &arch, &mapping, &scaling, &[1e-10, 1e-9, 1e-8])
+        .expect("SER sweep");
+    for (ser, gamma) in &sens {
+        eprintln!("[ablations] SER {ser:.0e} -> Gamma {gamma:.3e}");
+    }
+
+    let rows = mc_validation(
+        &app,
+        &arch,
+        &[("Exp:4".into(), mapping.clone(), scaling.clone())],
+        13,
+    )
+    .expect("MC validation");
+    eprintln!(
+        "[ablations] MC: simulated {} vs analytic {:.3e} ({:.2}% dev)",
+        rows[0].experienced,
+        rows[0].gamma_analytic,
+        rows[0].rel_deviation * 100.0
+    );
+
+    c.bench_function("ablations/exposure_pair", |b| {
+        b.iter(|| exposure_ablation(&app, &arch, &mapping, &scaling).expect("exposure"));
+    });
+    c.bench_function("ablations/mc_injection_run", |b| {
+        b.iter(|| {
+            mc_validation(
+                &app,
+                &arch,
+                &[("Exp:4".into(), mapping.clone(), scaling.clone())],
+                13,
+            )
+            .expect("MC")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sea_bench::experiment_criterion();
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench + regeneration of Fig. 10: Exp:3 vs Exp:4 across core counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sea_experiments::{fig10, EffortProfile};
+use sea_taskgraph::generator::RandomGraphConfig;
+
+fn bench_fig10(c: &mut Criterion) {
+    let seed = EffortProfile::Smoke.seed();
+    let app60 = RandomGraphConfig::paper(60).generate(seed).expect("valid");
+    let fig = fig10::run_on(&app60, &[2, 3, 4, 5, 6], EffortProfile::Smoke)
+        .expect("Fig. 10");
+    eprintln!("\n{}", fig.to_table().to_ascii());
+    eprintln!(
+        "[fig10] proposed Gamma win rate vs Exp:3: {:.0}%",
+        fig.proposed_win_rate() * 100.0
+    );
+
+    let app30 = RandomGraphConfig::paper(30).generate(seed).expect("valid");
+    c.bench_function("fig10/30_tasks_3_to_4_cores", |b| {
+        b.iter(|| fig10::run_on(&app30, &[3, 4], EffortProfile::Smoke).expect("Fig. 10"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sea_bench::experiment_criterion();
+    targets = bench_fig10
+}
+criterion_main!(benches);

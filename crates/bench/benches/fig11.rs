@@ -1,0 +1,29 @@
+//! Bench + regeneration of Fig. 11: the voltage-scaling level study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sea_experiments::{fig11, EffortProfile};
+use sea_taskgraph::generator::RandomGraphConfig;
+
+fn bench_fig11(c: &mut Criterion) {
+    let seed = EffortProfile::Smoke.seed();
+    let app60 = RandomGraphConfig::paper(60).generate(seed).expect("valid");
+    let fig = fig11::run_on(&app60, 6, EffortProfile::Smoke).expect("Fig. 11");
+    eprintln!("\n{}", fig.to_table().to_ascii());
+    let iso = fig11::level_isolation(&app60, 6, EffortProfile::Smoke).expect("isolation");
+    eprintln!("[fig11] fixed-mapping level isolation (busy-cycle Gamma):");
+    for (levels, p, g) in &iso {
+        eprintln!("[fig11]   {levels} levels: P = {p:.2} mW, Gamma = {g:.3e}");
+    }
+
+    let app24 = RandomGraphConfig::paper(24).generate(seed).expect("valid");
+    c.bench_function("fig11/24_tasks_3_cores_3_level_sets", |b| {
+        b.iter(|| fig11::run_on(&app24, 3, EffortProfile::Smoke).expect("Fig. 11"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sea_bench::experiment_criterion();
+    targets = bench_fig11
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench + regeneration of Fig. 9: matched-scaling comparison of the
+//! baselines against the proposed design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sea_experiments::{fig9, table2, EffortProfile};
+
+fn bench_fig9(c: &mut Criterion) {
+    let t2 = table2::run(EffortProfile::Smoke, 4).expect("Table II");
+    let f9 = fig9::from_table2(&t2).expect("Fig. 9");
+    eprintln!("\n{}", f9.to_table().to_ascii());
+
+    c.bench_function("fig9/matched_scaling_comparison", |b| {
+        b.iter(|| fig9::from_table2(&t2).expect("Fig. 9"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sea_bench::experiment_criterion();
+    targets = bench_fig9
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench + regeneration of Table II: the four-experiment comparison on the
+//! four-core MPEG-2 decoder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sea_experiments::{table2, EffortProfile};
+
+fn bench_table2(c: &mut Criterion) {
+    let t2 = table2::run(EffortProfile::Smoke, 4).expect("Table II");
+    eprintln!("\n{}", t2.to_table().to_ascii());
+    let violations = t2.shape_violations();
+    eprintln!("[table2] shape violations: {violations:?}");
+
+    c.bench_function("table2/four_experiments_smoke", |b| {
+        b.iter(|| table2::run(EffortProfile::Smoke, 4).expect("Table II"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sea_bench::experiment_criterion();
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench + regeneration of Table III: the proposed flow across
+//! architecture allocations and applications.
+//!
+//! The measured body uses the MPEG-2 row over 2–4 cores; the full printed
+//! artefact additionally covers a 20- and a 40-task random workload so the
+//! bench log shows the published trends without multi-minute runtimes.
+//! (`cargo run --release -p sea-experiments --bin reproduce paper`
+//! regenerates the complete six-workload table.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sea_experiments::{table3, EffortProfile};
+use sea_taskgraph::generator::RandomGraphConfig;
+use sea_taskgraph::mpeg2;
+
+fn bench_table3(c: &mut Criterion) {
+    let seed = EffortProfile::Smoke.seed();
+    let mut workloads = vec![("MPEG-2".to_string(), mpeg2::application())];
+    for n in [20usize, 40] {
+        workloads.push((
+            format!("{n} tasks"),
+            RandomGraphConfig::paper(n).generate(seed).expect("valid"),
+        ));
+    }
+    let t3 = table3::run_on(&workloads, &[2, 3, 4, 5, 6], EffortProfile::Smoke)
+        .expect("Table III");
+    eprintln!("\n{}", t3.to_table().to_ascii());
+    for (label, monotone, total) in t3.gamma_monotonicity() {
+        eprintln!("[table3] Gamma growth [{label}]: {monotone}/{total} steps monotone");
+    }
+
+    let mpeg_only = vec![("MPEG-2".to_string(), mpeg2::application())];
+    c.bench_function("table3/mpeg2_2_to_4_cores", |b| {
+        b.iter(|| {
+            table3::run_on(&mpeg_only, &[2, 3, 4], EffortProfile::Smoke).expect("row")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sea_bench::experiment_criterion();
+    targets = bench_table3
+}
+criterion_main!(benches);

@@ -1,0 +1,499 @@
+//! `InitialSEAMapping` — the greedy soft error-aware initial mapping of
+//! Fig. 6.
+//!
+//! The algorithm fills cores one at a time. Starting from the task graph's
+//! first root, it repeatedly extends the current core with the *dependent*
+//! (ready successor) whose addition incurs the fewest additional expected
+//! SEUs on that core — i.e. it exploits register sharing to keep related
+//! tasks together — until the core's load would endanger the real-time
+//! constraint or too few tasks would remain for the other cores. Remaining
+//! candidates spill into a queue `Q` that seeds the following cores; the
+//! last core absorbs whatever is left.
+//!
+//! Two pseudocode details are implemented as documented refinements
+//! (DESIGN.md §6): the "swap last two elements in Q" nudge is kept verbatim,
+//! and Fig. 6's loose `T_i < TMref` guard is realized as an optimistic
+//! feasibility bound so the greedy seed reproduces the paper's behaviour on
+//! the Fig. 8 walkthrough ("after allocating t1, t3 and t5 on core 1, the
+//! deadline constraint cannot be satisfied with further allocation").
+
+use std::collections::VecDeque;
+
+use sea_arch::{CoreId, ScalingVector};
+use sea_sched::metrics::EvalContext;
+use sea_sched::Mapping;
+use sea_taskgraph::units::Bits;
+use sea_taskgraph::{ExecutionMode, TaskId};
+
+use crate::OptError;
+
+/// Builds the initial soft error-aware mapping (Fig. 6).
+///
+/// # Errors
+///
+/// Returns [`OptError::TooFewTasks`] if the graph has fewer tasks than the
+/// architecture has cores.
+pub fn initial_sea_mapping(
+    ctx: &EvalContext<'_>,
+    scaling: &ScalingVector,
+) -> Result<Mapping, OptError> {
+    let g = ctx.app().graph();
+    let n = g.len();
+    let n_cores = ctx.arch().n_cores();
+    if n < n_cores {
+        return Err(OptError::TooFewTasks {
+            tasks: n,
+            cores: n_cores,
+        });
+    }
+
+    let registers = ctx.app().registers();
+    let n_blocks = registers.blocks().len();
+    let deadline = ctx.app().deadline_s();
+    let iterations = f64::from(ctx.app().mode().iterations());
+    let ser = ctx.ser();
+
+    // Effective throughput per core (consistent with the list scheduler).
+    let freq: Vec<f64> = ctx
+        .arch()
+        .cores()
+        .map(|c| ctx.arch().effective_frequency(c, scaling))
+        .collect();
+    let lambda: Vec<f64> = ctx
+        .arch()
+        .cores()
+        .map(|c| ser.lambda(ctx.arch().operating_point(c, scaling).vdd))
+        .collect();
+
+    let mut assigned: Vec<Option<CoreId>> = vec![None; n];
+    let mut unmapped = n;
+    // Per-core state: allocated block mask, usage bits, busy cycles.
+    let mut core_blocks: Vec<Vec<bool>> = vec![vec![false; n_blocks]; n_cores];
+    let mut core_bits = vec![Bits::ZERO; n_cores];
+    let mut core_cycles = vec![0.0f64; n_cores];
+
+    // Q seeds cores with spilled candidates; start from the roots in id
+    // order (the paper pushes G[0], the first task without predecessors).
+    let mut queue: VecDeque<TaskId> = g.roots().into_iter().collect();
+
+    // Fastest remaining-core frequency, used by the optimistic bound.
+    let fastest_remaining = |current: usize| -> f64 {
+        freq[current..]
+            .iter()
+            .copied()
+            .fold(f64::MIN_POSITIVE, f64::max)
+    };
+
+    for core_idx in 0..n_cores {
+        let core = CoreId::new(core_idx);
+        let last_core = core_idx == n_cores - 1;
+
+        // Seed the core from the queue (or, if the queue ran dry, from the
+        // lowest-id unmapped ready task).
+        let seed = pop_ready(&mut queue, &assigned, g).or_else(|| {
+            g.task_ids()
+                .find(|&t| assigned[t.index()].is_none() && is_ready(g, t, &assigned))
+        });
+        let Some(seed) = seed else { break };
+        map_task(
+            seed,
+            core,
+            g,
+            registers,
+            &mut assigned,
+            &mut core_blocks,
+            &mut core_bits,
+            &mut core_cycles,
+            &mut unmapped,
+        );
+        let mut current = seed;
+
+        if last_core {
+            // The last core absorbs every remaining task.
+            while let Some(t) = next_any_ready(g, &assigned) {
+                map_task(
+                    t,
+                    core,
+                    g,
+                    registers,
+                    &mut assigned,
+                    &mut core_blocks,
+                    &mut core_bits,
+                    &mut core_cycles,
+                    &mut unmapped,
+                );
+            }
+            break;
+        }
+
+        // Fig. 6 line 4: keep filling while enough tasks remain for the
+        // other cores and the load stays feasible.
+        loop {
+            let remaining_cores = n_cores - core_idx - 1;
+            if unmapped <= remaining_cores {
+                break;
+            }
+
+            // L := ready dependents of the current task, sorted by the SEUs
+            // the core would experience if they joined it (Fig. 6 line 5);
+            // ties break on the candidate's own footprint, then id.
+            let mut l: Vec<TaskId> = g
+                .successors(current)
+                .iter()
+                .map(|&(s, _)| s)
+                .filter(|&s| assigned[s.index()].is_none() && is_ready(g, s, &assigned))
+                .collect();
+            let candidate = if l.is_empty() {
+                // Fig. 6 lines 6-7: nudge the queue, then fall back to it.
+                if queue.len() >= 2 {
+                    let len = queue.len();
+                    queue.swap(len - 1, len - 2);
+                }
+                match pop_ready(&mut queue, &assigned, g) {
+                    Some(t) => t,
+                    None => break,
+                }
+            } else {
+                l.sort_by(|&a, &b| {
+                    let key = |t: TaskId| {
+                        let mut mask = core_blocks[core_idx].clone();
+                        let added = registers.union_add(&mut mask, t);
+                        let r_new = core_bits[core_idx] + added;
+                        let t_new =
+                            core_cycles[core_idx] + g.task(t).computation().as_f64();
+                        let gamma = lambda[core_idx] * r_new.as_f64() * t_new;
+                        (gamma, registers.task_footprint(t).as_f64(), t.index())
+                    };
+                    let (ga, fa, ia) = key(a);
+                    let (gb, fb, ib) = key(b);
+                    ga.total_cmp(&gb)
+                        .then(fa.total_cmp(&fb))
+                        .then(ia.cmp(&ib))
+                });
+                // Spill the non-chosen dependents into Q (Fig. 6 line 10).
+                let chosen = l[0];
+                for &rest in &l[1..] {
+                    if !queue.contains(&rest) {
+                        queue.push_back(rest);
+                    }
+                }
+                chosen
+            };
+
+            // Optimistic feasibility bound (refinement of `T_i < TMref`).
+            // Unmapped tasks may still land on any core from the current
+            // one onward, so the bound runs them at the fastest of those.
+            let feasible = candidate_feasible(
+                ctx,
+                candidate,
+                core_idx,
+                &core_cycles,
+                &freq,
+                fastest_remaining(core_idx),
+                deadline,
+                iterations,
+                g,
+                &assigned,
+            );
+            if !feasible {
+                break;
+            }
+            map_task(
+                candidate,
+                core,
+                g,
+                registers,
+                &mut assigned,
+                &mut core_blocks,
+                &mut core_bits,
+                &mut core_cycles,
+                &mut unmapped,
+            );
+            current = candidate;
+        }
+    }
+
+    // Repair pass: any stragglers go to the least-loaded core (possible if
+    // the queue ran dry on a disconnected graph region).
+    while let Some(t) = next_any_ready(g, &assigned) {
+        let (best, _) = core_cycles
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .expect("at least one core");
+        map_task(
+            t,
+            CoreId::new(best),
+            g,
+            registers,
+            &mut assigned,
+            &mut core_blocks,
+            &mut core_bits,
+            &mut core_cycles,
+            &mut unmapped,
+        );
+    }
+    // Ensure every core is non-empty by pulling from the most loaded core
+    // (Fig. 6's `unmapped > C−i` guard achieves this in the common case).
+    let mut mapping: Vec<CoreId> = assigned
+        .into_iter()
+        .map(|c| c.expect("all tasks mapped"))
+        .collect();
+    for empty in 0..n_cores {
+        if !mapping.iter().any(|c| c.index() == empty) {
+            let donor = (0..n_cores)
+                .max_by_key(|&c| mapping.iter().filter(|m| m.index() == c).count())
+                .expect("cores exist");
+            // Donate the donor's highest-id task (a graph sink if possible).
+            let t = (0..n)
+                .rev()
+                .find(|&t| mapping[t].index() == donor)
+                .expect("donor is non-empty");
+            mapping[t] = CoreId::new(empty);
+        }
+    }
+
+    Ok(Mapping::try_new(mapping, n_cores)?)
+}
+
+/// True when every predecessor of `t` is already mapped.
+fn is_ready(
+    g: &sea_taskgraph::TaskGraph,
+    t: TaskId,
+    assigned: &[Option<CoreId>],
+) -> bool {
+    g.predecessors(t)
+        .iter()
+        .all(|&(p, _)| assigned[p.index()].is_some())
+}
+
+/// Pops the first queue entry that is still unmapped and ready.
+fn pop_ready(
+    queue: &mut VecDeque<TaskId>,
+    assigned: &[Option<CoreId>],
+    g: &sea_taskgraph::TaskGraph,
+) -> Option<TaskId> {
+    let mut deferred: Vec<TaskId> = Vec::new();
+    let mut found = None;
+    while let Some(t) = queue.pop_front() {
+        if assigned[t.index()].is_some() {
+            continue;
+        }
+        if is_ready(g, t, assigned) {
+            found = Some(t);
+            break;
+        }
+        deferred.push(t);
+    }
+    for t in deferred.into_iter().rev() {
+        queue.push_front(t);
+    }
+    found
+}
+
+/// Lowest-id unmapped task whose predecessors are mapped (topological
+/// fallback; always exists while tasks remain, the graph being a DAG).
+fn next_any_ready(
+    g: &sea_taskgraph::TaskGraph,
+    assigned: &[Option<CoreId>],
+) -> Option<TaskId> {
+    g.topological_order()
+        .iter()
+        .copied()
+        .find(|&t| assigned[t.index()].is_none() && is_ready(g, t, assigned))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn map_task(
+    t: TaskId,
+    core: CoreId,
+    g: &sea_taskgraph::TaskGraph,
+    registers: &sea_taskgraph::RegisterModel,
+    assigned: &mut [Option<CoreId>],
+    core_blocks: &mut [Vec<bool>],
+    core_bits: &mut [Bits],
+    core_cycles: &mut [f64],
+    unmapped: &mut usize,
+) {
+    debug_assert!(assigned[t.index()].is_none());
+    assigned[t.index()] = Some(core);
+    let added = registers.union_add(&mut core_blocks[core.index()], t);
+    core_bits[core.index()] += added;
+    core_cycles[core.index()] += g.task(t).computation().as_f64();
+    *unmapped -= 1;
+}
+
+/// Optimistic bound: would mapping `candidate` on `core_idx` still allow a
+/// deadline-feasible completion?
+///
+/// * Pipelined mode — throughput test: the core's whole-stream busy time
+///   `cycles / f` must stay within the deadline (the stream's period is
+///   bounded by the busiest core).
+/// * Batch mode — earliest-finish test: the core's serial finish time plus
+///   the longest unmapped computation chain at the fastest remaining
+///   frequency must stay within the deadline (communication and contention
+///   are optimistically ignored; the bound only prunes clear violations).
+#[allow(clippy::too_many_arguments)]
+fn candidate_feasible(
+    ctx: &EvalContext<'_>,
+    candidate: TaskId,
+    core_idx: usize,
+    core_cycles: &[f64],
+    freq: &[f64],
+    fastest_remaining: f64,
+    deadline: f64,
+    iterations: f64,
+    g: &sea_taskgraph::TaskGraph,
+    assigned: &[Option<CoreId>],
+) -> bool {
+    let new_cycles = core_cycles[core_idx] + g.task(candidate).computation().as_f64();
+    let busy_s = new_cycles / freq[core_idx];
+    if busy_s > deadline {
+        return false;
+    }
+    if matches!(ctx.app().mode(), ExecutionMode::Pipelined { .. }) {
+        // Throughput bound is the whole check in streaming mode.
+        let _ = iterations;
+        return true;
+    }
+
+    // Batch: earliest-finish DP over the topological order. Mapped tasks
+    // finish serially on their core (approximated by the core's cumulative
+    // cycles); unmapped tasks run at the fastest remaining frequency.
+    let mut finish = vec![0.0f64; g.len()];
+    let mut core_time = vec![0.0f64; freq.len()];
+    for &t in g.topological_order() {
+        let preds_done = g
+            .predecessors(t)
+            .iter()
+            .map(|&(p, _)| finish[p.index()])
+            .fold(0.0f64, f64::max);
+        let assigned_core = if t == candidate {
+            Some(CoreId::new(core_idx))
+        } else {
+            assigned[t.index()]
+        };
+        match assigned_core {
+            Some(c) => {
+                let dur = g.task(t).computation().as_f64() / freq[c.index()];
+                let start = preds_done.max(core_time[c.index()]);
+                finish[t.index()] = start + dur;
+                core_time[c.index()] = finish[t.index()];
+            }
+            None => {
+                let dur = g.task(t).computation().as_f64() / fastest_remaining;
+                finish[t.index()] = preds_done + dur;
+            }
+        }
+    }
+    finish.iter().fold(0.0f64, |a, &b| a.max(b)) <= deadline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_arch::{Architecture, LevelSet};
+    use sea_taskgraph::{fig8, mpeg2};
+
+    fn ctx_arch(
+        app: &sea_taskgraph::Application,
+        cores: usize,
+    ) -> (Architecture, sea_taskgraph::Application) {
+        (
+            Architecture::homogeneous(cores, LevelSet::arm7_three_level()),
+            app.clone(),
+        )
+    }
+
+    #[test]
+    fn fig8_initial_mapping_matches_walkthrough_shape() {
+        let app = fig8::application();
+        let (arch, app) = ctx_arch(&app, 3);
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![1, 2, 2], &arch).unwrap();
+        let m = initial_sea_mapping(&ctx, &s).unwrap();
+        assert!(m.uses_all_cores());
+        assert_eq!(m.n_tasks(), 6);
+        // The walkthrough seeds core 1 with t1 and extends it with the
+        // dependent that minimizes incremental SEUs.
+        assert_eq!(m.core_of(TaskId::new(0)), CoreId::new(0));
+        // t3 shares all its registers with t2 but has the smaller footprint,
+        // so it joins t1's core (paper: "selects t3").
+        assert_eq!(m.core_of(TaskId::new(2)), CoreId::new(0));
+    }
+
+    #[test]
+    fn mpeg2_initial_mapping_covers_all_cores() {
+        let app = mpeg2::application();
+        let (arch, app) = ctx_arch(&app, 4);
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let m = initial_sea_mapping(&ctx, &s).unwrap();
+        assert!(m.uses_all_cores());
+        assert_eq!(m.n_tasks(), 11);
+    }
+
+    #[test]
+    fn initial_mapping_keeps_sharing_tasks_together_when_slack_allows() {
+        let app = mpeg2::application();
+        // Generous deadline: localization should dominate.
+        let app = app.with_deadline(1e4).unwrap();
+        let (arch, app) = ctx_arch(&app, 4);
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::uniform(1, &arch).unwrap();
+        let m = initial_sea_mapping(&ctx, &s).unwrap();
+        // t5 and t6 (indices 4, 5) share 6.4 kbit; the greedy should not
+        // split them when the deadline is loose.
+        assert_eq!(m.core_of(TaskId::new(4)), m.core_of(TaskId::new(5)));
+    }
+
+    #[test]
+    fn rejects_more_cores_than_tasks() {
+        let app = fig8::application();
+        let (arch, app) = ctx_arch(&app, 8);
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::all_nominal(&arch);
+        assert!(matches!(
+            initial_sea_mapping(&ctx, &s).unwrap_err(),
+            OptError::TooFewTasks { tasks: 6, cores: 8 }
+        ));
+    }
+
+    #[test]
+    fn every_core_count_produces_complete_mappings() {
+        let app = mpeg2::application();
+        for cores in 2..=6 {
+            let (arch, app) = ctx_arch(&app, cores);
+            let ctx = EvalContext::new(&app, &arch);
+            let s = ScalingVector::all_lowest(&arch);
+            let m = initial_sea_mapping(&ctx, &s).unwrap();
+            assert!(m.uses_all_cores(), "{cores} cores");
+            assert_eq!(m.n_tasks(), 11);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let app = mpeg2::application();
+        let (arch, app) = ctx_arch(&app, 4);
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::uniform(2, &arch).unwrap();
+        let a = initial_sea_mapping(&ctx, &s).unwrap();
+        let b = initial_sea_mapping(&ctx, &s).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_graphs_map_completely() {
+        use sea_taskgraph::generator::RandomGraphConfig;
+        for n in [20, 40, 60] {
+            let app = RandomGraphConfig::paper(n).generate(99).unwrap();
+            let (arch, app) = ctx_arch(&app, 4);
+            let ctx = EvalContext::new(&app, &arch);
+            let s = ScalingVector::all_lowest(&arch);
+            let m = initial_sea_mapping(&ctx, &s).unwrap();
+            assert_eq!(m.n_tasks(), n);
+            assert!(m.uses_all_cores(), "N={n}");
+        }
+    }
+}

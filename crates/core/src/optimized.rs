@@ -1,0 +1,331 @@
+//! `OptimizedMapping` — the search-based mapping refinement of Fig. 7.
+//!
+//! Starting from the initial soft error-aware mapping, the search list
+//! schedules the current mapping (step A), then repeatedly generates
+//! neighbouring task movements (step C), list schedules each candidate
+//! (step D) and adopts it as the new best when it lowers the number of SEUs
+//! experienced while meeting the real-time constraint (steps E–F), until
+//! the search budget expires (step B). Each neighbourhood move relocates
+//! one task or swaps two — "each iteration generating maximum two task
+//! movements" — so one sweep costs `O(N·C + N²)` evaluations and the
+//! overall search is the paper's `O(N³)`.
+//!
+//! Infeasible regions are escaped by descending on `TM` first; once
+//! feasible, the search descends on `Γ`. Local optima trigger seeded random
+//! perturbations (3 random moves) so a larger budget keeps exploring, as
+//! the paper's wall-clock-bounded search does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sea_arch::ScalingVector;
+use sea_sched::metrics::{EvalContext, MappingEvaluation};
+use sea_sched::{Mapping, Move};
+
+use crate::OptError;
+
+/// Search budget for one `OptimizedMapping` run.
+///
+/// The primary budget is the deterministic evaluation count; an optional
+/// wall-clock limit mirrors the paper's literal protocol ("we impose a
+/// time-limit of 40 minutes to search the design space for each voltage
+/// scaling") for users who prefer time-boxed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchBudget {
+    /// Maximum number of candidate evaluations (list schedules).
+    pub max_evaluations: usize,
+    /// Stop after this many consecutive sweeps without improvement.
+    pub max_stale_sweeps: usize,
+    /// Optional wall-clock cap per search (checked between evaluations).
+    pub time_limit: Option<std::time::Duration>,
+}
+
+impl SearchBudget {
+    /// A small budget for unit tests and examples.
+    #[must_use]
+    pub fn fast() -> Self {
+        SearchBudget {
+            max_evaluations: 2_000,
+            max_stale_sweeps: 2,
+            time_limit: None,
+        }
+    }
+
+    /// The default experiment budget (a deterministic stand-in for the
+    /// paper's 40-minute wall-clock limit; results stop improving well
+    /// before it on the published workloads).
+    #[must_use]
+    pub fn thorough() -> Self {
+        SearchBudget {
+            max_evaluations: 60_000,
+            max_stale_sweeps: 6,
+            time_limit: None,
+        }
+    }
+
+    /// Adds a wall-clock cap (non-consuming builder).
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: std::time::Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// True if either budget dimension is exhausted.
+    #[must_use]
+    pub fn exhausted(&self, evaluations: usize, started: std::time::Instant) -> bool {
+        evaluations >= self.max_evaluations
+            || self
+                .time_limit
+                .is_some_and(|limit| started.elapsed() >= limit)
+    }
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget::thorough()
+    }
+}
+
+/// Outcome of one `OptimizedMapping` search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best mapping found.
+    pub mapping: Mapping,
+    /// Evaluation of the best mapping.
+    pub evaluation: MappingEvaluation,
+    /// Candidate evaluations spent.
+    pub evaluations: usize,
+    /// True if the best mapping meets the deadline.
+    pub feasible: bool,
+}
+
+/// Runs the Fig. 7 neighbourhood search from `initial`.
+///
+/// # Errors
+///
+/// Propagates evaluation errors ([`OptError::Sched`]).
+pub fn optimized_mapping(
+    ctx: &EvalContext<'_>,
+    scaling: &ScalingVector,
+    initial: Mapping,
+    budget: SearchBudget,
+    seed: u64,
+) -> Result<SearchOutcome, OptError> {
+    let require_all_cores = ctx.app().graph().len() >= ctx.arch().n_cores();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut evaluations = 0usize;
+
+    let mut current = initial.clone();
+    let mut current_eval = ctx.evaluate(&current, scaling)?;
+    evaluations += 1;
+
+    // `best` tracks the incumbent under the search ordering: feasible
+    // beats infeasible, feasible points compare on Γ, infeasible points on
+    // TM — so even a never-feasible run returns its tightest design.
+    let mut best = current.clone();
+    let mut best_eval = current_eval.clone();
+
+    let deadline = ctx.app().deadline_s();
+    let mut stale = 0usize;
+
+    let started = std::time::Instant::now();
+    while !budget.exhausted(evaluations, started) && stale <= budget.max_stale_sweeps {
+        // One steepest-descent sweep over the task-movement neighbourhood.
+        let mut best_move: Option<(Move, MappingEvaluation)> = None;
+        for mv in current.neighbourhood() {
+            if budget.exhausted(evaluations, started) {
+                break;
+            }
+            let candidate = current.with_move(mv);
+            if require_all_cores && !candidate.uses_all_cores() {
+                continue;
+            }
+            let eval = ctx.evaluate(&candidate, scaling)?;
+            evaluations += 1;
+            let better_than_sweep_best = match &best_move {
+                None => better(&eval, &current_eval, deadline),
+                Some((_, sweep_best)) => better(&eval, sweep_best, deadline),
+            };
+            if better_than_sweep_best {
+                best_move = Some((mv, eval));
+            }
+        }
+
+        match best_move {
+            Some((mv, eval)) => {
+                current.apply(mv);
+                current_eval = eval;
+                stale = 0;
+                if better(&current_eval, &best_eval, deadline) {
+                    best = current.clone();
+                    best_eval = current_eval.clone();
+                }
+            }
+            None => {
+                // Local optimum: perturb around the incumbent (Fig. 7 keeps
+                // searching until the time budget runs out).
+                stale += 1;
+                current = best.clone();
+                for _ in 0..3 {
+                    let moves = current.neighbourhood();
+                    if moves.is_empty() {
+                        break;
+                    }
+                    let mv = moves[rng.gen_range(0..moves.len())];
+                    let next = current.with_move(mv);
+                    if !require_all_cores || next.uses_all_cores() {
+                        current = next;
+                    }
+                }
+                current_eval = ctx.evaluate(&current, scaling)?;
+                evaluations += 1;
+                if better(&current_eval, &best_eval, deadline) {
+                    best = current.clone();
+                    best_eval = current_eval.clone();
+                }
+            }
+        }
+    }
+
+    let feasible = best_eval.meets_deadline;
+    Ok(SearchOutcome {
+        mapping: best,
+        evaluation: best_eval,
+        evaluations,
+        feasible,
+    })
+}
+
+/// Search ordering (Fig. 7 steps E–F): infeasible points descend on `TM`;
+/// feasible points descend on `Γ`; feasible always beats infeasible.
+fn better(candidate: &MappingEvaluation, incumbent: &MappingEvaluation, _deadline: f64) -> bool {
+    match (candidate.meets_deadline, incumbent.meets_deadline) {
+        (true, false) => true,
+        (false, true) => false,
+        (true, true) => candidate.gamma < incumbent.gamma,
+        (false, false) => candidate.tm_seconds < incumbent.tm_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial::initial_sea_mapping;
+    use sea_arch::{Architecture, LevelSet};
+    use sea_taskgraph::{fig8, mpeg2};
+
+    #[test]
+    fn search_never_worsens_a_feasible_initial_mapping() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let initial = initial_sea_mapping(&ctx, &s).unwrap();
+        let initial_eval = ctx.evaluate(&initial, &s).unwrap();
+        let out =
+            optimized_mapping(&ctx, &s, initial, SearchBudget::fast(), 42).unwrap();
+        if initial_eval.meets_deadline {
+            assert!(out.feasible);
+            assert!(out.evaluation.gamma <= initial_eval.gamma);
+        }
+    }
+
+    #[test]
+    fn search_improves_a_deliberately_bad_seed() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![1, 1, 1, 1], &arch).unwrap();
+        // Adversarial seed: maximum distribution of the heavy tail tasks.
+        let bad = Mapping::from_groups(&[&[0, 4, 8], &[1, 5, 9], &[2, 6, 10], &[3, 7]], 4)
+            .unwrap();
+        let bad_eval = ctx.evaluate(&bad, &s).unwrap();
+        let out = optimized_mapping(&ctx, &s, bad, SearchBudget::fast(), 1).unwrap();
+        assert!(out.feasible, "nominal voltage easily meets the deadline");
+        assert!(
+            out.evaluation.gamma < bad_eval.gamma,
+            "search must reduce SEUs: {} -> {}",
+            bad_eval.gamma,
+            out.evaluation.gamma
+        );
+    }
+
+    #[test]
+    fn fig8_walkthrough_finds_feasible_low_gamma_design() {
+        let app = fig8::application();
+        let arch = Architecture::homogeneous(3, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![1, 2, 2], &arch).unwrap();
+        let initial = initial_sea_mapping(&ctx, &s).unwrap();
+        let out = optimized_mapping(&ctx, &s, initial, SearchBudget::fast(), 7).unwrap();
+        // Under our Fig. 8 reconstruction the 75 ms constraint is tight;
+        // the search must at least reach the best TM it can and report
+        // feasibility honestly.
+        assert!(out.evaluations > 0);
+        if out.feasible {
+            assert!(out.evaluation.tm_seconds <= 0.075 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_cores_stay_occupied() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![2, 2, 2, 2], &arch).unwrap();
+        let initial = initial_sea_mapping(&ctx, &s).unwrap();
+        let out = optimized_mapping(&ctx, &s, initial, SearchBudget::fast(), 3).unwrap();
+        assert!(out.mapping.uses_all_cores());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let initial = initial_sea_mapping(&ctx, &s).unwrap();
+        let a = optimized_mapping(&ctx, &s, initial.clone(), SearchBudget::fast(), 5)
+            .unwrap();
+        let b = optimized_mapping(&ctx, &s, initial, SearchBudget::fast(), 5).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn time_limit_stops_the_search() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let initial = initial_sea_mapping(&ctx, &s).unwrap();
+        let budget = SearchBudget {
+            max_evaluations: usize::MAX,
+            max_stale_sweeps: usize::MAX,
+            time_limit: Some(std::time::Duration::from_millis(50)),
+        };
+        let t0 = std::time::Instant::now();
+        let out = optimized_mapping(&ctx, &s, initial, budget, 5).unwrap();
+        // Generous envelope: the limit is checked between evaluations, and
+        // a single evaluation is microseconds.
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        assert!(out.evaluations > 0);
+    }
+
+    #[test]
+    fn budget_caps_evaluations() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let initial = initial_sea_mapping(&ctx, &s).unwrap();
+        let budget = SearchBudget {
+            max_evaluations: 50,
+            max_stale_sweeps: 99,
+            time_limit: None,
+        };
+        let out = optimized_mapping(&ctx, &s, initial, budget, 5).unwrap();
+        assert!(out.evaluations <= 50);
+    }
+}

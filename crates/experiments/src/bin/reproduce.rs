@@ -1,0 +1,123 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p sea-experiments --bin reproduce [smoke|paper]
+//! ```
+//!
+//! `smoke` (default) uses small search budgets for a quick look; `paper`
+//! uses the budgets behind EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use sea_experiments::ablations::{
+    exposure_ablation, mc_table, mc_validation, reference_design, seed_ablation,
+    ser_sensitivity,
+};
+use sea_experiments::{fig10, fig11, fig3, fig9, table2, table3, EffortProfile};
+use sea_opt::SearchBudget;
+
+fn main() {
+    let profile = match std::env::args().nth(1).as_deref() {
+        Some("paper") => EffortProfile::Paper,
+        _ => EffortProfile::Smoke,
+    };
+    println!("profile: {profile:?}\n");
+    let t0 = Instant::now();
+
+    // Fig. 3 — mapping study.
+    let fig3 = fig3::run(120, 42).expect("Fig. 3 sweep");
+    let s = fig3.summary();
+    println!("## Fig. 3 (120 random mappings, 4 cores)");
+    println!("corr(TM, R)            = {:+.3}   (paper: negative trade-off)", s.corr_tm_r);
+    println!("Gamma ratio s2/s1      = {:.2}    (paper: ~2.5x)", s.gamma_ratio);
+    println!("TM ratio s2/s1         = {:.2}    (paper: ~2x)", s.tm_ratio);
+    println!(
+        "Gamma concavity edges  = {:.2} / {:.2} over the minimum (paper: concave)\n",
+        s.gamma_edge_over_min_low, s.gamma_edge_over_min_high
+    );
+
+    // Table II + Fig. 9.
+    let t2 = table2::run(profile, 4).expect("Table II");
+    println!("{}", t2.to_table().to_ascii());
+    let violations = t2.shape_violations();
+    if violations.is_empty() {
+        println!("shape: all Table II orderings reproduced\n");
+    } else {
+        println!("shape violations: {violations:?}\n");
+    }
+    let f9 = fig9::from_table2(&t2).expect("Fig. 9");
+    println!("{}", f9.to_table().to_ascii());
+
+    // Table III.
+    let t3 = table3::run(profile).expect("Table III");
+    println!("{}", t3.to_table().to_ascii());
+    for (label, monotone, total) in t3.gamma_monotonicity() {
+        println!("Gamma growth with cores [{label}]: {monotone}/{total} steps monotone");
+    }
+    println!();
+
+    // Fig. 10.
+    let f10 = fig10::run(profile).expect("Fig. 10");
+    println!("{}", f10.to_table().to_ascii());
+    println!(
+        "proposed Gamma win rate vs Exp:3: {:.0}%\n",
+        f10.proposed_win_rate() * 100.0
+    );
+
+    // Fig. 11.
+    let f11 = fig11::run(profile).expect("Fig. 11");
+    println!("{}", f11.to_table().to_ascii());
+    let app60 = sea_taskgraph::generator::RandomGraphConfig::paper(60)
+        .generate(profile.seed())
+        .expect("valid generator parameters");
+    let iso = fig11::level_isolation(&app60, 6, profile).expect("level isolation");
+    println!("fixed-mapping level isolation (busy-cycle accounting):");
+    for (levels, p, g) in &iso {
+        println!("  {levels} levels: P = {p:.2} mW, Gamma = {g:.3e}");
+    }
+    println!();
+
+    // Ablations.
+    let (app, arch, mapping, scaling) = reference_design();
+    let exp = exposure_ablation(&app, &arch, &mapping, &scaling).expect("exposure ablation");
+    println!("## Ablations (reference design: Table II Exp:4)");
+    println!(
+        "exposure: Gamma whole-run = {:.3e}, busy-only = {:.3e} ({:.0}% of whole-run)",
+        exp.gamma_whole_run,
+        exp.gamma_busy_only,
+        exp.gamma_busy_only / exp.gamma_whole_run * 100.0
+    );
+    let seed_ab = seed_ablation(
+        &app,
+        &arch,
+        &scaling,
+        SearchBudget {
+            max_evaluations: 2_000,
+            max_stale_sweeps: 2,
+            time_limit: None,
+        },
+        9,
+    )
+    .expect("seed ablation");
+    println!(
+        "seeding:  search from SEA seed -> Gamma {:.3e}; from balanced seed -> {:.3e}; raw SEA seed {:.3e}",
+        seed_ab.gamma_from_sea_seed, seed_ab.gamma_from_balanced_seed, seed_ab.gamma_sea_seed_raw
+    );
+    let sens = ser_sensitivity(&app, &arch, &mapping, &scaling, &[1e-10, 1e-9, 1e-8])
+        .expect("SER sweep");
+    print!("SER sweep: ");
+    for (ser, gamma) in &sens {
+        print!("lambda={ser:.0e} -> Gamma={gamma:.2e}  ");
+    }
+    println!();
+    let mc = mc_validation(
+        &app,
+        &arch,
+        &[("Exp:4 (proposed)".into(), mapping, scaling)],
+        13,
+    )
+    .expect("MC validation");
+    println!("{}", mc_table(&mc).to_ascii());
+
+    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+}

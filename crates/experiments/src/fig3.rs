@@ -1,0 +1,194 @@
+//! Fig. 3 — the impact of task mapping on reliability (§III).
+//!
+//! 120 random task mappings of the MPEG-2 decoder on the four-core MPSoC:
+//!
+//! * (a) register usage `R` vs. multiprocessor execution time `TM` — the
+//!   localization/duplication trade-off (decreasing);
+//! * (b) SEUs experienced `Γ` vs. `TM` at uniform scaling s=1 — concave,
+//!   with the minimum in the middle of the TM range;
+//! * (c) the same at uniform scaling s=2 — `Γ` ≈ 2.5× higher (Observation
+//!   3) and `TM` ≈ 2× longer.
+
+use sea_arch::{Architecture, LevelSet, ScalingVector};
+use sea_baselines::sweep::random_mapping_sweep;
+use sea_opt::OptError;
+use sea_sched::metrics::EvalContext;
+use sea_taskgraph::mpeg2;
+
+/// One point of the Fig. 3 scatter.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Point {
+    /// Multiprocessor execution time in milliseconds (the paper's axis).
+    pub tm_ms: f64,
+    /// Total register usage in kbit/cycle.
+    pub r_kbits: f64,
+    /// Expected SEUs experienced.
+    pub gamma: f64,
+}
+
+/// The regenerated Fig. 3 data.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Points at uniform scaling s=1 (panels a, b).
+    pub scale1: Vec<Fig3Point>,
+    /// Points at uniform scaling s=2 (panel c).
+    pub scale2: Vec<Fig3Point>,
+}
+
+/// Runs the sweep with `count` random mappings (the paper uses 120).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run(count: usize, seed: u64) -> Result<Fig3, OptError> {
+    let app = mpeg2::application();
+    let arch = Architecture::arm7_calibrated(4, LevelSet::arm7_three_level());
+    let ctx = EvalContext::new(&app, &arch);
+
+    let mut out = Fig3 {
+        scale1: Vec::new(),
+        scale2: Vec::new(),
+    };
+    for (s, dest) in [(1u8, &mut out.scale1), (2u8, &mut out.scale2)] {
+        let scaling = ScalingVector::uniform(s, &arch)?;
+        let points = random_mapping_sweep(&ctx, &scaling, count, seed)?;
+        *dest = points
+            .iter()
+            .map(|p| Fig3Point {
+                tm_ms: p.evaluation.tm_seconds * 1e3,
+                r_kbits: p.evaluation.r_total_kbits(),
+                gamma: p.evaluation.gamma,
+            })
+            .collect();
+    }
+    Ok(out)
+}
+
+/// Summary statistics used to check the published shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Summary {
+    /// Pearson correlation between `TM` and `R` at s=1 (negative: the
+    /// trade-off of panel (a)).
+    pub corr_tm_r: f64,
+    /// Γ ratio between the s=2 and s=1 populations (≈2.5, Observation 3).
+    pub gamma_ratio: f64,
+    /// TM ratio between the s=2 and s=1 populations (≈2).
+    pub tm_ratio: f64,
+    /// Γ at the TM extremes relative to the minimum Γ at s=1 (>1 on both
+    /// ends: the concavity of panel (b)).
+    pub gamma_edge_over_min_low: f64,
+    /// See [`Fig3Summary::gamma_edge_over_min_low`], for the high-TM edge.
+    pub gamma_edge_over_min_high: f64,
+}
+
+impl Fig3 {
+    /// Computes the shape summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either population is empty.
+    #[must_use]
+    pub fn summary(&self) -> Fig3Summary {
+        assert!(!self.scale1.is_empty() && !self.scale2.is_empty());
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let tm1: Vec<f64> = self.scale1.iter().map(|p| p.tm_ms).collect();
+        let r1: Vec<f64> = self.scale1.iter().map(|p| p.r_kbits).collect();
+        let g1: Vec<f64> = self.scale1.iter().map(|p| p.gamma).collect();
+        let g2: Vec<f64> = self.scale2.iter().map(|p| p.gamma).collect();
+        let tm2: Vec<f64> = self.scale2.iter().map(|p| p.tm_ms).collect();
+
+        let (mt, mr) = (mean(&tm1), mean(&r1));
+        let mut cov = 0.0;
+        let mut vt = 0.0;
+        let mut vr = 0.0;
+        for (t, r) in tm1.iter().zip(&r1) {
+            cov += (t - mt) * (r - mr);
+            vt += (t - mt) * (t - mt);
+            vr += (r - mr) * (r - mr);
+        }
+        let corr = cov / (vt.sqrt() * vr.sqrt()).max(f64::MIN_POSITIVE);
+
+        // Concavity probe: sort by TM, compare edge means with the minimum.
+        let mut by_tm: Vec<&Fig3Point> = self.scale1.iter().collect();
+        by_tm.sort_by(|a, b| a.tm_ms.total_cmp(&b.tm_ms));
+        let k = (by_tm.len() / 5).max(1);
+        let low_edge = mean(&by_tm[..k].iter().map(|p| p.gamma).collect::<Vec<_>>());
+        let high_edge = mean(
+            &by_tm[by_tm.len() - k..]
+                .iter()
+                .map(|p| p.gamma)
+                .collect::<Vec<_>>(),
+        );
+        let min_gamma = g1.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+
+        Fig3Summary {
+            corr_tm_r: corr,
+            gamma_ratio: mean(&g2) / mean(&g1),
+            tm_ratio: mean(&tm2) / mean(&tm1),
+            gamma_edge_over_min_low: low_edge / min_gamma,
+            gamma_edge_over_min_high: high_edge / min_gamma,
+        }
+    }
+
+    /// Renders the raw series as CSV (`scaling,tm_ms,r_kbits,gamma`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("scaling,tm_ms,r_kbits,gamma\n");
+        for (s, points) in [(1, &self.scale1), (2, &self.scale2)] {
+            for p in points {
+                out.push_str(&format!(
+                    "{s},{:.3},{:.2},{:.1}\n",
+                    p.tm_ms, p.r_kbits, p.gamma
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_reproduces_published_shape() {
+        let fig = run(120, 42).unwrap();
+        assert_eq!(fig.scale1.len(), 120);
+        assert_eq!(fig.scale2.len(), 120);
+        let s = fig.summary();
+        // (a): R falls as TM rises.
+        assert!(s.corr_tm_r < -0.3, "TM/R correlation {}", s.corr_tm_r);
+        // (c): Γ ratio ≈ 2.5 (it is exactly 2.5 per Observation 3 because
+        // cycle counts and R are mapping-invariant under uniform scaling).
+        assert!(
+            (s.gamma_ratio - 2.5).abs() < 0.1,
+            "gamma ratio {}",
+            s.gamma_ratio
+        );
+        assert!((s.tm_ratio - 2.0).abs() < 0.1, "tm ratio {}", s.tm_ratio);
+    }
+
+    #[test]
+    fn fig3_gamma_is_concave_in_tm() {
+        let fig = run(120, 42).unwrap();
+        let s = fig.summary();
+        assert!(
+            s.gamma_edge_over_min_low > 1.02,
+            "low-TM edge {} should exceed the minimum",
+            s.gamma_edge_over_min_low
+        );
+        assert!(
+            s.gamma_edge_over_min_high > 1.02,
+            "high-TM edge {} should exceed the minimum",
+            s.gamma_edge_over_min_high
+        );
+    }
+
+    #[test]
+    fn csv_has_both_populations() {
+        let fig = run(10, 1).unwrap();
+        let csv = fig.to_csv();
+        assert_eq!(csv.lines().count(), 21);
+        assert!(csv.starts_with("scaling,tm_ms"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Minimal table rendering for experiment reports (ASCII and CSV).
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Column {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple string table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    align: Vec<Column>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and header.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[(&str, Column)]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|(h, _)| (*h).to_string()).collect(),
+            align: header.iter().map(|&(_, a)| a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned ASCII columns.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "# {}", self.title);
+        }
+        let render_row = |cells: &[String], widths: &[usize], align: &[Column]| {
+            let mut line = String::from("|");
+            for ((cell, w), a) in cells.iter().zip(widths).zip(align) {
+                match a {
+                    Column::Left => {
+                        let _ = write!(line, " {cell:<w$} |");
+                    }
+                    Column::Right => {
+                        let _ = write!(line, " {cell:>w$} |");
+                    }
+                }
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", render_row(&self.header, &widths, &self.align));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths, &self.align));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows; fields with commas are
+    /// quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float in engineering style with the given precision, e.g.
+/// `3.93e5` for Γ columns.
+#[must_use]
+pub fn sci(x: f64, digits: usize) -> String {
+    format!("{x:.digits$e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "demo",
+            &[("name", Column::Left), ("value", Column::Right)],
+        );
+        t.push_row(vec!["alpha".into(), "1.5".into()]);
+        t.push_row(vec!["b".into(), "22".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_alignment() {
+        let s = sample().to_ascii();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("| alpha |   1.5 |"), "got:\n{s}");
+        assert!(s.contains("| b     |    22 |"), "got:\n{s}");
+    }
+
+    #[test]
+    fn csv_output() {
+        let s = sample().to_csv();
+        let mut lines = s.lines();
+        assert_eq!(lines.next(), Some("name,value"));
+        assert_eq!(lines.next(), Some("alpha,1.5"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &[("a", Column::Left)]);
+        t.push_row(vec!["hello, world".into()]);
+        assert!(t.to_csv().contains("\"hello, world\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("x", &[("a", Column::Left)]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(sci(393_000.0, 2), "3.93e5");
+    }
+}

@@ -1,0 +1,338 @@
+//! Task-to-core mappings and the neighbourhood moves of the search-based
+//! optimizations (paper Fig. 7, "task movement in M for neighbouring
+//! solution").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use sea_arch::CoreId;
+use sea_taskgraph::TaskId;
+
+use crate::SchedError;
+
+/// A complete assignment of every task to one core.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    /// `assign[t]` = core of task `t`.
+    assign: Vec<CoreId>,
+    n_cores: usize,
+}
+
+impl Mapping {
+    /// Creates a mapping from a per-task core vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::OutOfRange`] if any core index is `≥ n_cores`
+    /// and [`SchedError::IncompleteMapping`] for an empty assignment.
+    pub fn try_new(assign: Vec<CoreId>, n_cores: usize) -> Result<Self, SchedError> {
+        if assign.is_empty() {
+            return Err(SchedError::IncompleteMapping);
+        }
+        for (t, c) in assign.iter().enumerate() {
+            if c.index() >= n_cores {
+                return Err(SchedError::OutOfRange {
+                    what: format!("task t{} mapped to {} of {} cores", t + 1, c, n_cores),
+                });
+            }
+        }
+        Ok(Mapping { assign, n_cores })
+    }
+
+    /// Creates a mapping from per-core task groups (0-based task indices),
+    /// the notation of Table II. Cores may be empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::IncompleteMapping`] if the groups do not cover
+    /// the union of the mentioned tasks exactly once, and
+    /// [`SchedError::OutOfRange`] if there are more groups than cores.
+    pub fn from_groups(groups: &[&[usize]], n_cores: usize) -> Result<Self, SchedError> {
+        if groups.len() > n_cores {
+            return Err(SchedError::OutOfRange {
+                what: format!("{} groups for {} cores", groups.len(), n_cores),
+            });
+        }
+        let n_tasks: usize = groups.iter().map(|g| g.len()).sum();
+        let mut assign = vec![None; n_tasks];
+        for (c, group) in groups.iter().enumerate() {
+            for &t in group.iter() {
+                if t >= n_tasks || assign[t].is_some() {
+                    return Err(SchedError::IncompleteMapping);
+                }
+                assign[t] = Some(CoreId::new(c));
+            }
+        }
+        let assign: Vec<CoreId> = assign.into_iter().map(|c| c.expect("all covered")).collect();
+        Mapping::try_new(assign, n_cores)
+    }
+
+    /// Maps every task to core 0 (useful as a degenerate baseline).
+    #[must_use]
+    pub fn all_on_one_core(n_tasks: usize, n_cores: usize) -> Self {
+        Mapping {
+            assign: vec![CoreId::new(0); n_tasks],
+            n_cores,
+        }
+    }
+
+    /// Number of tasks covered.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of cores in the target architecture.
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Core of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn core_of(&self, task: TaskId) -> CoreId {
+        self.assign[task.index()]
+    }
+
+    /// Tasks mapped on `core`, in task-id order.
+    #[must_use]
+    pub fn tasks_on(&self, core: CoreId) -> Vec<TaskId> {
+        self.assign
+            .iter()
+            .enumerate()
+            .filter(|&(_, c)| *c == core)
+            .map(|(t, _)| TaskId::new(t))
+            .collect()
+    }
+
+    /// All per-core groups, in core order (empty cores yield empty groups).
+    #[must_use]
+    pub fn groups(&self) -> Vec<Vec<TaskId>> {
+        let mut out = vec![Vec::new(); self.n_cores];
+        for (t, c) in self.assign.iter().enumerate() {
+            out[c.index()].push(TaskId::new(t));
+        }
+        out
+    }
+
+    /// True if every core holds at least one task (the paper's
+    /// `InitialSEAMapping` guarantees this when `N ≥ C`).
+    #[must_use]
+    pub fn uses_all_cores(&self) -> bool {
+        let mut used = vec![false; self.n_cores];
+        for c in &self.assign {
+            used[c.index()] = true;
+        }
+        used.into_iter().all(|u| u)
+    }
+
+    /// Applies a move in place. Returns the inverse move for backtracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move references tasks or cores out of range.
+    pub fn apply(&mut self, mv: Move) -> Move {
+        match mv {
+            Move::Relocate { task, to } => {
+                assert!(to.index() < self.n_cores, "{to} out of range");
+                let from = self.assign[task.index()];
+                self.assign[task.index()] = to;
+                Move::Relocate { task, to: from }
+            }
+            Move::Swap { a, b } => {
+                self.assign.swap(a.index(), b.index());
+                Move::Swap { a, b }
+            }
+        }
+    }
+
+    /// Returns a copy with the move applied.
+    #[must_use]
+    pub fn with_move(&self, mv: Move) -> Self {
+        let mut next = self.clone();
+        next.apply(mv);
+        next
+    }
+
+    /// Enumerates the full task-movement neighbourhood, deterministic order:
+    /// every relocation of a task to a different core, then every swap of
+    /// two tasks on different cores. This is the "maximum two task
+    /// movements" neighbourhood of the paper's `OptimizedMapping` (a swap
+    /// moves two tasks, a relocation one).
+    #[must_use]
+    pub fn neighbourhood(&self) -> Vec<Move> {
+        let mut moves = Vec::new();
+        for t in 0..self.assign.len() {
+            for c in 0..self.n_cores {
+                if self.assign[t].index() != c {
+                    moves.push(Move::Relocate {
+                        task: TaskId::new(t),
+                        to: CoreId::new(c),
+                    });
+                }
+            }
+        }
+        for a in 0..self.assign.len() {
+            for b in (a + 1)..self.assign.len() {
+                if self.assign[a] != self.assign[b] {
+                    moves.push(Move::Swap {
+                        a: TaskId::new(a),
+                        b: TaskId::new(b),
+                    });
+                }
+            }
+        }
+        moves
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, group) in self.groups().iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{}:", CoreId::new(i))?;
+            for t in group {
+                write!(f, " {t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One neighbourhood move over a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Move {
+    /// Move `task` to core `to`.
+    Relocate {
+        /// The task to move.
+        task: TaskId,
+        /// Destination core.
+        to: CoreId,
+    },
+    /// Exchange the cores of tasks `a` and `b`.
+    Swap {
+        /// First task.
+        a: TaskId,
+        /// Second task.
+        b: TaskId,
+    },
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Move::Relocate { task, to } => write!(f, "move {task} -> {to}"),
+            Move::Swap { a, b } => write!(f, "swap {a} <-> {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::new(i)
+    }
+
+    fn c(i: usize) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn from_groups_matches_table2_notation() {
+        let m = Mapping::from_groups(&[&[0, 1, 2], &[3, 4], &[5, 6, 7, 8, 9], &[10]], 4).unwrap();
+        assert_eq!(m.core_of(t(0)), c(0));
+        assert_eq!(m.core_of(t(4)), c(1));
+        assert_eq!(m.core_of(t(9)), c(2));
+        assert_eq!(m.core_of(t(10)), c(3));
+        assert!(m.uses_all_cores());
+        assert_eq!(m.n_tasks(), 11);
+    }
+
+    #[test]
+    fn from_groups_rejects_double_coverage() {
+        assert!(Mapping::from_groups(&[&[0, 1], &[1]], 2).is_err());
+        assert!(Mapping::from_groups(&[&[0, 2]], 2).is_err(), "gap at task 1");
+        assert!(Mapping::from_groups(&[&[0], &[1], &[2]], 2).is_err());
+    }
+
+    #[test]
+    fn try_new_validates_cores() {
+        assert!(Mapping::try_new(vec![c(0), c(5)], 2).is_err());
+        assert!(Mapping::try_new(vec![], 2).is_err());
+    }
+
+    #[test]
+    fn relocate_and_inverse() {
+        let mut m = Mapping::from_groups(&[&[0, 1], &[2]], 2).unwrap();
+        let inv = m.apply(Move::Relocate { task: t(0), to: c(1) });
+        assert_eq!(m.core_of(t(0)), c(1));
+        m.apply(inv);
+        assert_eq!(m.core_of(t(0)), c(0));
+    }
+
+    #[test]
+    fn swap_exchanges_cores() {
+        let mut m = Mapping::from_groups(&[&[0, 1], &[2]], 2).unwrap();
+        m.apply(Move::Swap { a: t(0), b: t(2) });
+        assert_eq!(m.core_of(t(0)), c(1));
+        assert_eq!(m.core_of(t(2)), c(0));
+    }
+
+    #[test]
+    fn neighbourhood_counts() {
+        // 3 tasks on 2 cores: 3 relocations (each task has exactly one other
+        // core) + swaps between cross-core pairs.
+        let m = Mapping::from_groups(&[&[0, 1], &[2]], 2).unwrap();
+        let n = m.neighbourhood();
+        let relocations = n
+            .iter()
+            .filter(|mv| matches!(mv, Move::Relocate { .. }))
+            .count();
+        let swaps = n.iter().filter(|mv| matches!(mv, Move::Swap { .. })).count();
+        assert_eq!(relocations, 3);
+        assert_eq!(swaps, 2); // (0,2) and (1,2)
+    }
+
+    #[test]
+    fn neighbourhood_moves_are_valid() {
+        let m = Mapping::from_groups(&[&[0, 1, 2], &[3], &[4]], 3).unwrap();
+        for mv in m.neighbourhood() {
+            let next = m.with_move(mv);
+            assert_ne!(next, m, "a move must change the mapping: {mv}");
+        }
+    }
+
+    #[test]
+    fn groups_round_trip() {
+        let m = Mapping::from_groups(&[&[0, 2], &[1]], 3).unwrap();
+        let g = m.groups();
+        assert_eq!(g[0], vec![t(0), t(2)]);
+        assert_eq!(g[1], vec![t(1)]);
+        assert!(g[2].is_empty());
+        assert!(!m.uses_all_cores());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = Mapping::from_groups(&[&[0, 1], &[2]], 2).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("core1: t1 t2"), "got {s}");
+        assert!(s.contains("core2: t3"), "got {s}");
+    }
+
+    #[test]
+    fn all_on_one_core_is_degenerate() {
+        let m = Mapping::all_on_one_core(4, 3);
+        assert!(!m.uses_all_cores());
+        assert_eq!(m.tasks_on(c(0)).len(), 4);
+    }
+}

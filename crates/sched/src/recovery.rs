@@ -1,0 +1,314 @@
+//! Recovery-aware analysis: what the expected SEU count means for a design
+//! that *reacts* to upsets.
+//!
+//! The paper optimizes the raw number of SEUs experienced; its related
+//! work (refs. [5]–[8]: time/information redundancy, re-execution,
+//! checkpointing) supplies the standard recovery mechanisms layered on
+//! top. This module closes that loop analytically: given a design's
+//! evaluation (per-core `Γ_i`, busy times, utilization) and a
+//! [`RecoveryPolicy`], it derives the expected recovery overhead and
+//! whether the real-time constraint still holds *with* recovery — so the
+//! optimizer's Γ reduction translates directly into reclaimed deadline
+//! slack.
+//!
+//! The model is intentionally first-order (expected values, no queueing):
+//!
+//! * **Re-execution** — every *detected* upset that lands during a task's
+//!   execution re-runs the affected task; the expected cost per event is
+//!   the utilization-weighted mean task duration on the core.
+//! * **Checkpointing** — state is saved every `interval_s`; a detected
+//!   upset rolls back half an interval on average, plus the checkpoint
+//!   save overhead accrued over the run (Zhang & Chakrabarty, ref. [7]).
+//! * Undetected upsets (coverage < 1) remain as residual Γ — the quantity
+//!   the paper's optimization minimizes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MappingEvaluation;
+
+/// How the system responds to a detected SEU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// No recovery: every experienced SEU is a potential failure.
+    None,
+    /// Re-execute the task that was running when the upset struck.
+    ReExecution {
+        /// Fraction of upsets that are detected, `0..=1`.
+        detection_coverage: f64,
+    },
+    /// Periodic checkpointing with rollback.
+    Checkpointing {
+        /// Fraction of upsets that are detected, `0..=1`.
+        detection_coverage: f64,
+        /// Checkpoint interval in seconds.
+        interval_s: f64,
+        /// Time to save one checkpoint, in seconds.
+        save_cost_s: f64,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Detection coverage of the policy (0 for [`RecoveryPolicy::None`]).
+    #[must_use]
+    pub fn detection_coverage(&self) -> f64 {
+        match *self {
+            RecoveryPolicy::None => 0.0,
+            RecoveryPolicy::ReExecution { detection_coverage }
+            | RecoveryPolicy::Checkpointing {
+                detection_coverage, ..
+            } => detection_coverage.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Outcome of the recovery analysis for one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Expected number of detected (recovered) upsets.
+    pub expected_recoveries: f64,
+    /// Expected undetected upsets (residual Γ).
+    pub residual_gamma: f64,
+    /// Expected total recovery overhead in seconds (re-execution time or
+    /// rollback + checkpoint saves).
+    pub expected_overhead_s: f64,
+    /// `TM` including the expected recovery overhead.
+    pub tm_with_recovery_s: f64,
+    /// True if the design still meets the deadline with recovery included.
+    pub meets_deadline_with_recovery: bool,
+}
+
+/// Analyzes a design under a recovery policy.
+///
+/// The re-executable unit is one task *instance*: in pipelined (streaming)
+/// execution each task runs once per iteration (frame), so its mean
+/// duration is `busy_s / (tasks_on_core · iterations)`. The caller
+/// supplies per-core task counts and the iteration count because the
+/// evaluation does not retain the mapping or the execution mode.
+///
+/// # Panics
+///
+/// Panics if `task_counts` does not match the evaluation's core count, if
+/// `iterations` is zero, or if a checkpoint interval is not positive.
+#[must_use]
+pub fn analyze(
+    eval: &MappingEvaluation,
+    task_counts: &[usize],
+    iterations: u32,
+    deadline_s: f64,
+    policy: RecoveryPolicy,
+) -> RecoveryReport {
+    assert_eq!(
+        task_counts.len(),
+        eval.per_core.len(),
+        "task counts must cover every core"
+    );
+    assert!(iterations > 0, "iterations must be at least 1");
+    let coverage = policy.detection_coverage();
+    let detected: f64 = eval.gamma * coverage;
+    let residual = eval.gamma - detected;
+
+    let overhead = match policy {
+        RecoveryPolicy::None => 0.0,
+        RecoveryPolicy::ReExecution { .. } => {
+            // Per core: detected events on that core × mean duration of one
+            // task instance on that core.
+            eval.per_core
+                .iter()
+                .zip(task_counts)
+                .map(|(core, &n)| {
+                    if n == 0 || core.busy_s <= 0.0 {
+                        return 0.0;
+                    }
+                    let instances = n as f64 * f64::from(iterations);
+                    let mean_instance_s = core.busy_s / instances;
+                    core.gamma * coverage * mean_instance_s
+                })
+                .sum()
+        }
+        RecoveryPolicy::Checkpointing {
+            interval_s,
+            save_cost_s,
+            ..
+        } => {
+            assert!(interval_s > 0.0, "checkpoint interval must be positive");
+            // Rollback: half an interval per detected event; saves: one per
+            // interval of busy time on every core.
+            let rollback = detected * interval_s / 2.0;
+            let saves: f64 = eval
+                .per_core
+                .iter()
+                .map(|core| (core.busy_s / interval_s).floor() * save_cost_s)
+                .sum();
+            rollback + saves
+        }
+    };
+
+    // Recovery work serializes on the struck core; as a first-order bound
+    // we charge it all to the makespan.
+    let tm_with_recovery = eval.tm_seconds + overhead;
+    RecoveryReport {
+        expected_recoveries: detected,
+        residual_gamma: residual,
+        expected_overhead_s: overhead,
+        tm_with_recovery_s: tm_with_recovery,
+        meets_deadline_with_recovery: tm_with_recovery <= deadline_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+    use crate::metrics::EvalContext;
+    use sea_arch::{Architecture, LevelSet, ScalingVector, SerModel};
+    use sea_taskgraph::mpeg2;
+
+    fn design(ser: f64) -> (MappingEvaluation, Vec<usize>, f64) {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let mapping =
+            Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
+        let scaling = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let eval = EvalContext::new(&app, &arch)
+            .with_ser(SerModel::calibrated(ser))
+            .evaluate(&mapping, &scaling)
+            .unwrap();
+        let counts: Vec<usize> = mapping.groups().iter().map(Vec::len).collect();
+        (eval, counts, app.deadline_s())
+    }
+
+    #[test]
+    fn none_policy_passes_gamma_through() {
+        let (eval, counts, deadline) = design(1e-9);
+        let r = analyze(&eval, &counts, 437, deadline, RecoveryPolicy::None);
+        assert_eq!(r.expected_recoveries, 0.0);
+        assert_eq!(r.residual_gamma, eval.gamma);
+        assert_eq!(r.expected_overhead_s, 0.0);
+        assert_eq!(r.tm_with_recovery_s, eval.tm_seconds);
+    }
+
+    #[test]
+    fn full_coverage_removes_residual() {
+        let (eval, counts, deadline) = design(1e-15);
+        let r = analyze(&eval, &counts, 437, deadline,
+            RecoveryPolicy::ReExecution {
+                detection_coverage: 1.0,
+            },
+        );
+        assert!(r.residual_gamma.abs() < 1e-12);
+        assert!((r.expected_recoveries - eval.gamma).abs() < 1e-12);
+        assert!(r.expected_overhead_s > 0.0);
+    }
+
+    #[test]
+    fn partial_coverage_splits_gamma() {
+        let (eval, counts, deadline) = design(1e-12);
+        let r = analyze(&eval, &counts, 437, deadline,
+            RecoveryPolicy::ReExecution {
+                detection_coverage: 0.8,
+            },
+        );
+        assert!((r.expected_recoveries - 0.8 * eval.gamma).abs() < 1e-9);
+        assert!((r.residual_gamma - 0.2 * eval.gamma).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rare_upsets_keep_deadline_frequent_ones_break_it() {
+        // At a realistic (low) SER the recovery overhead is negligible.
+        let (eval, counts, deadline) = design(1e-15);
+        let r = analyze(&eval, &counts, 437, deadline,
+            RecoveryPolicy::ReExecution {
+                detection_coverage: 1.0,
+            },
+        );
+        assert!(r.meets_deadline_with_recovery);
+        // At the paper's (accelerated) SER the decoder cannot re-execute
+        // its way out: hundreds of thousands of expected upsets.
+        let (eval, counts, deadline) = design(1e-9);
+        let r = analyze(&eval, &counts, 437, deadline,
+            RecoveryPolicy::ReExecution {
+                detection_coverage: 1.0,
+            },
+        );
+        assert!(!r.meets_deadline_with_recovery);
+    }
+
+    #[test]
+    fn lower_gamma_design_has_lower_recovery_overhead() {
+        // The whole point of the paper: fewer SEUs => cheaper recovery.
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let scaling = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let ctx =
+            EvalContext::new(&app, &arch).with_ser(SerModel::calibrated(1e-12));
+        let localized =
+            Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
+        let distributed =
+            Mapping::from_groups(&[&[0, 4, 8], &[1, 5, 9], &[2, 6, 10], &[3, 7]], 4).unwrap();
+        let e1 = ctx.evaluate(&localized, &scaling).unwrap();
+        let e2 = ctx.evaluate(&distributed, &scaling).unwrap();
+        let policy = RecoveryPolicy::ReExecution {
+            detection_coverage: 1.0,
+        };
+        let c1: Vec<usize> = localized.groups().iter().map(Vec::len).collect();
+        let c2: Vec<usize> = distributed.groups().iter().map(Vec::len).collect();
+        let r1 = analyze(&e1, &c1, 437, app.deadline_s(), policy);
+        let r2 = analyze(&e2, &c2, 437, app.deadline_s(), policy);
+        if e1.gamma < e2.gamma {
+            assert!(r1.expected_recoveries < r2.expected_recoveries);
+        } else {
+            assert!(r2.expected_recoveries <= r1.expected_recoveries);
+        }
+    }
+
+    #[test]
+    fn checkpointing_charges_saves_and_rollbacks() {
+        let (eval, counts, deadline) = design(1e-13);
+        let r = analyze(&eval, &counts, 437, deadline,
+            RecoveryPolicy::Checkpointing {
+                detection_coverage: 1.0,
+                interval_s: 0.1,
+                save_cost_s: 1e-4,
+            },
+        );
+        // Saves alone: busy seconds / 0.1 per core at 0.1 ms each.
+        let min_saves: f64 = eval
+            .per_core
+            .iter()
+            .map(|c| (c.busy_s / 0.1).floor() * 1e-4)
+            .sum();
+        assert!(r.expected_overhead_s >= min_saves);
+        assert!(r.meets_deadline_with_recovery);
+    }
+
+    #[test]
+    fn shorter_checkpoint_interval_trades_saves_for_rollback() {
+        let (eval, counts, deadline) = design(1e-11);
+        let coarse = analyze(&eval, &counts, 437, deadline,
+            RecoveryPolicy::Checkpointing {
+                detection_coverage: 1.0,
+                interval_s: 1.0,
+                save_cost_s: 1e-4,
+            },
+        );
+        let fine = analyze(&eval, &counts, 437, deadline,
+            RecoveryPolicy::Checkpointing {
+                detection_coverage: 1.0,
+                interval_s: 0.01,
+                save_cost_s: 1e-4,
+            },
+        );
+        // Fine intervals roll back less per event.
+        let rollback = |r: &RecoveryReport, interval: f64| {
+            r.expected_recoveries * interval / 2.0
+        };
+        assert!(rollback(&fine, 0.01) < rollback(&coarse, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "task counts")]
+    fn mismatched_task_counts_panic() {
+        let (eval, _, deadline) = design(1e-9);
+        let _ = analyze(&eval, &[1, 2], 437, deadline, RecoveryPolicy::None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Export of simulation artefacts for external analysis/visualization.
+//!
+//! Execution traces and fault reports export as CSV (self-describing
+//! headers, one record per line); the execution trace additionally renders
+//! as a compact per-core ASCII timeline — handy for eyeballing pipeline
+//! overlap across a few frames without leaving the terminal.
+
+use std::fmt::Write as _;
+
+use sea_arch::CoreId;
+
+use crate::engine::ExecutionTrace;
+use crate::fault::FaultReport;
+
+/// CSV of every executed task instance:
+/// `task,iteration,core,start_s,finish_s`.
+#[must_use]
+pub fn trace_to_csv(trace: &ExecutionTrace) -> String {
+    let mut out = String::from("task,iteration,core,start_s,finish_s\n");
+    for e in &trace.events {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.9},{:.9}",
+            e.task,
+            e.iteration,
+            e.core,
+            e.start_s,
+            e.finish_s
+        );
+    }
+    out
+}
+
+/// CSV of the per-core fault summary:
+/// `core,injected,experienced,expected,r_bits,exposure_cycles`.
+#[must_use]
+pub fn faults_to_csv(report: &FaultReport) -> String {
+    let mut out = String::from("core,injected,experienced,expected,r_bits,exposure_cycles\n");
+    for cf in &report.per_core {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{},{:.0}",
+            cf.core,
+            cf.injected,
+            cf.experienced,
+            cf.expected_experienced,
+            cf.r_bits.as_u64(),
+            cf.exposure_cycles
+        );
+    }
+    out
+}
+
+/// CSV of the materialized SEU events: `core,time_s,block,experienced`.
+#[must_use]
+pub fn seu_events_to_csv(report: &FaultReport) -> String {
+    let mut out = String::from("core,time_s,block,experienced\n");
+    for e in &report.events {
+        let _ = writeln!(
+            out,
+            "{},{:.9},{},{}",
+            e.core,
+            e.time_s,
+            e.block.map_or_else(|| "-".to_string(), |b| b.to_string()),
+            e.experienced
+        );
+    }
+    out
+}
+
+/// Renders the first `max_iterations` iterations of a trace as per-core
+/// ASCII timelines (one row per core, `width` character columns spanning
+/// the rendered window).
+#[must_use]
+pub fn trace_timeline(trace: &ExecutionTrace, max_iterations: u32, width: usize) -> String {
+    let window: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.iteration < max_iterations)
+        .collect();
+    let span = window
+        .iter()
+        .map(|e| e.finish_s)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let n_cores = trace.busy_s.len();
+    let mut out = String::new();
+    for c in 0..n_cores {
+        let mut row = vec![' '; width];
+        for e in window.iter().filter(|e| e.core == CoreId::new(c)) {
+            let a = ((e.start_s / span) * width as f64).floor() as usize;
+            let b = (((e.finish_s / span) * width as f64).ceil() as usize).min(width);
+            let label: Vec<char> = e.task.to_string().chars().collect();
+            for (k, slot) in row.iter_mut().take(b).skip(a).enumerate() {
+                *slot = *label.get(k).unwrap_or(&'#');
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:>6} |{}",
+            CoreId::new(c).to_string(),
+            row.into_iter().collect::<String>()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_execution;
+    use crate::{fault, SimConfig};
+    use sea_arch::{Architecture, LevelSet, ScalingVector};
+    use sea_sched::Mapping;
+
+    fn setup() -> (ExecutionTrace, FaultReport) {
+        let app = sea_taskgraph::presets::jpeg_encoder();
+        let arch = Architecture::homogeneous(3, LevelSet::arm7_three_level());
+        let mapping = Mapping::from_groups(&[&[0, 1, 3], &[2, 4, 5], &[6, 7]], 3).unwrap();
+        let scaling = ScalingVector::all_nominal(&arch);
+        let trace = simulate_execution(&app, &arch, &mapping, &scaling).unwrap();
+        let mut cfg = SimConfig::seeded(3);
+        cfg.ser = sea_arch::SerModel::calibrated(1e-7);
+        let report = fault::inject(&app, &arch, &mapping, &scaling, &trace, &cfg).unwrap();
+        (trace, report)
+    }
+
+    #[test]
+    fn trace_csv_has_all_instances() {
+        let (trace, _) = setup();
+        let csv = trace_to_csv(&trace);
+        // Header + one line per instance (8 tasks × 300 iterations).
+        assert_eq!(csv.lines().count(), 1 + 8 * 300);
+        assert!(csv.starts_with("task,iteration,core"));
+        assert!(csv.contains("t1,0,core1"));
+    }
+
+    #[test]
+    fn fault_csv_covers_every_core() {
+        let (_, report) = setup();
+        let csv = faults_to_csv(&report);
+        assert_eq!(csv.lines().count(), 4);
+        for c in ["core1", "core2", "core3"] {
+            assert!(csv.contains(c), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn seu_event_csv_matches_materialized_events() {
+        let (_, report) = setup();
+        let csv = seu_events_to_csv(&report);
+        assert_eq!(csv.lines().count(), 1 + report.events.len());
+    }
+
+    #[test]
+    fn timeline_renders_one_row_per_core() {
+        let (trace, _) = setup();
+        let tl = trace_timeline(&trace, 2, 72);
+        assert_eq!(tl.lines().count(), 3);
+        assert!(tl.contains("core1"));
+        assert!(tl.contains('t'), "task labels visible");
+    }
+
+    #[test]
+    fn timeline_handles_empty_window() {
+        let (trace, _) = setup();
+        let tl = trace_timeline(&trace, 0, 40);
+        assert_eq!(tl.lines().count(), 3, "rows exist even with no events");
+    }
+}

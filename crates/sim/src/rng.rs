@@ -1,0 +1,155 @@
+//! Random samplers for fault injection.
+//!
+//! Fault counts follow a Poisson process over register bits × cycles
+//! (paper §II-B): over a multi-second run at hundreds of MHz across a
+//! ~537 kbit register space the means reach 10⁶–10⁷, so the sampler must
+//! switch from exact (inverse-transform) sampling to the Gaussian
+//! approximation for large means.
+
+use rand::Rng;
+
+/// Mean above which Poisson sampling switches to the Gaussian
+/// approximation. At λ = 1000 the relative skew (λ^-½ ≈ 3%) is already well
+/// below the Monte-Carlo noise the tests tolerate.
+pub const POISSON_NORMAL_THRESHOLD: f64 = 1_000.0;
+
+/// Draws a Poisson-distributed count with the given mean.
+///
+/// Uses exact inverse-transform sampling (multiplicative Knuth form) for
+/// small means and the rounded, clamped Gaussian approximation
+/// `N(mean, mean)` above [`POISSON_NORMAL_THRESHOLD`].
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "Poisson mean must be finite and non-negative, got {mean}"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < POISSON_NORMAL_THRESHOLD {
+        poisson_knuth(rng, mean)
+    } else {
+        let z = standard_normal(rng);
+        let x = mean + z * mean.sqrt();
+        if x < 0.0 {
+            0
+        } else {
+            x.round() as u64
+        }
+    }
+}
+
+/// Exact Poisson sampling via Knuth's multiplicative method, with the
+/// exponent folded in chunks to avoid underflow for means up to the
+/// Gaussian threshold.
+fn poisson_knuth<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    // Work with log-probabilities: count arrivals until the summed
+    // exponential inter-arrival times exceed the mean.
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        sum -= u.ln();
+        if sum > mean {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// Draws a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stats(samples: &[u64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn zero_mean_yields_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn small_mean_statistics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<u64> = (0..20_000).map(|_| poisson(&mut rng, 3.5)).collect();
+        let (mean, var) = stats(&samples);
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn moderate_mean_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..5_000).map(|_| poisson(&mut rng, 400.0)).collect();
+        let (mean, var) = stats(&samples);
+        assert!((mean - 400.0).abs() < 2.0, "mean {mean}");
+        assert!((var / 400.0 - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn large_mean_uses_gaussian_branch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = 2.5e6;
+        let samples: Vec<u64> = (0..2_000).map(|_| poisson(&mut rng, m)).collect();
+        let (mean, var) = stats(&samples);
+        assert!((mean / m - 1.0).abs() < 1e-3, "mean {mean}");
+        assert!((var / m - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson mean")]
+    fn rejects_negative_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = poisson(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| poisson(&mut rng, 10.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| poisson(&mut rng, 10.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for task-graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Errors produced while building or validating task graphs, register models
+/// and applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a task id that does not exist in the graph.
+    UnknownTask {
+        /// The offending task id.
+        task: TaskId,
+        /// Number of tasks actually present.
+        len: usize,
+    },
+    /// An edge would connect a task to itself.
+    SelfLoop {
+        /// The task with the attempted self-loop.
+        task: TaskId,
+    },
+    /// The same directed edge was added twice.
+    DuplicateEdge {
+        /// Source task.
+        src: TaskId,
+        /// Destination task.
+        dst: TaskId,
+    },
+    /// The graph contains a dependency cycle and is not a DAG.
+    Cyclic,
+    /// The graph has no tasks.
+    Empty,
+    /// A register model does not cover every task of the graph it is paired
+    /// with.
+    RegisterModelMismatch {
+        /// Tasks covered by the register model.
+        model_tasks: usize,
+        /// Tasks present in the graph.
+        graph_tasks: usize,
+    },
+    /// A register block id was out of range.
+    UnknownBlock {
+        /// The offending block index.
+        block: usize,
+        /// Number of blocks actually present.
+        len: usize,
+    },
+    /// An application parameter was invalid (non-positive deadline, zero
+    /// pipeline iterations, ...). The message names the parameter.
+    InvalidParameter {
+        /// Human-readable description of the parameter problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTask { task, len } => {
+                write!(f, "unknown task id {task} (graph has {len} tasks)")
+            }
+            GraphError::SelfLoop { task } => {
+                write!(f, "self-loop on task {task} is not allowed in a DAG")
+            }
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            GraphError::Cyclic => write!(f, "task graph contains a dependency cycle"),
+            GraphError::Empty => write!(f, "task graph has no tasks"),
+            GraphError::RegisterModelMismatch {
+                model_tasks,
+                graph_tasks,
+            } => write!(
+                f,
+                "register model covers {model_tasks} tasks but graph has {graph_tasks}"
+            ),
+            GraphError::UnknownBlock { block, len } => {
+                write!(f, "unknown register block {block} (model has {len} blocks)")
+            }
+            GraphError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::DuplicateEdge {
+            src: TaskId::new(0),
+            dst: TaskId::new(1),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("duplicate edge"), "got: {msg}");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

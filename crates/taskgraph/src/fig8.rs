@@ -1,0 +1,153 @@
+//! The six-task tutorial example of the paper's Fig. 8.
+//!
+//! Costs are multiples of 60×10⁴ cycles; the register table r1..r9 and the
+//! task→register assignment are printed verbatim in Fig. 8(b)-(c). The
+//! walkthrough in §IV-B maps the graph onto three cores with scaling
+//! coefficients (s1, s2, s3) = (1, 2, 2) and a 75 ms deadline.
+
+use crate::application::{Application, ExecutionMode};
+use crate::graph::{TaskGraph, TaskGraphBuilder};
+use crate::registers::{RegisterModel, RegisterModelBuilder};
+use crate::task::TaskId;
+use crate::units::{Bits, Cycles};
+
+/// Cost unit of the Fig. 8 graph.
+pub const CYCLE_UNIT: u64 = 600_000;
+
+/// Deadline of the walkthrough: 75 ms.
+pub const DEADLINE_S: f64 = 0.075;
+
+/// Computation costs in units of [`CYCLE_UNIT`]: t1(5) t2(4) t3(4) t4(5)
+/// t5(6) t6(4).
+pub const COMPUTATION_UNITS: [u64; 6] = [5, 4, 4, 5, 6, 4];
+
+/// Edges `(src, dst, comm-units)`, 0-based. The graph fans out from t1 to
+/// {t2, t3}; t4 joins {t2, t3}; t5 descends from t3; t6 joins {t4, t5}.
+pub const EDGE_UNITS: [(usize, usize, u64); 7] = [
+    (0, 1, 1),
+    (0, 2, 2),
+    (1, 3, 1),
+    (2, 3, 2),
+    (2, 4, 2),
+    (3, 5, 3),
+    (4, 5, 1),
+];
+
+/// Register block sizes in bits, exactly Fig. 8(b): r1..r9.
+pub const REGISTER_BITS: [u64; 9] = [4096, 2048, 2048, 5120, 4096, 2048, 2048, 4096, 2048];
+
+/// Task register usage, exactly Fig. 8(c): task index → register indices
+/// (0-based; the paper's `R1=[r1,r2,r3]` is entry 0 = `[0,1,2]`).
+pub const TASK_REGISTERS: [&[usize]; 6] = [
+    &[0, 1, 2],    // t1: r1, r2, r3
+    &[1, 3, 4, 5], // t2: r2, r4, r5, r6
+    &[3, 4, 5],    // t3: r4, r5, r6
+    &[4, 5, 6],    // t4: r5, r6, r7
+    &[5, 6, 7],    // t5: r6, r7, r8
+    &[6, 7, 8],    // t6: r7, r8, r9
+];
+
+/// Builds the Fig. 8 task graph with costs in cycles.
+#[must_use]
+pub fn task_graph() -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("fig8");
+    for (i, units) in COMPUTATION_UNITS.iter().enumerate() {
+        b.add_task(format!("t{}", i + 1), Cycles::new(units * CYCLE_UNIT));
+    }
+    for (src, dst, units) in EDGE_UNITS {
+        b.add_edge(
+            TaskId::new(src),
+            TaskId::new(dst),
+            Cycles::new(units * CYCLE_UNIT),
+        )
+        .expect("static Fig. 8 edge table is well-formed");
+    }
+    b.build().expect("static Fig. 8 graph is a DAG")
+}
+
+/// Builds the Fig. 8(b)-(c) register model.
+#[must_use]
+pub fn register_model() -> RegisterModel {
+    let mut b = RegisterModelBuilder::new(6);
+    let blocks: Vec<_> = REGISTER_BITS
+        .iter()
+        .enumerate()
+        .map(|(i, &bits)| b.add_block(format!("r{}", i + 1), Bits::new(bits)))
+        .collect();
+    for (task, regs) in TASK_REGISTERS.iter().enumerate() {
+        for &r in regs.iter() {
+            b.assign(TaskId::new(task), blocks[r])
+                .expect("static Fig. 8 register table is well-formed");
+        }
+    }
+    b.build()
+}
+
+/// Builds the complete Fig. 8 application (batch execution, 75 ms deadline).
+#[must_use]
+pub fn application() -> Application {
+    Application::new(
+        "fig8",
+        task_graph(),
+        register_model(),
+        ExecutionMode::Batch,
+        DEADLINE_S,
+    )
+    .expect("static Fig. 8 application is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::new(i)
+    }
+
+    #[test]
+    fn graph_matches_fig8_costs() {
+        let g = task_graph();
+        assert_eq!(g.len(), 6);
+        let units: Vec<u64> = g
+            .tasks()
+            .map(|x| x.computation().as_u64() / CYCLE_UNIT)
+            .collect();
+        assert_eq!(units, COMPUTATION_UNITS);
+    }
+
+    #[test]
+    fn register_sizes_match_fig8b() {
+        let m = register_model();
+        assert_eq!(m.blocks().len(), 9);
+        assert_eq!(m.block(crate::registers::RegisterBlockId::new(3)).bits(), Bits::new(5120));
+    }
+
+    #[test]
+    fn task_footprints_match_fig8c() {
+        let m = register_model();
+        // t1 = r1 + r2 + r3 = 4096 + 2048 + 2048.
+        assert_eq!(m.task_footprint(t(0)), Bits::new(8192));
+        // t2 = r2 + r4 + r5 + r6.
+        assert_eq!(m.task_footprint(t(1)), Bits::new(2048 + 5120 + 4096 + 2048));
+        // t3 ⊂ t2 and their shared bits are r4+r5+r6.
+        assert_eq!(m.shared_bits(t(1), t(2)), Bits::new(5120 + 4096 + 2048));
+    }
+
+    #[test]
+    fn deadline_is_75ms_and_feasible_shape() {
+        let a = application();
+        assert_eq!(a.deadline_s(), 0.075);
+        // All six tasks serial at 200 MHz: 28 units * 0.6e6 cy = 16.8e6 cy
+        // = 84 ms > 75 ms, so a single fast core cannot meet the deadline —
+        // mapping across cores is genuinely required, as in the walkthrough.
+        let serial_s = a.graph().total_computation().at_frequency(200e6);
+        assert!(serial_s > a.deadline_s());
+    }
+
+    #[test]
+    fn roots_and_sinks() {
+        let g = task_graph();
+        assert_eq!(g.roots(), vec![t(0)]);
+        assert_eq!(g.sinks(), vec![t(5)]);
+    }
+}

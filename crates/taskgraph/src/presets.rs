@@ -1,0 +1,223 @@
+//! Additional illustrative streaming workloads.
+//!
+//! The paper evaluates on the MPEG-2 decoder and random graphs; these
+//! presets are *synthesized* companions in the same mould — realistic
+//! embedded streaming pipelines with register sharing along the data path
+//! — useful for examples, tests and for exercising the optimizer on graph
+//! shapes the decoder does not cover (wide fan-out, independent chains).
+//! They are ours, not the paper's; nothing in EXPERIMENTS.md depends on
+//! them.
+
+use crate::application::{Application, ExecutionMode};
+use crate::graph::TaskGraphBuilder;
+use crate::registers::RegisterModelBuilder;
+use crate::task::TaskId;
+use crate::units::{Bits, Cycles};
+
+/// Cost unit for the preset pipelines (cycles).
+pub const CYCLE_UNIT: u64 = 2_000_000;
+
+/// An eight-task JPEG-style encoder: color conversion fans out into two
+/// parallel component chains (downsample → DCT → quantize) that join in
+/// entropy coding and bitstream packing.
+///
+/// ```text
+///              t1 color-convert
+///             /                \
+///   t2 downsample-luma     t3 downsample-chroma
+///   t4 dct-luma            t5 dct-chroma
+///   t6 quantize (join)
+///   t7 entropy-code
+///   t8 pack-bitstream
+/// ```
+#[must_use]
+pub fn jpeg_encoder() -> Application {
+    let mut b = TaskGraphBuilder::new("jpeg-encoder");
+    let costs: [(&str, u64); 8] = [
+        ("Color Convert", 18),
+        ("Downsample Luma", 12),
+        ("Downsample Chroma", 10),
+        ("DCT Luma", 30),
+        ("DCT Chroma", 24),
+        ("Quantize", 16),
+        ("Entropy Code", 26),
+        ("Pack Bitstream", 8),
+    ];
+    let ids: Vec<TaskId> = costs
+        .iter()
+        .map(|(name, units)| b.add_task(*name, Cycles::new(units * CYCLE_UNIT)))
+        .collect();
+    let edges: [(usize, usize, u64); 8] = [
+        (0, 1, 2),
+        (0, 2, 2),
+        (1, 3, 3),
+        (2, 4, 2),
+        (3, 5, 3),
+        (4, 5, 2),
+        (5, 6, 2),
+        (6, 7, 1),
+    ];
+    for (s, d, units) in edges {
+        b.add_edge(ids[s], ids[d], Cycles::new(units * CYCLE_UNIT))
+            .expect("static edge table is well-formed");
+    }
+    let graph = b.build().expect("static graph is a DAG");
+
+    let mut rm = RegisterModelBuilder::new(8);
+    let privates = [2.0, 1.5, 1.5, 3.0, 2.5, 2.0, 3.0, 1.0];
+    for (i, kb) in privates.iter().enumerate() {
+        let blk = rm.add_block(format!("priv-{}", i + 1), Bits::from_kbits(*kb));
+        rm.assign(ids[i], blk).expect("ids are in range");
+    }
+    for (name, kb, members) in [
+        ("mcu-buffer", 4.0, vec![0, 1, 2]),
+        ("luma-plane", 5.0, vec![1, 3]),
+        ("chroma-plane", 4.0, vec![2, 4]),
+        ("coeff-blocks", 6.0, vec![3, 4, 5]),
+        ("q-tables", 2.0, vec![5, 6]),
+        ("huffman-tables", 3.0, vec![6, 7]),
+    ] {
+        let tasks: Vec<TaskId> = members.into_iter().map(|m| ids[m]).collect();
+        rm.add_shared_block(name, Bits::from_kbits(kb), &tasks)
+            .expect("ids are in range");
+    }
+
+    Application::new(
+        "jpeg-encoder",
+        graph,
+        rm.build(),
+        ExecutionMode::Pipelined { iterations: 300 },
+        9.0,
+    )
+    .expect("static preset is well-formed")
+}
+
+/// A twelve-task software-defined-radio receiver: two antenna chains
+/// (filter → demodulate → deinterleave) merge into channel decoding,
+/// followed by a serial MAC tail, with a side channel-estimation path.
+#[must_use]
+pub fn sdr_receiver() -> Application {
+    let mut b = TaskGraphBuilder::new("sdr-receiver");
+    let costs: [(&str, u64); 12] = [
+        ("RF Capture A", 10),
+        ("RF Capture B", 10),
+        ("FIR Filter A", 22),
+        ("FIR Filter B", 22),
+        ("Demodulate A", 28),
+        ("Demodulate B", 28),
+        ("Channel Estimate", 18),
+        ("Combine", 14),
+        ("Deinterleave", 12),
+        ("Viterbi Decode", 40),
+        ("CRC Check", 6),
+        ("MAC Deliver", 8),
+    ];
+    let ids: Vec<TaskId> = costs
+        .iter()
+        .map(|(name, units)| b.add_task(*name, Cycles::new(units * CYCLE_UNIT)))
+        .collect();
+    let edges: [(usize, usize, u64); 13] = [
+        (0, 2, 2),
+        (1, 3, 2),
+        (2, 4, 2),
+        (3, 5, 2),
+        (0, 6, 1),
+        (6, 7, 1),
+        (4, 7, 2),
+        (5, 7, 2),
+        (7, 8, 2),
+        (8, 9, 3),
+        (9, 10, 1),
+        (10, 11, 1),
+        (6, 9, 1),
+    ];
+    for (s, d, units) in edges {
+        b.add_edge(ids[s], ids[d], Cycles::new(units * CYCLE_UNIT))
+            .expect("static edge table is well-formed");
+    }
+    let graph = b.build().expect("static graph is a DAG");
+
+    let mut rm = RegisterModelBuilder::new(12);
+    let privates = [1.0, 1.0, 2.5, 2.5, 3.0, 3.0, 2.0, 1.5, 1.5, 4.0, 0.5, 1.0];
+    for (i, kb) in privates.iter().enumerate() {
+        let blk = rm.add_block(format!("priv-{}", i + 1), Bits::from_kbits(*kb));
+        rm.assign(ids[i], blk).expect("ids are in range");
+    }
+    for (name, kb, members) in [
+        ("iq-samples-a", 3.5, vec![0, 2, 4]),
+        ("iq-samples-b", 3.5, vec![1, 3, 5]),
+        ("channel-state", 3.0, vec![6, 7, 9]),
+        ("symbol-buffer", 4.0, vec![4, 5, 7, 8]),
+        ("trellis-state", 5.0, vec![8, 9]),
+        ("frame-buffer", 2.5, vec![9, 10, 11]),
+    ] {
+        let tasks: Vec<TaskId> = members.into_iter().map(|m| ids[m]).collect();
+        rm.add_shared_block(name, Bits::from_kbits(kb), &tasks)
+            .expect("ids are in range");
+    }
+
+    Application::new(
+        "sdr-receiver",
+        graph,
+        rm.build(),
+        ExecutionMode::Pipelined { iterations: 500 },
+        16.0,
+    )
+    .expect("static preset is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jpeg_encoder_is_well_formed() {
+        let app = jpeg_encoder();
+        assert_eq!(app.graph().len(), 8);
+        assert_eq!(app.graph().roots(), vec![TaskId::new(0)]);
+        assert_eq!(app.graph().sinks(), vec![TaskId::new(7)]);
+        assert!(app.registers().total_union() > Bits::ZERO);
+    }
+
+    #[test]
+    fn jpeg_encoder_has_parallel_component_chains() {
+        let g = jpeg_encoder().graph().clone();
+        // Luma and chroma chains are independent until the quantize join.
+        assert!(!g.reaches(TaskId::new(1), TaskId::new(2)));
+        assert!(!g.reaches(TaskId::new(3), TaskId::new(4)));
+        assert!(g.reaches(TaskId::new(1), TaskId::new(5)));
+        assert!(g.reaches(TaskId::new(2), TaskId::new(5)));
+    }
+
+    #[test]
+    fn sdr_receiver_is_well_formed() {
+        let app = sdr_receiver();
+        assert_eq!(app.graph().len(), 12);
+        assert_eq!(app.graph().roots().len(), 2, "two antenna chains");
+        assert_eq!(app.graph().sinks(), vec![TaskId::new(11)]);
+    }
+
+    #[test]
+    fn sdr_chains_share_registers_along_dataflow() {
+        let app = sdr_receiver();
+        let m = app.registers();
+        // The IQ sample buffers tie each antenna chain together.
+        assert!(m.shared_bits(TaskId::new(0), TaskId::new(4)) > Bits::ZERO);
+        assert!(m.shared_bits(TaskId::new(1), TaskId::new(5)) > Bits::ZERO);
+        // The two chains themselves are register-disjoint.
+        assert_eq!(m.shared_bits(TaskId::new(2), TaskId::new(3)), Bits::ZERO);
+    }
+
+    #[test]
+    fn presets_stream_with_deadlines() {
+        // Optimizability on a small MPSoC is covered by the root-level
+        // integration tests (the optimizer lives downstream of this crate).
+        for app in [jpeg_encoder(), sdr_receiver()] {
+            assert!(matches!(
+                app.mode(),
+                ExecutionMode::Pipelined { iterations } if iterations >= 300
+            ));
+            assert!(app.deadline_s() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Register-block sharing model (paper §II-B, §III and eq. 8).
+//!
+//! Each task uses a set of *register blocks* (named, sized in bits). Blocks
+//! may be shared among several tasks — e.g. in the paper's MPEG-2 decoder the
+//! tasks t5 and t6 share ≈6.4 kbit and t6, t7, t8 share ≈8 kbit. When two
+//! sharing tasks are mapped to the *same* core the block exists once; when
+//! they are split across cores every core touching the block holds its own
+//! copy. Per-core register usage is therefore the cardinality of the union of
+//! the blocks of the tasks mapped to that core (eq. 8), and distributing
+//! tasks inflates total usage `R = Σ_i R_i` through duplication (§III).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::task::TaskId;
+use crate::units::Bits;
+
+/// Identifier of a register block within one [`RegisterModel`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct RegisterBlockId(usize);
+
+impl RegisterBlockId {
+    /// Creates a block id from a dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        RegisterBlockId(index)
+    }
+
+    /// Returns the dense index of this id.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RegisterBlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0 + 1)
+    }
+}
+
+/// A contiguous block of register state used by one or more tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterBlock {
+    id: RegisterBlockId,
+    name: String,
+    bits: Bits,
+}
+
+impl RegisterBlock {
+    /// The block's id.
+    #[must_use]
+    pub fn id(&self) -> RegisterBlockId {
+        self.id
+    }
+
+    /// The block's name (e.g. `"quantizer tables"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The block's size in bits.
+    #[must_use]
+    pub fn bits(&self) -> Bits {
+        self.bits
+    }
+}
+
+/// Per-task register footprints over a shared pool of register blocks.
+///
+/// ```
+/// use sea_taskgraph::registers::RegisterModelBuilder;
+/// use sea_taskgraph::task::TaskId;
+/// use sea_taskgraph::units::Bits;
+///
+/// # fn main() -> Result<(), sea_taskgraph::error::GraphError> {
+/// let mut b = RegisterModelBuilder::new(2);
+/// let shared = b.add_block("shared", Bits::from_kbits(6.4));
+/// let own = b.add_block("own", Bits::from_kbits(1.0));
+/// b.assign(TaskId::new(0), shared)?;
+/// b.assign(TaskId::new(0), own)?;
+/// b.assign(TaskId::new(1), shared)?;
+/// let m = b.build();
+/// // Together the tasks use the union: 6.4 + 1.0 kbit.
+/// assert_eq!(m.union_bits([TaskId::new(0), TaskId::new(1)]), Bits::from_kbits(7.4));
+/// // Split across two cores, `shared` is duplicated.
+/// assert_eq!(m.shared_bits(TaskId::new(0), TaskId::new(1)), Bits::from_kbits(6.4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterModel {
+    blocks: Vec<RegisterBlock>,
+    /// `task_blocks[t]` = sorted, deduplicated block ids used by task `t`.
+    task_blocks: Vec<Vec<RegisterBlockId>>,
+}
+
+impl RegisterModel {
+    /// Number of tasks this model covers.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.task_blocks.len()
+    }
+
+    /// All blocks, in id order.
+    #[must_use]
+    pub fn blocks(&self) -> &[RegisterBlock] {
+        &self.blocks
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    #[must_use]
+    pub fn block(&self, id: RegisterBlockId) -> &RegisterBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Block ids used by `task`, sorted.
+    #[must_use]
+    pub fn task_blocks(&self, task: TaskId) -> &[RegisterBlockId] {
+        &self.task_blocks[task.index()]
+    }
+
+    /// Total footprint of one task (sum of its blocks), the `|R_j|` used for
+    /// tie-breaking in the initial mapping heuristic.
+    #[must_use]
+    pub fn task_footprint(&self, task: TaskId) -> Bits {
+        self.task_blocks[task.index()]
+            .iter()
+            .map(|&b| self.blocks[b.index()].bits())
+            .sum()
+    }
+
+    /// Register usage of a set of co-located tasks: the cardinality (bits) of
+    /// the union of their blocks — eq. (8) of the paper.
+    #[must_use]
+    pub fn union_bits<I>(&self, tasks: I) -> Bits
+    where
+        I: IntoIterator<Item = TaskId>,
+    {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut total = Bits::ZERO;
+        for t in tasks {
+            for &b in &self.task_blocks[t.index()] {
+                if !seen[b.index()] {
+                    seen[b.index()] = true;
+                    total += self.blocks[b.index()].bits();
+                }
+            }
+        }
+        total
+    }
+
+    /// Incremental usage of adding `candidate` to a core already holding
+    /// `occupied_blocks` (a bitmask over blocks). Returns the added bits and
+    /// updates the mask. Used on the hot path of mapping heuristics.
+    pub fn union_add(&self, occupied_blocks: &mut [bool], candidate: TaskId) -> Bits {
+        debug_assert_eq!(occupied_blocks.len(), self.blocks.len());
+        let mut added = Bits::ZERO;
+        for &b in &self.task_blocks[candidate.index()] {
+            if !occupied_blocks[b.index()] {
+                occupied_blocks[b.index()] = true;
+                added += self.blocks[b.index()].bits();
+            }
+        }
+        added
+    }
+
+    /// Bits shared between two tasks (intersection of their block sets).
+    ///
+    /// The paper quantifies this for MPEG-2: `shared_bits(t5, t6) ≈ 6.4 kbit`.
+    #[must_use]
+    pub fn shared_bits(&self, a: TaskId, b: TaskId) -> Bits {
+        let sa = &self.task_blocks[a.index()];
+        let sb = &self.task_blocks[b.index()];
+        sa.iter()
+            .filter(|x| sb.contains(x))
+            .map(|&x| self.blocks[x.index()].bits())
+            .sum()
+    }
+
+    /// Bits used by *every* task of `tasks` (intersection across the group).
+    #[must_use]
+    pub fn shared_bits_among(&self, tasks: &[TaskId]) -> Bits {
+        match tasks.split_first() {
+            None => Bits::ZERO,
+            Some((&first, rest)) => self.task_blocks[first.index()]
+                .iter()
+                .filter(|b| {
+                    rest.iter()
+                        .all(|t| self.task_blocks[t.index()].contains(b))
+                })
+                .map(|&b| self.blocks[b.index()].bits())
+                .sum(),
+        }
+    }
+
+    /// Register usage of the whole application if every task were co-located
+    /// on a single core (the duplication-free minimum).
+    #[must_use]
+    pub fn total_union(&self) -> Bits {
+        self.union_bits((0..self.n_tasks()).map(TaskId::new))
+    }
+
+    /// Duplicated bits induced by a partition of tasks into core groups:
+    /// `Σ_blocks (copies - 1) · size` where `copies` is the number of groups
+    /// touching the block. Total usage = `total_union() + duplication`.
+    #[must_use]
+    pub fn duplication_bits(&self, groups: &[Vec<TaskId>]) -> Bits {
+        let mut copies = vec![0u32; self.blocks.len()];
+        for group in groups {
+            let mut touched = vec![false; self.blocks.len()];
+            for &t in group {
+                for &b in &self.task_blocks[t.index()] {
+                    touched[b.index()] = true;
+                }
+            }
+            for (i, &hit) in touched.iter().enumerate() {
+                if hit {
+                    copies[i] += 1;
+                }
+            }
+        }
+        copies
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 1)
+            .map(|(i, &c)| self.blocks[i].bits() * u64::from(c - 1))
+            .sum()
+    }
+
+    /// Checks that the model covers exactly the tasks of a graph with
+    /// `graph_tasks` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::RegisterModelMismatch`] on a size mismatch.
+    pub fn validate_for(&self, graph_tasks: usize) -> Result<(), GraphError> {
+        if self.n_tasks() != graph_tasks {
+            return Err(GraphError::RegisterModelMismatch {
+                model_tasks: self.n_tasks(),
+                graph_tasks,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`RegisterModel`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct RegisterModelBuilder {
+    blocks: Vec<RegisterBlock>,
+    task_blocks: Vec<Vec<RegisterBlockId>>,
+}
+
+impl RegisterModelBuilder {
+    /// Starts a model covering `n_tasks` tasks (ids `0..n_tasks`).
+    #[must_use]
+    pub fn new(n_tasks: usize) -> Self {
+        RegisterModelBuilder {
+            blocks: Vec::new(),
+            task_blocks: vec![Vec::new(); n_tasks],
+        }
+    }
+
+    /// Adds a register block of `bits` bits and returns its id.
+    pub fn add_block(&mut self, name: impl Into<String>, bits: Bits) -> RegisterBlockId {
+        let id = RegisterBlockId::new(self.blocks.len());
+        self.blocks.push(RegisterBlock {
+            id,
+            name: name.into(),
+            bits,
+        });
+        id
+    }
+
+    /// Declares that `task` uses `block`. Repeated assignments are idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTask`] or [`GraphError::UnknownBlock`]
+    /// if either id is out of range.
+    pub fn assign(&mut self, task: TaskId, block: RegisterBlockId) -> Result<(), GraphError> {
+        if task.index() >= self.task_blocks.len() {
+            return Err(GraphError::UnknownTask {
+                task,
+                len: self.task_blocks.len(),
+            });
+        }
+        if block.index() >= self.blocks.len() {
+            return Err(GraphError::UnknownBlock {
+                block: block.index(),
+                len: self.blocks.len(),
+            });
+        }
+        let list = &mut self.task_blocks[task.index()];
+        if !list.contains(&block) {
+            list.push(block);
+        }
+        Ok(())
+    }
+
+    /// Convenience: adds a block and assigns it to all `tasks` at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTask`] if any task id is out of range.
+    pub fn add_shared_block(
+        &mut self,
+        name: impl Into<String>,
+        bits: Bits,
+        tasks: &[TaskId],
+    ) -> Result<RegisterBlockId, GraphError> {
+        let id = self.add_block(name, bits);
+        for &t in tasks {
+            self.assign(t, id)?;
+        }
+        Ok(id)
+    }
+
+    /// Freezes the model. Block lists are sorted for determinism.
+    #[must_use]
+    pub fn build(mut self) -> RegisterModel {
+        for list in &mut self.task_blocks {
+            list.sort_unstable();
+        }
+        RegisterModel {
+            blocks: self.blocks,
+            task_blocks: self.task_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId::new(i)
+    }
+
+    /// Three tasks: t0 {a}, t1 {a, b}, t2 {b, c}.
+    fn model() -> RegisterModel {
+        let mut b = RegisterModelBuilder::new(3);
+        let a = b.add_block("a", Bits::new(100));
+        let bb = b.add_block("b", Bits::new(200));
+        let c = b.add_block("c", Bits::new(400));
+        b.assign(t(0), a).unwrap();
+        b.assign(t(1), a).unwrap();
+        b.assign(t(1), bb).unwrap();
+        b.assign(t(2), bb).unwrap();
+        b.assign(t(2), c).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn union_deduplicates_shared_blocks() {
+        let m = model();
+        assert_eq!(m.union_bits([t(0), t(1)]), Bits::new(300));
+        assert_eq!(m.union_bits([t(0), t(1), t(2)]), Bits::new(700));
+        assert_eq!(m.total_union(), Bits::new(700));
+    }
+
+    #[test]
+    fn footprints() {
+        let m = model();
+        assert_eq!(m.task_footprint(t(0)), Bits::new(100));
+        assert_eq!(m.task_footprint(t(1)), Bits::new(300));
+        assert_eq!(m.task_footprint(t(2)), Bits::new(600));
+    }
+
+    #[test]
+    fn pairwise_and_group_sharing() {
+        let m = model();
+        assert_eq!(m.shared_bits(t(0), t(1)), Bits::new(100));
+        assert_eq!(m.shared_bits(t(1), t(2)), Bits::new(200));
+        assert_eq!(m.shared_bits(t(0), t(2)), Bits::ZERO);
+        assert_eq!(m.shared_bits_among(&[t(0), t(1), t(2)]), Bits::ZERO);
+        assert_eq!(m.shared_bits_among(&[t(1), t(2)]), Bits::new(200));
+        assert_eq!(m.shared_bits_among(&[]), Bits::ZERO);
+    }
+
+    #[test]
+    fn duplication_counts_block_copies() {
+        let m = model();
+        // {t0} {t1} {t2}: block a on two cores (+100), b on two cores (+200).
+        let dup = m.duplication_bits(&[vec![t(0)], vec![t(1)], vec![t(2)]]);
+        assert_eq!(dup, Bits::new(300));
+        // {t0, t1} {t2}: only b is split.
+        let dup = m.duplication_bits(&[vec![t(0), t(1)], vec![t(2)]]);
+        assert_eq!(dup, Bits::new(200));
+        // Everything together: no duplication.
+        let dup = m.duplication_bits(&[vec![t(0), t(1), t(2)]]);
+        assert_eq!(dup, Bits::ZERO);
+    }
+
+    #[test]
+    fn union_total_equals_union_plus_duplication() {
+        let m = model();
+        let groups = vec![vec![t(0)], vec![t(1), t(2)]];
+        let per_core: Bits = groups
+            .iter()
+            .map(|g| m.union_bits(g.iter().copied()))
+            .sum();
+        assert_eq!(per_core, m.total_union() + m.duplication_bits(&groups));
+    }
+
+    #[test]
+    fn incremental_union_matches_batch() {
+        let m = model();
+        let mut mask = vec![false; m.blocks().len()];
+        let mut total = Bits::ZERO;
+        total += m.union_add(&mut mask, t(1));
+        total += m.union_add(&mut mask, t(2));
+        assert_eq!(total, m.union_bits([t(1), t(2)]));
+        // Re-adding is free.
+        assert_eq!(m.union_add(&mut mask, t(1)), Bits::ZERO);
+    }
+
+    #[test]
+    fn assign_is_idempotent_and_validated() {
+        let mut b = RegisterModelBuilder::new(1);
+        let blk = b.add_block("x", Bits::new(8));
+        b.assign(t(0), blk).unwrap();
+        b.assign(t(0), blk).unwrap();
+        assert!(matches!(
+            b.assign(t(5), blk).unwrap_err(),
+            GraphError::UnknownTask { .. }
+        ));
+        assert!(matches!(
+            b.assign(t(0), RegisterBlockId::new(9)).unwrap_err(),
+            GraphError::UnknownBlock { .. }
+        ));
+        let m = b.build();
+        assert_eq!(m.task_blocks(t(0)).len(), 1);
+    }
+
+    #[test]
+    fn validate_for_checks_task_count() {
+        let m = model();
+        assert!(m.validate_for(3).is_ok());
+        assert!(matches!(
+            m.validate_for(4).unwrap_err(),
+            GraphError::RegisterModelMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn add_shared_block_assigns_all() {
+        let mut b = RegisterModelBuilder::new(3);
+        b.add_shared_block("s", Bits::new(64), &[t(0), t(2)]).unwrap();
+        let m = b.build();
+        assert_eq!(m.shared_bits(t(0), t(2)), Bits::new(64));
+        assert_eq!(m.task_footprint(t(1)), Bits::ZERO);
+    }
+
+    #[test]
+    fn block_display_and_accessors() {
+        let m = model();
+        let blk = m.block(RegisterBlockId::new(0));
+        assert_eq!(blk.name(), "a");
+        assert_eq!(blk.bits(), Bits::new(100));
+        assert_eq!(blk.id().to_string(), "r1");
+    }
+}

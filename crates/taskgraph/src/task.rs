@@ -1,0 +1,117 @@
+//! Tasks: the nodes of an application task graph.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Cycles;
+
+/// Identifier of a task within one [`crate::graph::TaskGraph`].
+///
+/// Ids are dense indices `0..graph.len()`, assigned in insertion order; the
+/// paper's `t1..tN` naming maps to `TaskId::new(0)..TaskId::new(N-1)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// Creates a task id from a dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        TaskId(index)
+    }
+
+    /// Returns the dense index of this id.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Match the paper's 1-based naming so logs read like the figures.
+        write!(f, "t{}", self.0 + 1)
+    }
+}
+
+impl From<TaskId> for usize {
+    fn from(id: TaskId) -> usize {
+        id.0
+    }
+}
+
+/// One computational task of an application (a node of `G(V, E)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    id: TaskId,
+    name: String,
+    computation: Cycles,
+}
+
+impl Task {
+    /// Creates a task. Normally done through
+    /// [`crate::graph::TaskGraphBuilder::add_task`].
+    #[must_use]
+    pub fn new(id: TaskId, name: impl Into<String>, computation: Cycles) -> Self {
+        Task {
+            id,
+            name: name.into(),
+            computation,
+        }
+    }
+
+    /// The task's id within its graph.
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Human-readable task name (e.g. `"Inverse Quantize Blocks"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Computation cost in clock cycles (the paper's `t_j^i`).
+    #[must_use]
+    pub fn computation(&self) -> Cycles {
+        self.computation
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} \"{}\" ({})", self.id, self.name, self.computation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_display_is_one_based() {
+        assert_eq!(TaskId::new(0).to_string(), "t1");
+        assert_eq!(TaskId::new(10).to_string(), "t11");
+    }
+
+    #[test]
+    fn task_accessors() {
+        let t = Task::new(TaskId::new(3), "idct", Cycles::new(55));
+        assert_eq!(t.id(), TaskId::new(3));
+        assert_eq!(t.name(), "idct");
+        assert_eq!(t.computation(), Cycles::new(55));
+        assert!(t.to_string().contains("idct"));
+    }
+
+    #[test]
+    fn task_id_round_trips_through_usize() {
+        let id = TaskId::new(7);
+        let raw: usize = id.into();
+        assert_eq!(raw, 7);
+        assert_eq!(TaskId::new(raw), id);
+    }
+}

@@ -1,0 +1,290 @@
+//! Strongly-typed physical units shared across the workspace.
+//!
+//! The paper expresses computation and communication costs in *clock cycles*
+//! and register usage in *bits* (reported as kbit/cycle). Newtypes keep the
+//! two from being mixed up in arithmetic (C-NEWTYPE).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A count of processor clock cycles.
+///
+/// All task computation costs and edge communication costs in the paper are
+/// cycle counts (e.g. the MPEG-2 costs are multiples of 5.5×10⁶ cycles).
+///
+/// ```
+/// use sea_taskgraph::units::Cycles;
+/// let a = Cycles::new(10) * 3;
+/// assert_eq!(a, Cycles::new(30));
+/// assert_eq!(a.as_u64(), 30);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero cycle count.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[must_use]
+    pub const fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cycle count as a floating-point value.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Converts cycles to seconds at clock frequency `f_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `f_hz` is not strictly positive.
+    #[must_use]
+    pub fn at_frequency(self, f_hz: f64) -> f64 {
+        debug_assert!(f_hz > 0.0, "frequency must be positive, got {f_hz}");
+        self.0 as f64 / f_hz
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns true if the count is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cy", self.0)
+    }
+}
+
+/// A register capacity or usage, in bits.
+///
+/// The paper reports register usage `R` in kbit/cycle; internally everything
+/// is integral bits. This crate follows the paper's convention
+/// `1 kbit = 1000 bit` (the quoted SER example "1 SEU per 10 ms for a 1 kb
+/// register bank" is only consistent with decimal kilobits).
+///
+/// ```
+/// use sea_taskgraph::units::Bits;
+/// let b = Bits::from_kbits(6.4);
+/// assert_eq!(b.as_u64(), 6_400);
+/// assert!((b.as_kbits() - 6.4).abs() < 1e-9);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Bits(u64);
+
+impl Bits {
+    /// The zero bit count.
+    pub const ZERO: Bits = Bits(0);
+
+    /// Creates a bit count.
+    #[must_use]
+    pub const fn new(bits: u64) -> Self {
+        Bits(bits)
+    }
+
+    /// Creates a bit count from (decimal) kilobits, rounding to whole bits.
+    #[must_use]
+    pub fn from_kbits(kbits: f64) -> Self {
+        debug_assert!(kbits >= 0.0, "bit counts cannot be negative");
+        Bits((kbits * 1000.0).round() as u64)
+    }
+
+    /// Returns the raw bit count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count as a floating-point number of bits.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns the count in decimal kilobits, the paper's reporting unit.
+    #[must_use]
+    pub fn as_kbits(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Returns true if the count is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Bits {
+    type Output = Bits;
+    fn add(self, rhs: Bits) -> Bits {
+        Bits(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bits {
+    fn add_assign(&mut self, rhs: Bits) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bits {
+    type Output = Bits;
+    fn sub(self, rhs: Bits) -> Bits {
+        Bits(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Bits {
+    type Output = Bits;
+    fn mul(self, rhs: u64) -> Bits {
+        Bits(self.0 * rhs)
+    }
+}
+
+impl Sum for Bits {
+    fn sum<I: Iterator<Item = Bits>>(iter: I) -> Bits {
+        Bits(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000 {
+            write!(f, "{:.1} kbit", self.as_kbits())
+        } else {
+            write!(f, "{} bit", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(5);
+        let b = Cycles::new(7);
+        assert_eq!(a + b, Cycles::new(12));
+        assert_eq!(b - a, Cycles::new(2));
+        assert_eq!(a * 4, Cycles::new(20));
+        assert_eq!(Cycles::new(21) / 2, Cycles::new(10));
+        assert_eq!(
+            vec![a, b].into_iter().sum::<Cycles>(),
+            Cycles::new(12),
+            "Sum impl"
+        );
+    }
+
+    #[test]
+    fn cycles_at_frequency() {
+        // 200e6 cycles at 200 MHz is exactly one second.
+        let c = Cycles::new(200_000_000);
+        assert!((c.at_frequency(200e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_saturating_sub() {
+        assert_eq!(
+            Cycles::new(3).saturating_sub(Cycles::new(10)),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    fn bits_kbit_round_trip() {
+        let b = Bits::from_kbits(5.12);
+        assert_eq!(b.as_u64(), 5120);
+        assert!((b.as_kbits() - 5.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bits_display_scales() {
+        assert_eq!(Bits::new(512).to_string(), "512 bit");
+        assert_eq!(Bits::new(6400).to_string(), "6.4 kbit");
+    }
+
+    #[test]
+    fn cycles_display() {
+        assert_eq!(Cycles::new(42).to_string(), "42 cy");
+    }
+
+    #[test]
+    fn zero_flags() {
+        assert!(Cycles::ZERO.is_zero());
+        assert!(Bits::ZERO.is_zero());
+        assert!(!Cycles::new(1).is_zero());
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: optimize the MPEG-2 decoder on a four-core MPSoC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs the proposed soft error-aware design optimization (paper Fig. 4)
+//! and prints the winning design: per-core voltage scaling, task mapping,
+//! power, execution time and expected SEUs.
+
+use sea_dse::opt::{DesignOptimizer, OptimizerConfig};
+use sea_dse::taskgraph::mpeg2;
+
+fn main() {
+    let app = mpeg2::application();
+    println!(
+        "application: {} ({} tasks, deadline {:.3} s, {} frames)\n",
+        app.name(),
+        app.graph().len(),
+        app.deadline_s(),
+        mpeg2::FRAMES
+    );
+
+    let optimizer = DesignOptimizer::new(OptimizerConfig::paper(4));
+    let outcome = optimizer
+        .optimize(&app)
+        .expect("the four-core decoder admits feasible designs");
+
+    let best = &outcome.best;
+    println!("winning design");
+    println!("  scaling: {}", best.scaling);
+    println!("  mapping: {}", best.mapping);
+    println!("  P  = {:.2} mW", best.evaluation.power_mw);
+    println!(
+        "  TM = {:.2} s ({:.2}e9 nominal cycles, deadline {:.2} s)",
+        best.evaluation.tm_seconds,
+        best.evaluation.tm_nominal_cycles / 1e9,
+        app.deadline_s()
+    );
+    println!("  R  = {:.1} kbit/cycle", best.evaluation.r_total_kbits());
+    println!("  Gamma = {:.3e} expected SEUs", best.evaluation.gamma);
+
+    println!("\nexplored {} voltage-scaling combinations:", outcome.explored.len());
+    for o in &outcome.explored {
+        let e = o.best.as_ref().expect("every scaling produced a design");
+        println!(
+            "  {}  feasible={}  P={:6.2} mW  Gamma={:.3e}",
+            o.scaling,
+            o.feasible,
+            e.evaluation.power_mw,
+            e.evaluation.gamma
+        );
+    }
+}

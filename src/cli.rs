@@ -1,0 +1,698 @@
+//! Command-line interface for the `sea-dse` binary.
+//!
+//! The parser is hand-rolled (no external dependency) and fully
+//! unit-tested; `src/main.rs` is a thin wrapper that dispatches a parsed
+//! [`Command`].
+//!
+//! ```text
+//! sea-dse optimize  --app mpeg2 --cores 4 [--levels 2|3|4] [--budget fast|paper]
+//!                   [--seed N] [--selection power|gamma] [--csv]
+//! sea-dse baseline  --objective r|tm|tmr --app <spec> --cores N [...]
+//! sea-dse simulate  --app <spec> --cores N --scaling 2,2,3,2
+//!                   --groups "0,1,2|3|4,5" [--ser 1e-9] [--seed N]
+//! sea-dse sweep     --app <spec> --cores N [--count 120] [--scale 1] [--csv]
+//! sea-dse generate  --tasks N [--seed N] [--dot]
+//! sea-dse recovery  --app <spec> --cores N --scaling ... --groups ...
+//!                   --policy none|reexec:<coverage>|ckpt:<coverage>:<interval>:<save>
+//! ```
+//!
+//! Application specs: `mpeg2`, `fig8`, or `random:<tasks>[:<seed>]`.
+
+use std::fmt;
+
+use crate::arch::LevelSet;
+use crate::taskgraph::generator::RandomGraphConfig;
+use crate::taskgraph::{fig8, mpeg2, Application};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run the proposed optimization.
+    Optimize(OptimizeArgs),
+    /// Run a soft error-unaware baseline.
+    Baseline(BaselineArgs),
+    /// Simulate one explicit design point with fault injection.
+    Simulate(DesignArgs),
+    /// Random-mapping sweep (Fig. 3 style).
+    Sweep(SweepArgs),
+    /// Generate a random workload and print it.
+    Generate(GenerateArgs),
+    /// Recovery analysis of one design point.
+    Recovery(RecoveryArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments shared by the optimizing commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeArgs {
+    /// Application specification.
+    pub app: AppSpec,
+    /// Core count.
+    pub cores: usize,
+    /// DVS levels (2, 3 or 4).
+    pub levels: usize,
+    /// `fast` or `paper` search budget.
+    pub paper_budget: bool,
+    /// Search seed.
+    pub seed: u64,
+    /// Gamma-first selection instead of power-first.
+    pub gamma_first: bool,
+    /// Emit CSV instead of human-readable text.
+    pub csv: bool,
+}
+
+/// Baseline command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineArgs {
+    /// Shared optimization arguments.
+    pub common: OptimizeArgs,
+    /// Objective: `r`, `tm` or `tmr`.
+    pub objective: BaselineObjective,
+}
+
+/// Baseline objective selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineObjective {
+    /// Minimize register usage (Exp:1).
+    R,
+    /// Minimize execution time (Exp:2).
+    Tm,
+    /// Minimize the product (Exp:3).
+    TmR,
+}
+
+/// An explicit design point on the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignArgs {
+    /// Application specification.
+    pub app: AppSpec,
+    /// Core count.
+    pub cores: usize,
+    /// Per-core scaling coefficients.
+    pub scaling: Vec<u8>,
+    /// Per-core task groups (0-based task indices).
+    pub groups: Vec<Vec<usize>>,
+    /// Raw SER (λ_ref), SEU/bit/cycle.
+    pub ser: f64,
+    /// Injection seed.
+    pub seed: u64,
+}
+
+/// Sweep command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Application specification.
+    pub app: AppSpec,
+    /// Core count.
+    pub cores: usize,
+    /// Number of random mappings.
+    pub count: usize,
+    /// Uniform scaling coefficient.
+    pub scale: u8,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Emit CSV.
+    pub csv: bool,
+}
+
+/// Generate command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Task count.
+    pub tasks: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Emit Graphviz DOT instead of a summary.
+    pub dot: bool,
+}
+
+/// Recovery command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryArgs {
+    /// The design point.
+    pub design: DesignArgs,
+    /// Recovery policy specification.
+    pub policy: PolicySpec,
+}
+
+/// Parsed recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// No recovery.
+    None,
+    /// Re-execution with the given detection coverage.
+    ReExec {
+        /// Detection coverage in `0..=1`.
+        coverage: f64,
+    },
+    /// Checkpointing.
+    Checkpoint {
+        /// Detection coverage in `0..=1`.
+        coverage: f64,
+        /// Interval in seconds.
+        interval_s: f64,
+        /// Save cost in seconds.
+        save_s: f64,
+    },
+}
+
+/// Application selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppSpec {
+    /// The MPEG-2 decoder of Fig. 2.
+    Mpeg2,
+    /// The Fig. 8 tutorial graph.
+    Fig8,
+    /// A §V random workload.
+    Random {
+        /// Task count.
+        tasks: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl AppSpec {
+    /// Materializes the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the random generator rejects the parameters.
+    pub fn build(self) -> Result<Application, CliError> {
+        match self {
+            AppSpec::Mpeg2 => Ok(mpeg2::application()),
+            AppSpec::Fig8 => Ok(fig8::application()),
+            AppSpec::Random { tasks, seed } => RandomGraphConfig::paper(tasks)
+                .generate(seed)
+                .map_err(|e| CliError(format!("cannot generate workload: {e}"))),
+        }
+    }
+}
+
+/// A CLI parse/validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text printed by `sea-dse help`.
+pub const USAGE: &str = "\
+sea-dse - soft error-aware design optimization (DATE 2010 reproduction)
+
+USAGE:
+  sea-dse optimize  --app <spec> --cores <N> [--levels 2|3|4] [--budget fast|paper]
+                    [--seed <N>] [--selection power|gamma] [--csv]
+  sea-dse baseline  --objective r|tm|tmr --app <spec> --cores <N> [...optimize flags]
+  sea-dse simulate  --app <spec> --cores <N> --scaling <s1,s2,...>
+                    --groups <g0|g1|...> [--ser <rate>] [--seed <N>]
+  sea-dse sweep     --app <spec> --cores <N> [--count <M>] [--scale <s>] [--seed <N>] [--csv]
+  sea-dse generate  --tasks <N> [--seed <N>] [--dot]
+  sea-dse recovery  --app <spec> --cores <N> --scaling ... --groups ...
+                    --policy none|reexec:<cov>|ckpt:<cov>:<interval_s>:<save_s>
+  sea-dse help
+
+APP SPECS: mpeg2 | fig8 | random:<tasks>[:<seed>]
+GROUPS:    0-based task ids, comma-separated within a core, cores separated by '|'
+           e.g. --groups \"0,1,2,3,4,5|6,7|8|9,10\"
+";
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message on any malformed input.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "optimize" => Ok(Command::Optimize(parse_optimize(rest)?)),
+        "baseline" => {
+            let objective = match get_flag(rest, "--objective")? {
+                Some(o) => parse_objective(&o)?,
+                None => return Err(CliError("baseline requires --objective r|tm|tmr".into())),
+            };
+            Ok(Command::Baseline(BaselineArgs {
+                common: parse_optimize(rest)?,
+                objective,
+            }))
+        }
+        "simulate" => Ok(Command::Simulate(parse_design(rest)?)),
+        "sweep" => Ok(Command::Sweep(parse_sweep(rest)?)),
+        "generate" => Ok(Command::Generate(parse_generate(rest)?)),
+        "recovery" => {
+            let policy = match get_flag(rest, "--policy")? {
+                Some(p) => parse_policy(&p)?,
+                None => PolicySpec::None,
+            };
+            Ok(Command::Recovery(RecoveryArgs {
+                design: parse_design(rest)?,
+                policy,
+            }))
+        }
+        other => Err(CliError(format!(
+            "unknown command `{other}` (try `sea-dse help`)"
+        ))),
+    }
+}
+
+fn get_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            let Some(v) = args.get(i + 1) else {
+                return Err(CliError(format!("flag {name} needs a value")));
+            };
+            value = Some(v.clone());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(value)
+}
+
+fn has_switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError(format!("cannot parse {what} from `{s}`")))
+}
+
+fn parse_app(args: &[String]) -> Result<AppSpec, CliError> {
+    let Some(spec) = get_flag(args, "--app")? else {
+        return Err(CliError("missing --app (mpeg2 | fig8 | random:<tasks>[:<seed>])".into()));
+    };
+    parse_app_spec(&spec)
+}
+
+/// Parses an application spec string.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown specs or malformed `random:` forms.
+pub fn parse_app_spec(spec: &str) -> Result<AppSpec, CliError> {
+    match spec {
+        "mpeg2" => Ok(AppSpec::Mpeg2),
+        "fig8" => Ok(AppSpec::Fig8),
+        other => {
+            let mut parts = other.split(':');
+            if parts.next() != Some("random") {
+                return Err(CliError(format!("unknown app spec `{other}`")));
+            }
+            let tasks = parts
+                .next()
+                .ok_or_else(|| CliError("random spec needs a task count".into()))?;
+            let tasks: usize = parse_num(tasks, "task count")?;
+            let seed = match parts.next() {
+                Some(s) => parse_num(s, "seed")?,
+                None => 7,
+            };
+            if parts.next().is_some() {
+                return Err(CliError("too many `:` fields in random spec".into()));
+            }
+            Ok(AppSpec::Random { tasks, seed })
+        }
+    }
+}
+
+fn parse_cores(args: &[String]) -> Result<usize, CliError> {
+    let Some(c) = get_flag(args, "--cores")? else {
+        return Err(CliError("missing --cores".into()));
+    };
+    let cores: usize = parse_num(&c, "core count")?;
+    if cores == 0 {
+        return Err(CliError("--cores must be at least 1".into()));
+    }
+    Ok(cores)
+}
+
+fn parse_optimize(args: &[String]) -> Result<OptimizeArgs, CliError> {
+    let levels = match get_flag(args, "--levels")? {
+        Some(l) => {
+            let l: usize = parse_num(&l, "level count")?;
+            if !(2..=4).contains(&l) {
+                return Err(CliError("--levels must be 2, 3 or 4".into()));
+            }
+            l
+        }
+        None => 3,
+    };
+    let paper_budget = match get_flag(args, "--budget")? {
+        None => false,
+        Some(b) if b == "fast" => false,
+        Some(b) if b == "paper" => true,
+        Some(b) => return Err(CliError(format!("unknown budget `{b}` (fast|paper)"))),
+    };
+    let gamma_first = match get_flag(args, "--selection")? {
+        None => false,
+        Some(s) if s == "power" => false,
+        Some(s) if s == "gamma" => true,
+        Some(s) => return Err(CliError(format!("unknown selection `{s}` (power|gamma)"))),
+    };
+    Ok(OptimizeArgs {
+        app: parse_app(args)?,
+        cores: parse_cores(args)?,
+        levels,
+        paper_budget,
+        seed: match get_flag(args, "--seed")? {
+            Some(s) => parse_num(&s, "seed")?,
+            None => 0x5EA,
+        },
+        gamma_first,
+        csv: has_switch(args, "--csv"),
+    })
+}
+
+fn parse_objective(s: &str) -> Result<BaselineObjective, CliError> {
+    match s {
+        "r" => Ok(BaselineObjective::R),
+        "tm" => Ok(BaselineObjective::Tm),
+        "tmr" => Ok(BaselineObjective::TmR),
+        other => Err(CliError(format!("unknown objective `{other}` (r|tm|tmr)"))),
+    }
+}
+
+/// Parses a `|`-separated group list like `0,1,2|3|4,5`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for malformed indices.
+pub fn parse_groups(s: &str) -> Result<Vec<Vec<usize>>, CliError> {
+    s.split('|')
+        .map(|group| {
+            let group = group.trim();
+            if group.is_empty() {
+                return Ok(Vec::new());
+            }
+            group
+                .split(',')
+                .map(|t| parse_num(t.trim(), "task index"))
+                .collect()
+        })
+        .collect()
+}
+
+fn parse_scaling(s: &str) -> Result<Vec<u8>, CliError> {
+    s.split(',')
+        .map(|x| parse_num(x.trim(), "scaling coefficient"))
+        .collect()
+}
+
+fn parse_design(args: &[String]) -> Result<DesignArgs, CliError> {
+    let Some(scaling) = get_flag(args, "--scaling")? else {
+        return Err(CliError("missing --scaling (e.g. 2,2,3,2)".into()));
+    };
+    let Some(groups) = get_flag(args, "--groups")? else {
+        return Err(CliError("missing --groups (e.g. \"0,1|2,3\")".into()));
+    };
+    Ok(DesignArgs {
+        app: parse_app(args)?,
+        cores: parse_cores(args)?,
+        scaling: parse_scaling(&scaling)?,
+        groups: parse_groups(&groups)?,
+        ser: match get_flag(args, "--ser")? {
+            Some(s) => parse_num(&s, "SER")?,
+            None => sea_arch::ser::PAPER_SER,
+        },
+        seed: match get_flag(args, "--seed")? {
+            Some(s) => parse_num(&s, "seed")?,
+            None => 7,
+        },
+    })
+}
+
+fn parse_sweep(args: &[String]) -> Result<SweepArgs, CliError> {
+    Ok(SweepArgs {
+        app: parse_app(args)?,
+        cores: parse_cores(args)?,
+        count: match get_flag(args, "--count")? {
+            Some(c) => parse_num(&c, "count")?,
+            None => 120,
+        },
+        scale: match get_flag(args, "--scale")? {
+            Some(s) => parse_num(&s, "scale")?,
+            None => 1,
+        },
+        seed: match get_flag(args, "--seed")? {
+            Some(s) => parse_num(&s, "seed")?,
+            None => 42,
+        },
+        csv: has_switch(args, "--csv"),
+    })
+}
+
+fn parse_generate(args: &[String]) -> Result<GenerateArgs, CliError> {
+    let Some(tasks) = get_flag(args, "--tasks")? else {
+        return Err(CliError("missing --tasks".into()));
+    };
+    Ok(GenerateArgs {
+        tasks: parse_num(&tasks, "task count")?,
+        seed: match get_flag(args, "--seed")? {
+            Some(s) => parse_num(&s, "seed")?,
+            None => 7,
+        },
+        dot: has_switch(args, "--dot"),
+    })
+}
+
+fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
+    let mut parts = s.split(':');
+    match parts.next() {
+        Some("none") => Ok(PolicySpec::None),
+        Some("reexec") => {
+            let cov: f64 = parse_num(
+                parts
+                    .next()
+                    .ok_or_else(|| CliError("reexec needs a coverage".into()))?,
+                "coverage",
+            )?;
+            Ok(PolicySpec::ReExec { coverage: cov })
+        }
+        Some("ckpt") => {
+            let cov: f64 = parse_num(
+                parts
+                    .next()
+                    .ok_or_else(|| CliError("ckpt needs a coverage".into()))?,
+                "coverage",
+            )?;
+            let interval: f64 = parse_num(
+                parts
+                    .next()
+                    .ok_or_else(|| CliError("ckpt needs an interval".into()))?,
+                "interval",
+            )?;
+            let save: f64 = parse_num(
+                parts
+                    .next()
+                    .ok_or_else(|| CliError("ckpt needs a save cost".into()))?,
+                "save cost",
+            )?;
+            Ok(PolicySpec::Checkpoint {
+                coverage: cov,
+                interval_s: interval,
+                save_s: save,
+            })
+        }
+        _ => Err(CliError(format!(
+            "unknown policy `{s}` (none|reexec:<cov>|ckpt:<cov>:<interval>:<save>)"
+        ))),
+    }
+}
+
+/// Builds the `LevelSet` for a CLI level count.
+///
+/// # Panics
+///
+/// Panics if `levels` was not validated to 2..=4.
+#[must_use]
+pub fn level_set(levels: usize) -> LevelSet {
+    match levels {
+        2 => LevelSet::arm7_two_level(),
+        3 => LevelSet::arm7_three_level(),
+        4 => LevelSet::arm7_four_level(),
+        _ => unreachable!("validated at parse time"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_optimize() {
+        let cmd = parse(&argv(
+            "optimize --app mpeg2 --cores 4 --levels 4 --budget paper --seed 9 --selection gamma --csv",
+        ))
+        .unwrap();
+        let Command::Optimize(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.app, AppSpec::Mpeg2);
+        assert_eq!(a.cores, 4);
+        assert_eq!(a.levels, 4);
+        assert!(a.paper_budget);
+        assert_eq!(a.seed, 9);
+        assert!(a.gamma_first);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn optimize_defaults() {
+        let Command::Optimize(a) = parse(&argv("optimize --app fig8 --cores 3")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.levels, 3);
+        assert!(!a.paper_budget);
+        assert!(!a.gamma_first);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn parses_random_spec() {
+        assert_eq!(
+            parse_app_spec("random:40").unwrap(),
+            AppSpec::Random { tasks: 40, seed: 7 }
+        );
+        assert_eq!(
+            parse_app_spec("random:60:11").unwrap(),
+            AppSpec::Random {
+                tasks: 60,
+                seed: 11
+            }
+        );
+        assert!(parse_app_spec("random").is_err());
+        assert!(parse_app_spec("random:x").is_err());
+        assert!(parse_app_spec("random:10:1:2").is_err());
+        assert!(parse_app_spec("h264").is_err());
+    }
+
+    #[test]
+    fn parses_baseline_objectives() {
+        for (s, o) in [
+            ("r", BaselineObjective::R),
+            ("tm", BaselineObjective::Tm),
+            ("tmr", BaselineObjective::TmR),
+        ] {
+            let Command::Baseline(b) = parse(&argv(&format!(
+                "baseline --objective {s} --app mpeg2 --cores 4"
+            )))
+            .unwrap() else {
+                panic!()
+            };
+            assert_eq!(b.objective, o);
+        }
+        assert!(parse(&argv("baseline --app mpeg2 --cores 4")).is_err());
+        assert!(parse(&argv("baseline --objective x --app mpeg2 --cores 4")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_design() {
+        let Command::Simulate(d) = parse(&argv(
+            "simulate --app mpeg2 --cores 4 --scaling 2,2,3,2 --groups 0,1,2,3,4,5|6,7|8|9,10",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.scaling, vec![2, 2, 3, 2]);
+        assert_eq!(d.groups.len(), 4);
+        assert_eq!(d.groups[0], vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(d.groups[2], vec![8]);
+        assert_eq!(d.ser, sea_arch::ser::PAPER_SER);
+    }
+
+    #[test]
+    fn parses_policies() {
+        assert_eq!(parse_policy("none").unwrap(), PolicySpec::None);
+        assert_eq!(
+            parse_policy("reexec:0.9").unwrap(),
+            PolicySpec::ReExec { coverage: 0.9 }
+        );
+        assert_eq!(
+            parse_policy("ckpt:0.95:0.1:0.0001").unwrap(),
+            PolicySpec::Checkpoint {
+                coverage: 0.95,
+                interval_s: 0.1,
+                save_s: 0.0001
+            }
+        );
+        assert!(parse_policy("reexec").is_err());
+        assert!(parse_policy("ckpt:0.9").is_err());
+        assert!(parse_policy("retry:1").is_err());
+    }
+
+    #[test]
+    fn groups_parser_handles_spaces_and_empties() {
+        assert_eq!(
+            parse_groups("0, 1 | 2 |").unwrap(),
+            vec![vec![0, 1], vec![2], vec![]]
+        );
+        assert!(parse_groups("0,a").is_err());
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse(&argv("optimize --cores 4")).is_err());
+        assert!(parse(&argv("optimize --app mpeg2")).is_err());
+        assert!(parse(&argv("simulate --app mpeg2 --cores 4")).is_err());
+        assert!(parse(&argv("generate")).is_err());
+        assert!(parse(&argv("optimize --app mpeg2 --cores 0")).is_err());
+        assert!(parse(&argv("optimize --app mpeg2 --cores 4 --levels 7")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn app_specs_build() {
+        assert_eq!(AppSpec::Mpeg2.build().unwrap().graph().len(), 11);
+        assert_eq!(AppSpec::Fig8.build().unwrap().graph().len(), 6);
+        assert_eq!(
+            AppSpec::Random { tasks: 15, seed: 3 }
+                .build()
+                .unwrap()
+                .graph()
+                .len(),
+            15
+        );
+    }
+
+    #[test]
+    fn sweep_and_generate_defaults() {
+        let Command::Sweep(s) = parse(&argv("sweep --app mpeg2 --cores 4")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.count, 120);
+        assert_eq!(s.scale, 1);
+        let Command::Generate(g) = parse(&argv("generate --tasks 25 --dot")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(g.tasks, 25);
+        assert!(g.dot);
+    }
+
+    #[test]
+    fn flag_value_missing_is_reported() {
+        assert!(parse(&argv("optimize --app")).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! `sea-dse` command-line tool: optimize, simulate, sweep, generate and
+//! analyze MPSoC designs from the shell. Run `sea-dse help` for usage.
+
+use std::process::ExitCode;
+
+use sea_dse::arch::{Architecture, ScalingVector, SerModel};
+use sea_dse::baselines::{BaselineOptimizer, Objective};
+use sea_dse::cli::{
+    self, BaselineObjective, Command, DesignArgs, OptimizeArgs, PolicySpec,
+};
+use sea_dse::opt::{
+    DesignOptimizer, OptimizationOutcome, OptimizerConfig, SearchBudget, SelectionPolicy,
+};
+use sea_dse::sched::metrics::EvalContext;
+use sea_dse::sched::recovery::{self, RecoveryPolicy};
+use sea_dse::sched::Mapping;
+use sea_dse::sim::{simulate_design, SimConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(cmd) => match run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{}", cli::USAGE);
+            Ok(())
+        }
+        Command::Optimize(a) => {
+            let app = a.app.build().map_err(|e| e.to_string())?;
+            let out = DesignOptimizer::new(config_of(&a))
+                .optimize(&app)
+                .map_err(|e| e.to_string())?;
+            print_outcome(&out, a.csv);
+            Ok(())
+        }
+        Command::Baseline(b) => {
+            let app = b.common.app.build().map_err(|e| e.to_string())?;
+            let objective = match b.objective {
+                BaselineObjective::R => Objective::RegisterUsage,
+                BaselineObjective::Tm => Objective::Parallelism,
+                BaselineObjective::TmR => Objective::RegTimeProduct,
+            };
+            let out = BaselineOptimizer::new(config_of(&b.common), objective)
+                .optimize(&app)
+                .map_err(|e| e.to_string())?;
+            println!("# {}", objective.label());
+            print_outcome(&out, b.common.csv);
+            Ok(())
+        }
+        Command::Simulate(d) => {
+            let (app, arch, mapping, scaling) = build_design(&d)?;
+            let mut cfg = SimConfig::seeded(d.seed);
+            cfg.ser = SerModel::calibrated(d.ser);
+            let report = simulate_design(&app, &arch, &mapping, &scaling, &cfg)
+                .map_err(|e| e.to_string())?;
+            println!("design:  {mapping} @ {scaling}");
+            println!(
+                "timing:  TM = {:.4} s (deadline {:.4} s, {})",
+                report.trace.tm_seconds,
+                app.deadline_s(),
+                if report.analytic.meets_deadline {
+                    "met"
+                } else {
+                    "MISSED"
+                }
+            );
+            println!(
+                "power:   P = {:.3} mW   R = {:.1} kbit/cycle",
+                report.analytic.power_mw,
+                report.analytic.r_total_kbits()
+            );
+            println!(
+                "faults:  injected {} | experienced {} | analytic Gamma {:.4e}",
+                report.faults.total_injected,
+                report.faults.total_experienced,
+                report.analytic.gamma
+            );
+            for cf in &report.faults.per_core {
+                println!(
+                    "  {}: experienced {} (expected {:.1}), working set {:.1} kbit",
+                    cf.core,
+                    cf.experienced,
+                    cf.expected_experienced,
+                    cf.r_bits.as_kbits()
+                );
+            }
+            Ok(())
+        }
+        Command::Sweep(s) => {
+            let app = s.app.build().map_err(|e| e.to_string())?;
+            let arch = Architecture::arm7_calibrated(s.cores, cli::level_set(3));
+            let ctx = EvalContext::new(&app, &arch);
+            let scaling =
+                ScalingVector::uniform(s.scale, &arch).map_err(|e| e.to_string())?;
+            let points =
+                sea_dse::baselines::sweep::random_mapping_sweep(&ctx, &scaling, s.count, s.seed)
+                    .map_err(|e| e.to_string())?;
+            if s.csv {
+                println!("tm_s,r_kbits,gamma,power_mw");
+                for p in &points {
+                    println!(
+                        "{:.6},{:.2},{:.2},{:.4}",
+                        p.evaluation.tm_seconds,
+                        p.evaluation.r_total_kbits(),
+                        p.evaluation.gamma,
+                        p.evaluation.power_mw
+                    );
+                }
+            } else {
+                println!("{} mappings (uniform s={}):", points.len(), s.scale);
+                for p in points.iter().take(20) {
+                    println!(
+                        "  TM {:.3} s  R {:.1} kbit  Gamma {:.3e}   {}",
+                        p.evaluation.tm_seconds,
+                        p.evaluation.r_total_kbits(),
+                        p.evaluation.gamma,
+                        p.mapping
+                    );
+                }
+                if points.len() > 20 {
+                    println!("  ... ({} more; use --csv for all)", points.len() - 20);
+                }
+            }
+            Ok(())
+        }
+        Command::Generate(g) => {
+            let app = cli::AppSpec::Random {
+                tasks: g.tasks,
+                seed: g.seed,
+            }
+            .build()
+            .map_err(|e| e.to_string())?;
+            if g.dot {
+                print!("{}", app.graph().to_dot());
+            } else {
+                println!(
+                    "{}: {} tasks, {} edges, deadline {:.1} s",
+                    app.name(),
+                    app.graph().len(),
+                    app.graph().edges().len(),
+                    app.deadline_s()
+                );
+                println!(
+                    "total computation: {} cycles; critical path: {} cycles",
+                    app.graph().total_computation(),
+                    app.graph().critical_path()
+                );
+                println!(
+                    "register model: {} blocks, duplication-free union {:.1} kbit",
+                    app.registers().blocks().len(),
+                    app.registers().total_union().as_kbits()
+                );
+            }
+            Ok(())
+        }
+        Command::Recovery(r) => {
+            let (app, arch, mapping, scaling) = build_design(&r.design)?;
+            let ctx = EvalContext::new(&app, &arch)
+                .with_ser(SerModel::calibrated(r.design.ser));
+            let eval = ctx.evaluate(&mapping, &scaling).map_err(|e| e.to_string())?;
+            let policy = match r.policy {
+                PolicySpec::None => RecoveryPolicy::None,
+                PolicySpec::ReExec { coverage } => RecoveryPolicy::ReExecution {
+                    detection_coverage: coverage,
+                },
+                PolicySpec::Checkpoint {
+                    coverage,
+                    interval_s,
+                    save_s,
+                } => RecoveryPolicy::Checkpointing {
+                    detection_coverage: coverage,
+                    interval_s,
+                    save_cost_s: save_s,
+                },
+            };
+            let counts: Vec<usize> = mapping.groups().iter().map(Vec::len).collect();
+            let rep = recovery::analyze(&eval, &counts, app.mode().iterations(), app.deadline_s(), policy);
+            println!("design:   {mapping} @ {scaling}");
+            println!("Gamma:    {:.4e} expected SEUs", eval.gamma);
+            println!(
+                "recovery: {:.2e} recovered, {:.2e} residual, overhead {:.4} s",
+                rep.expected_recoveries, rep.residual_gamma, rep.expected_overhead_s
+            );
+            println!(
+                "deadline: TM {:.4} s -> {:.4} s with recovery ({})",
+                eval.tm_seconds,
+                rep.tm_with_recovery_s,
+                if rep.meets_deadline_with_recovery {
+                    "met"
+                } else {
+                    "MISSED"
+                }
+            );
+            Ok(())
+        }
+    }
+}
+
+fn config_of(a: &OptimizeArgs) -> OptimizerConfig {
+    let mut cfg = OptimizerConfig::paper(a.cores).with_levels(cli::level_set(a.levels));
+    cfg.budget = if a.paper_budget {
+        SearchBudget::thorough()
+    } else {
+        SearchBudget::fast()
+    };
+    cfg.seed = a.seed;
+    if a.gamma_first {
+        cfg.selection = SelectionPolicy::GammaFirst;
+    }
+    cfg
+}
+
+fn build_design(
+    d: &DesignArgs,
+) -> Result<
+    (
+        sea_dse::taskgraph::Application,
+        Architecture,
+        Mapping,
+        ScalingVector,
+    ),
+    String,
+> {
+    let app = d.app.build().map_err(|e| e.to_string())?;
+    let arch = Architecture::arm7_calibrated(d.cores, cli::level_set(3));
+    let groups: Vec<&[usize]> = d.groups.iter().map(Vec::as_slice).collect();
+    let mapping = Mapping::from_groups(&groups, d.cores).map_err(|e| e.to_string())?;
+    if mapping.n_tasks() != app.graph().len() {
+        return Err(format!(
+            "groups cover {} tasks but the application has {}",
+            mapping.n_tasks(),
+            app.graph().len()
+        ));
+    }
+    let scaling =
+        ScalingVector::try_new(d.scaling.clone(), &arch).map_err(|e| e.to_string())?;
+    Ok((app, arch, mapping, scaling))
+}
+
+fn print_outcome(out: &OptimizationOutcome, csv: bool) {
+    if csv {
+        println!("scaling,mapping,power_mw,tm_s,r_kbits,gamma,feasible");
+        for o in &out.explored {
+            if let Some(p) = &o.best {
+                println!(
+                    "{},\"{}\",{:.4},{:.6},{:.2},{:.2},{}",
+                    p.scaling,
+                    p.mapping,
+                    p.evaluation.power_mw,
+                    p.evaluation.tm_seconds,
+                    p.evaluation.r_total_kbits(),
+                    p.evaluation.gamma,
+                    o.feasible
+                );
+            }
+        }
+        return;
+    }
+    let b = &out.best;
+    println!("best design:");
+    println!("  scaling: {}", b.scaling);
+    println!("  mapping: {}", b.mapping);
+    println!("  P = {:.3} mW", b.evaluation.power_mw);
+    println!("  TM = {:.4} s", b.evaluation.tm_seconds);
+    println!("  R = {:.1} kbit/cycle", b.evaluation.r_total_kbits());
+    println!("  Gamma = {:.4e}", b.evaluation.gamma);
+    println!(
+        "explored {} scalings with {} evaluations",
+        out.explored.len(),
+        out.total_evaluations
+    );
+}

@@ -1,0 +1,228 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use sea_dse::arch::{Architecture, CoreId, LevelSet, ScalingVector, SerModel};
+use sea_dse::opt::ScalingIter;
+use sea_dse::sched::metrics::EvalContext;
+use sea_dse::sched::Mapping;
+use sea_dse::taskgraph::generator::RandomGraphConfig;
+use sea_dse::taskgraph::graph::TaskGraphBuilder;
+use sea_dse::taskgraph::registers::RegisterModelBuilder;
+use sea_dse::taskgraph::units::{Bits, Cycles};
+use sea_dse::taskgraph::{Application, ExecutionMode, TaskId};
+
+/// Builds a random layered DAG application directly from proptest inputs.
+fn arb_application() -> impl Strategy<Value = Application> {
+    (4usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        RandomGraphConfig::paper(n)
+            .generate(seed)
+            .expect("generator accepts all paper-parameter sizes")
+    })
+}
+
+fn arb_mapping(n_tasks: usize, n_cores: usize) -> impl Strategy<Value = Mapping> {
+    proptest::collection::vec(0..n_cores, n_tasks).prop_map(move |cores| {
+        Mapping::try_new(cores.into_iter().map(CoreId::new).collect(), n_cores)
+            .expect("indices are in range")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The list scheduler never violates task precedence, for any mapping
+    /// and scaling.
+    #[test]
+    fn schedule_respects_precedence(
+        app in arb_application(),
+        raw_mapping in proptest::collection::vec(0usize..3, 24),
+        s in 1u8..=3,
+    ) {
+        let arch = Architecture::homogeneous(3, LevelSet::arm7_three_level());
+        let n = app.graph().len();
+        let mapping = Mapping::try_new(
+            raw_mapping[..n].iter().map(|&c| CoreId::new(c)).collect(),
+            3,
+        ).unwrap();
+        let scaling = ScalingVector::uniform(s, &arch).unwrap();
+        let ctx = EvalContext::new(&app, &arch);
+        let schedule = ctx.schedule(&mapping, &scaling).unwrap();
+
+        let mut finish = vec![0.0f64; n];
+        let mut start = vec![0.0f64; n];
+        for lane in schedule.per_core() {
+            for e in lane {
+                finish[e.task.index()] = e.finish_s;
+                start[e.task.index()] = e.start_s;
+            }
+        }
+        for e in app.graph().edges() {
+            prop_assert!(
+                start[e.dst.index()] >= finish[e.src.index()] - 1e-9,
+                "edge {} -> {} violated",
+                e.src,
+                e.dst
+            );
+        }
+    }
+
+    /// Total register usage always equals the duplication identity:
+    /// `Σ_i R_i = total_union + duplication(partition)` (eq. 8).
+    #[test]
+    fn register_usage_identity(
+        app in arb_application(),
+        raw_mapping in proptest::collection::vec(0usize..4, 24),
+    ) {
+        let n = app.graph().len();
+        let mapping = Mapping::try_new(
+            raw_mapping[..n].iter().map(|&c| CoreId::new(c)).collect(),
+            4,
+        ).unwrap();
+        let m = app.registers();
+        let groups: Vec<Vec<TaskId>> = mapping.groups();
+        let per_core: Bits = groups.iter().map(|g| m.union_bits(g.iter().copied())).sum();
+        // Note: tasks absent from a partition (none here) would break the
+        // identity; mappings are always complete.
+        prop_assert_eq!(per_core, m.total_union() + m.duplication_bits(&groups));
+    }
+
+    /// Γ is monotone: adding voltage scaling (higher coefficient) to every
+    /// core never reduces expected SEUs at a fixed mapping.
+    #[test]
+    fn gamma_monotone_in_uniform_scaling(
+        app in arb_application(),
+        raw_mapping in proptest::collection::vec(0usize..2, 24),
+    ) {
+        let arch = Architecture::homogeneous(2, LevelSet::arm7_three_level());
+        let n = app.graph().len();
+        let mapping = Mapping::try_new(
+            raw_mapping[..n].iter().map(|&c| CoreId::new(c)).collect(),
+            2,
+        ).unwrap();
+        let ctx = EvalContext::new(&app, &arch);
+        let mut last = 0.0f64;
+        for s in 1..=3u8 {
+            let scaling = ScalingVector::uniform(s, &arch).unwrap();
+            let e = ctx.evaluate(&mapping, &scaling).unwrap();
+            prop_assert!(e.gamma >= last, "Γ fell from {} to {} at s={}", last, e.gamma, s);
+            last = e.gamma;
+        }
+    }
+
+    /// The scaling enumeration yields exactly the multiset count, all
+    /// non-increasing, all unique, for every (C, L) shape.
+    #[test]
+    fn scaling_iter_completeness(cores in 1usize..7, levels in 1usize..5) {
+        let combos: Vec<Vec<u8>> = ScalingIter::new(cores, levels).collect();
+        prop_assert_eq!(
+            combos.len() as u64,
+            ScalingIter::count_combinations(cores, levels)
+        );
+        for v in &combos {
+            for w in v.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+            for &x in v {
+                prop_assert!(x >= 1 && x as usize <= levels);
+            }
+        }
+        let mut sorted = combos.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), combos.len());
+    }
+
+    /// Applying a move and its inverse restores the mapping.
+    #[test]
+    fn moves_are_invertible(
+        app in arb_application(),
+        raw_mapping in proptest::collection::vec(0usize..3, 24),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let n = app.graph().len();
+        let original = Mapping::try_new(
+            raw_mapping[..n].iter().map(|&c| CoreId::new(c)).collect(),
+            3,
+        ).unwrap();
+        let moves = original.neighbourhood();
+        prop_assume!(!moves.is_empty());
+        let mv = moves[pick.index(moves.len())];
+        let mut m = original.clone();
+        let inv = m.apply(mv);
+        prop_assert_ne!(&m, &original);
+        m.apply(inv);
+        prop_assert_eq!(m, original);
+    }
+
+    /// The SER model is multiplicative in λ_ref and decreasing in Vdd.
+    #[test]
+    fn ser_model_properties(
+        lambda_exp in -12.0f64..-6.0,
+        v in 0.3f64..1.3,
+        dv in 0.01f64..0.3,
+    ) {
+        let l1 = SerModel::calibrated(10f64.powf(lambda_exp));
+        let l10 = SerModel::calibrated(10f64.powf(lambda_exp + 1.0));
+        prop_assert!((l10.lambda(v) / l1.lambda(v) - 10.0).abs() < 1e-6);
+        prop_assert!(l1.lambda(v - dv) > l1.lambda(v));
+    }
+
+    /// Pipelined makespan is bounded below by the busiest core's total
+    /// work and above by fully serial execution.
+    #[test]
+    fn pipelined_makespan_bounds(
+        iterations in 1u32..40,
+        costs in proptest::collection::vec(1u64..50, 2..8),
+    ) {
+        let mut b = TaskGraphBuilder::new("chain");
+        let ids: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| b.add_task(format!("t{i}"), Cycles::new(c * 1_000_000)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], Cycles::ZERO).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut rm = RegisterModelBuilder::new(ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            let blk = rm.add_block(format!("p{i}"), Bits::new(100));
+            rm.assign(*id, blk).unwrap();
+        }
+        let app = Application::new(
+            "chain",
+            g,
+            rm.build(),
+            ExecutionMode::Pipelined { iterations },
+            1e9,
+        ).unwrap();
+        let arch = Architecture::homogeneous(2, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        // Alternate tasks across the two cores.
+        let mapping = Mapping::try_new(
+            (0..ids.len()).map(|i| CoreId::new(i % 2)).collect(),
+            2,
+        ).unwrap();
+        let scaling = ScalingVector::all_nominal(&arch);
+        let sched = ctx.schedule(&mapping, &scaling).unwrap();
+
+        let f = 200e6;
+        let total: u64 = costs.iter().map(|c| c * 1_000_000).sum();
+        let serial = total as f64 / f;
+        let core_work = |c: usize| -> f64 {
+            costs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == c)
+                .map(|(_, &x)| (x * 1_000_000) as f64)
+                .sum::<f64>()
+                / f
+        };
+        let busiest = core_work(0).max(core_work(1));
+        prop_assert!(sched.makespan_s() >= busiest - 1e-9);
+        // Fully serial with no overlap would be `serial` per iteration...
+        // the pipeline must do no worse than that plus one fill pass.
+        prop_assert!(sched.makespan_s() <= serial * f64::from(iterations) + serial + 1e-9);
+    }
+}
