@@ -65,10 +65,7 @@ impl LevelSet {
     ///
     /// Returns [`ArchError::InvalidParameter`] if `levels` is empty, or if
     /// frequencies/voltages are non-positive or not strictly decreasing.
-    pub fn try_new(
-        name: impl Into<String>,
-        levels: Vec<VoltageLevel>,
-    ) -> Result<Self, ArchError> {
+    pub fn try_new(name: impl Into<String>, levels: Vec<VoltageLevel>) -> Result<Self, ArchError> {
         if levels.is_empty() {
             return Err(ArchError::InvalidParameter {
                 message: "level set needs at least one operating point".into(),
@@ -82,7 +79,7 @@ impl LevelSet {
             }
         }
         for l in &levels {
-            if !(l.f_hz > 0.0) || !(l.vdd > 0.0) {
+            if l.f_hz.is_nan() || l.f_hz <= 0.0 || l.vdd.is_nan() || l.vdd <= 0.0 {
                 return Err(ArchError::InvalidParameter {
                     message: format!("non-positive operating point {l:?}"),
                 });

@@ -118,7 +118,10 @@ mod tests {
             }],
         );
         let ratio = p2 / p1;
-        assert!((ratio - 0.5 * 0.5834 * 0.5834).abs() < 1e-3, "ratio {ratio}");
+        assert!(
+            (ratio - 0.5 * 0.5834 * 0.5834).abs() < 1e-3,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

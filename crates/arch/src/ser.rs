@@ -44,22 +44,26 @@ impl SerModel {
     /// Returns [`ArchError::InvalidParameter`] if `lambda_ref` or `v_nom`
     /// are non-positive, or `k` is negative.
     pub fn try_new(lambda_ref: f64, v_nom: f64, k: f64) -> Result<Self, ArchError> {
-        if !(lambda_ref > 0.0) {
+        if lambda_ref.is_nan() || lambda_ref <= 0.0 {
             return Err(ArchError::InvalidParameter {
                 message: format!("lambda_ref must be positive, got {lambda_ref}"),
             });
         }
-        if !(v_nom > 0.0) {
+        if v_nom.is_nan() || v_nom <= 0.0 {
             return Err(ArchError::InvalidParameter {
                 message: format!("v_nom must be positive, got {v_nom}"),
             });
         }
-        if !(k >= 0.0) {
+        if k.is_nan() || k < 0.0 {
             return Err(ArchError::InvalidParameter {
                 message: format!("k must be non-negative, got {k}"),
             });
         }
-        Ok(SerModel { lambda_ref, v_nom, k })
+        Ok(SerModel {
+            lambda_ref,
+            v_nom,
+            k,
+        })
     }
 
     /// The paper-calibrated model: `λ_ref` at 1.0 V with the slope anchored
@@ -166,7 +170,10 @@ mod tests {
         assert!(SerModel::try_new(0.0, 1.0, 1.0).is_err());
         assert!(SerModel::try_new(1e-9, 0.0, 1.0).is_err());
         assert!(SerModel::try_new(1e-9, 1.0, -1.0).is_err());
-        assert!(SerModel::try_new(1e-9, 1.0, 0.0).is_ok(), "k = 0 disables voltage dependence");
+        assert!(
+            SerModel::try_new(1e-9, 1.0, 0.0).is_ok(),
+            "k = 0 disables voltage dependence"
+        );
     }
 
     #[test]

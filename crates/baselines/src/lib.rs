@@ -134,9 +134,7 @@ impl BaselineOptimizer {
             if feasible {
                 let replace = match &best {
                     None => true,
-                    Some(incumbent) => {
-                        point.evaluation.power_mw < incumbent.evaluation.power_mw
-                    }
+                    Some(incumbent) => point.evaluation.power_mw < incumbent.evaluation.power_mw,
                 };
                 if replace {
                     best = Some(point.clone());

@@ -29,17 +29,13 @@ impl Objective {
     }
 
     /// Score with a deadline penalty: infeasible designs are pushed above
-    /// every feasible one, ordered by how badly they overshoot. This keeps
-    /// annealing gradients usable on both sides of the constraint.
+    /// every feasible one, ordered by how badly they overshoot. The penalty
+    /// shape is shared with the proposed flow's annealer
+    /// ([`sea_opt::optimized::deadline_penalty_factor`]) so both flows
+    /// penalize infeasibility identically.
     #[must_use]
     pub fn penalized_score(self, eval: &MappingEvaluation, deadline_s: f64) -> f64 {
-        let base = self.score(eval);
-        if eval.meets_deadline {
-            base
-        } else {
-            let overshoot = (eval.tm_seconds - deadline_s).max(0.0) / deadline_s;
-            base * (10.0 + overshoot * 100.0)
-        }
+        self.score(eval) * sea_opt::optimized::deadline_penalty_factor(eval, deadline_s)
     }
 
     /// The Table II experiment label for reports.

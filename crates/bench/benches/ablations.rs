@@ -32,13 +32,11 @@ fn bench_ablations(c: &mut Criterion) {
     .expect("seed ablation");
     eprintln!(
         "[ablations] seed: SEA -> {:.3e}, balanced -> {:.3e}, raw SEA seed {:.3e}",
-        seed_ab.gamma_from_sea_seed,
-        seed_ab.gamma_from_balanced_seed,
-        seed_ab.gamma_sea_seed_raw
+        seed_ab.gamma_from_sea_seed, seed_ab.gamma_from_balanced_seed, seed_ab.gamma_sea_seed_raw
     );
 
-    let sens = ser_sensitivity(&app, &arch, &mapping, &scaling, &[1e-10, 1e-9, 1e-8])
-        .expect("SER sweep");
+    let sens =
+        ser_sensitivity(&app, &arch, &mapping, &scaling, &[1e-10, 1e-9, 1e-8]).expect("SER sweep");
     for (ser, gamma) in &sens {
         eprintln!("[ablations] SER {ser:.0e} -> Gamma {gamma:.3e}");
     }

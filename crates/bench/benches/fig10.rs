@@ -7,8 +7,7 @@ use sea_taskgraph::generator::RandomGraphConfig;
 fn bench_fig10(c: &mut Criterion) {
     let seed = EffortProfile::Smoke.seed();
     let app60 = RandomGraphConfig::paper(60).generate(seed).expect("valid");
-    let fig = fig10::run_on(&app60, &[2, 3, 4, 5, 6], EffortProfile::Smoke)
-        .expect("Fig. 10");
+    let fig = fig10::run_on(&app60, &[2, 3, 4, 5, 6], EffortProfile::Smoke).expect("Fig. 10");
     eprintln!("\n{}", fig.to_table().to_ascii());
     eprintln!(
         "[fig10] proposed Gamma win rate vs Exp:3: {:.0}%",

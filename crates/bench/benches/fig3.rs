@@ -7,7 +7,10 @@ fn bench_fig3(c: &mut Criterion) {
     // Regenerate and print the artefact once.
     let fig = fig3::run(120, 42).expect("Fig. 3 sweep");
     let s = fig.summary();
-    eprintln!("\n[fig3] corr(TM,R) = {:+.3}  Gamma s2/s1 = {:.2}x  TM s2/s1 = {:.2}x", s.corr_tm_r, s.gamma_ratio, s.tm_ratio);
+    eprintln!(
+        "\n[fig3] corr(TM,R) = {:+.3}  Gamma s2/s1 = {:.2}x  TM s2/s1 = {:.2}x",
+        s.corr_tm_r, s.gamma_ratio, s.tm_ratio
+    );
     eprintln!(
         "[fig3] Gamma concavity edges: {:.2}x / {:.2}x over minimum",
         s.gamma_edge_over_min_low, s.gamma_edge_over_min_high

@@ -18,8 +18,7 @@ fn bench_kernels(c: &mut Criterion) {
     let app = mpeg2::application();
     let arch = Architecture::arm7_calibrated(4, LevelSet::arm7_three_level());
     let ctx = EvalContext::new(&app, &arch);
-    let mapping =
-        Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
+    let mapping = Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
     let scaling = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
 
     c.bench_function("kernels/list_schedule_mpeg2", |b| {
@@ -35,8 +34,7 @@ fn bench_kernels(c: &mut Criterion) {
         let trace = simulate_execution(&app, &arch, &mapping, &scaling).expect("runs");
         let cfg = SimConfig::seeded(7);
         b.iter(|| {
-            sea_sim::fault::inject(&app, &arch, &mapping, &scaling, &trace, &cfg)
-                .expect("injects")
+            sea_sim::fault::inject(&app, &arch, &mapping, &scaling, &trace, &cfg).expect("injects")
         });
     });
 
@@ -44,11 +42,8 @@ fn bench_kernels(c: &mut Criterion) {
     let big = RandomGraphConfig::paper(100).generate(1).unwrap();
     let arch6 = Architecture::arm7_calibrated(6, LevelSet::arm7_three_level());
     let ctx6 = EvalContext::new(&big, &arch6);
-    let mapping6 = Mapping::try_new(
-        (0..100).map(|i| sea_arch::CoreId::new(i % 6)).collect(),
-        6,
-    )
-    .unwrap();
+    let mapping6 =
+        Mapping::try_new((0..100).map(|i| sea_arch::CoreId::new(i % 6)).collect(), 6).unwrap();
     let scaling6 = ScalingVector::uniform(2, &arch6).unwrap();
     c.bench_function("kernels/evaluate_random100_6cores", |b| {
         b.iter(|| ctx6.evaluate(&mapping6, &scaling6).expect("evaluable"));

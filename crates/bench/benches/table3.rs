@@ -21,8 +21,7 @@ fn bench_table3(c: &mut Criterion) {
             RandomGraphConfig::paper(n).generate(seed).expect("valid"),
         ));
     }
-    let t3 = table3::run_on(&workloads, &[2, 3, 4, 5, 6], EffortProfile::Smoke)
-        .expect("Table III");
+    let t3 = table3::run_on(&workloads, &[2, 3, 4, 5, 6], EffortProfile::Smoke).expect("Table III");
     eprintln!("\n{}", t3.to_table().to_ascii());
     for (label, monotone, total) in t3.gamma_monotonicity() {
         eprintln!("[table3] Gamma growth [{label}]: {monotone}/{total} steps monotone");
@@ -30,9 +29,7 @@ fn bench_table3(c: &mut Criterion) {
 
     let mpeg_only = vec![("MPEG-2".to_string(), mpeg2::application())];
     c.bench_function("table3/mpeg2_2_to_4_cores", |b| {
-        b.iter(|| {
-            table3::run_on(&mpeg_only, &[2, 3, 4], EffortProfile::Smoke).expect("row")
-        });
+        b.iter(|| table3::run_on(&mpeg_only, &[2, 3, 4], EffortProfile::Smoke).expect("row"));
     });
 }
 

@@ -159,16 +159,13 @@ pub fn initial_sea_mapping(
                         let mut mask = core_blocks[core_idx].clone();
                         let added = registers.union_add(&mut mask, t);
                         let r_new = core_bits[core_idx] + added;
-                        let t_new =
-                            core_cycles[core_idx] + g.task(t).computation().as_f64();
+                        let t_new = core_cycles[core_idx] + g.task(t).computation().as_f64();
                         let gamma = lambda[core_idx] * r_new.as_f64() * t_new;
                         (gamma, registers.task_footprint(t).as_f64(), t.index())
                     };
                     let (ga, fa, ia) = key(a);
                     let (gb, fb, ib) = key(b);
-                    ga.total_cmp(&gb)
-                        .then(fa.total_cmp(&fb))
-                        .then(ia.cmp(&ib))
+                    ga.total_cmp(&gb).then(fa.total_cmp(&fb)).then(ia.cmp(&ib))
                 });
                 // Spill the non-chosen dependents into Q (Fig. 6 line 10).
                 let chosen = l[0];
@@ -257,11 +254,7 @@ pub fn initial_sea_mapping(
 }
 
 /// True when every predecessor of `t` is already mapped.
-fn is_ready(
-    g: &sea_taskgraph::TaskGraph,
-    t: TaskId,
-    assigned: &[Option<CoreId>],
-) -> bool {
+fn is_ready(g: &sea_taskgraph::TaskGraph, t: TaskId, assigned: &[Option<CoreId>]) -> bool {
     g.predecessors(t)
         .iter()
         .all(|&(p, _)| assigned[p.index()].is_some())
@@ -293,10 +286,7 @@ fn pop_ready(
 
 /// Lowest-id unmapped task whose predecessors are mapped (topological
 /// fallback; always exists while tasks remain, the graph being a DAG).
-fn next_any_ready(
-    g: &sea_taskgraph::TaskGraph,
-    assigned: &[Option<CoreId>],
-) -> Option<TaskId> {
+fn next_any_ready(g: &sea_taskgraph::TaskGraph, assigned: &[Option<CoreId>]) -> Option<TaskId> {
     g.topological_order()
         .iter()
         .copied()

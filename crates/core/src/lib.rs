@@ -13,7 +13,7 @@
 //!    list scheduling (Fig. 7), minimizing the expected SEUs `Γ` subject to
 //!    the real-time constraint `TM ≤ TMref`.
 //! 3. **Iterative assessment** — keep the best feasible design by the
-//!    configured [`driver::SelectionPolicy`] (power-first by default, as in
+//!    configured [`driver::SelectionPolicy`] (joint `P·Γ` by default, as in
 //!    the paper's Table II outcome).
 //!
 //! The entry point is [`driver::DesignOptimizer`].

@@ -7,13 +7,25 @@
 //! experienced while meeting the real-time constraint (steps E–F), until
 //! the search budget expires (step B). Each neighbourhood move relocates
 //! one task or swaps two — "each iteration generating maximum two task
-//! movements" — so one sweep costs `O(N·C + N²)` evaluations and the
-//! overall search is the paper's `O(N³)`.
+//! movements" — the neighbourhood is `O(N·C + N²)` moves and the overall
+//! search is the paper's `O(N³)`.
 //!
-//! Infeasible regions are escaped by descending on `TM` first; once
-//! feasible, the search descends on `Γ`. Local optima trigger seeded random
-//! perturbations (3 random moves) so a larger budget keeps exploring, as
-//! the paper's wall-clock-bounded search does.
+//! Movements are accepted under a budget-matched annealing schedule on
+//! the deadline-penalized `Γ` score (improvements always; regressions
+//! with probability `exp(−Δ/T)` on the relative delta, geometric
+//! cooling) — the same metaheuristic strength the soft error-unaware
+//! baselines get, so comparisons between the flows isolate the paper's
+//! actual variable: the mapping *objective*, soft error-aware or not.
+//! Greedy full-neighbourhood descent (the literal Fig. 7 loop) spends an
+//! entire `O(N²)` scan per step and starves small budgets; one
+//! evaluation per generated movement keeps the cost per accepted move
+//! `O(1)`.
+//!
+//! The best design seen is tracked separately under the Fig. 7 E–F
+//! ordering — feasible beats infeasible, feasible points compare on `Γ`,
+//! infeasible ones on `TM` — and is the one returned, so the relaxed
+//! acceptance never worsens the outcome and a never-feasible run still
+//! returns its tightest design.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,7 +47,14 @@ use crate::OptError;
 pub struct SearchBudget {
     /// Maximum number of candidate evaluations (list schedules).
     pub max_evaluations: usize,
-    /// Stop after this many consecutive sweeps without improvement.
+    /// Post-cooldown patience: once the annealing schedule has cooled
+    /// (temperature ≤ 2 % of initial), stop after
+    /// `(max_stale_sweeps + 1) × |neighbourhood|` evaluated movements
+    /// without a new best design. Early high-temperature exploration is
+    /// never counted. This is a *secondary* bound: the schedule only
+    /// cools in the final ~15 % of `max_evaluations`, so on large
+    /// neighbourhoods the evaluation budget usually runs out first and
+    /// this cap binds mainly for small problems or generous budgets.
     pub max_stale_sweeps: usize,
     /// Optional wall-clock cap per search (checked between evaluations).
     pub time_limit: Option<std::time::Duration>,
@@ -112,13 +131,32 @@ pub fn optimized_mapping(
     budget: SearchBudget,
     seed: u64,
 ) -> Result<SearchOutcome, OptError> {
+    let initial_eval = ctx.evaluate(&initial, scaling)?;
+    optimized_mapping_from(ctx, scaling, initial, initial_eval, budget, seed)
+}
+
+/// [`optimized_mapping`] for callers that already evaluated the starting
+/// mapping (e.g. while choosing between warm starts) — the evaluation is
+/// reused instead of being recomputed, and is not charged to the budget
+/// again.
+///
+/// # Errors
+///
+/// Propagates evaluation errors ([`OptError::Sched`]).
+pub fn optimized_mapping_from(
+    ctx: &EvalContext<'_>,
+    scaling: &ScalingVector,
+    initial: Mapping,
+    initial_eval: MappingEvaluation,
+    budget: SearchBudget,
+    seed: u64,
+) -> Result<SearchOutcome, OptError> {
     let require_all_cores = ctx.app().graph().len() >= ctx.arch().n_cores();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut evaluations = 0usize;
+    let mut evaluations = 1usize; // the initial evaluation
 
-    let mut current = initial.clone();
-    let mut current_eval = ctx.evaluate(&current, scaling)?;
-    evaluations += 1;
+    let mut current = initial;
+    let mut current_eval = initial_eval;
 
     // `best` tracks the incumbent under the search ordering: feasible
     // beats infeasible, feasible points compare on Γ, infeasible points on
@@ -127,65 +165,79 @@ pub fn optimized_mapping(
     let mut best_eval = current_eval.clone();
 
     let deadline = ctx.app().deadline_s();
-    let mut stale = 0usize;
+    let mut current_score = penalized_gamma(&current_eval, deadline);
+
+    // Annealing schedule sized to the evaluation budget: the temperature
+    // decays geometrically to 1 % of its initial value by the time the
+    // budget runs out (the same schedule `sea_baselines::SaConfig` derives
+    // from the same budget, so the two flows stay metaheuristic-matched).
+    const INITIAL_TEMPERATURE: f64 = 0.1;
+    let mut temperature = INITIAL_TEMPERATURE;
+    let cooling = geometric_cooling(budget.max_evaluations);
+    // `max_stale_sweeps` bounds how long the *converged* search may go
+    // without improving `best`, measured in neighbourhood-sized batches of
+    // movements (mirroring its meaning under sweep-based descent). The
+    // counter only runs once the schedule has cooled — counting the early
+    // high-temperature walk, where new bests are rare by design, would cut
+    // the anneal off before its exploitation phase.
+    let cold = INITIAL_TEMPERATURE * 0.02;
+    let mut since_best = 0usize;
+    let mut moves: Vec<Move> = current.neighbourhood();
+    let stale_limit = |n_moves: usize| {
+        budget
+            .max_stale_sweeps
+            .saturating_add(1)
+            .saturating_mul(n_moves.max(1))
+    };
 
     let started = std::time::Instant::now();
-    while !budget.exhausted(evaluations, started) && stale <= budget.max_stale_sweeps {
-        // One steepest-descent sweep over the task-movement neighbourhood.
-        let mut best_move: Option<(Move, MappingEvaluation)> = None;
-        for mv in current.neighbourhood() {
-            if budget.exhausted(evaluations, started) {
+    let mut consecutive_skips = 0usize;
+    while !budget.exhausted(evaluations, started)
+        && !moves.is_empty()
+        && since_best <= stale_limit(moves.len())
+    {
+        let mv = moves[rng.gen_range(0..moves.len())];
+        let candidate = current.with_move(mv);
+        // Structurally-invalid moves consume no evaluation budget, so
+        // they must not advance the schedule either: cooling (and stale
+        // counting) on skips would quench the anneal with budget unspent
+        // on workloads where many relocations would empty a core. The
+        // skip cap guards the degenerate all-invalid neighbourhood, which
+        // would otherwise spin without ever touching the budget.
+        if require_all_cores && !candidate.uses_all_cores() {
+            consecutive_skips += 1;
+            if consecutive_skips > moves.len().saturating_mul(50) {
                 break;
             }
-            let candidate = current.with_move(mv);
-            if require_all_cores && !candidate.uses_all_cores() {
-                continue;
-            }
-            let eval = ctx.evaluate(&candidate, scaling)?;
-            evaluations += 1;
-            let better_than_sweep_best = match &best_move {
-                None => better(&eval, &current_eval, deadline),
-                Some((_, sweep_best)) => better(&eval, sweep_best, deadline),
-            };
-            if better_than_sweep_best {
-                best_move = Some((mv, eval));
-            }
+            continue;
         }
+        consecutive_skips = 0;
+        let eval = ctx.evaluate(&candidate, scaling)?;
+        evaluations += 1;
+        let score = penalized_gamma(&eval, deadline);
 
-        match best_move {
-            Some((mv, eval)) => {
-                current.apply(mv);
-                current_eval = eval;
-                stale = 0;
-                if better(&current_eval, &best_eval, deadline) {
-                    best = current.clone();
-                    best_eval = current_eval.clone();
-                }
+        let accept = if score <= current_score {
+            true
+        } else {
+            let delta = (score - current_score) / current_score.abs().max(f64::MIN_POSITIVE);
+            rng.gen_range(0.0..1.0f64) < (-delta / temperature.max(1e-12)).exp()
+        };
+        if accept {
+            current = candidate;
+            current_eval = eval;
+            current_score = score;
+            moves = current.neighbourhood();
+            if better(&current_eval, &best_eval, deadline) {
+                best = current.clone();
+                best_eval = current_eval.clone();
+                since_best = 0;
+            } else if temperature <= cold {
+                since_best += 1;
             }
-            None => {
-                // Local optimum: perturb around the incumbent (Fig. 7 keeps
-                // searching until the time budget runs out).
-                stale += 1;
-                current = best.clone();
-                for _ in 0..3 {
-                    let moves = current.neighbourhood();
-                    if moves.is_empty() {
-                        break;
-                    }
-                    let mv = moves[rng.gen_range(0..moves.len())];
-                    let next = current.with_move(mv);
-                    if !require_all_cores || next.uses_all_cores() {
-                        current = next;
-                    }
-                }
-                current_eval = ctx.evaluate(&current, scaling)?;
-                evaluations += 1;
-                if better(&current_eval, &best_eval, deadline) {
-                    best = current.clone();
-                    best_eval = current_eval.clone();
-                }
-            }
+        } else if temperature <= cold {
+            since_best += 1;
         }
+        temperature *= cooling;
     }
 
     let feasible = best_eval.meets_deadline;
@@ -195,6 +247,46 @@ pub fn optimized_mapping(
         evaluations,
         feasible,
     })
+}
+
+/// Geometric cooling factor that reaches 1 % of the initial temperature
+/// after `schedule_len` steps. The length is clamped to `[100, 1_000_000]`:
+/// the lower bound keeps tiny budgets from quenching instantly, the upper
+/// bound keeps wall-clock-limited budgets (`max_evaluations == usize::MAX`,
+/// where `0.01^(1/len)` would round to exactly `1.0`) actually cooling.
+/// Shared with `sea_baselines`' annealer so both flows run the same
+/// schedule for the same budget.
+#[must_use]
+pub fn geometric_cooling(schedule_len: usize) -> f64 {
+    let len = schedule_len.clamp(100, 1_000_000);
+    (0.01f64).powf(1.0 / len as f64)
+}
+
+/// Multiplier that ranks deadline-violating designs above every feasible
+/// one, ordered by how badly they overshoot — `1.0` for feasible designs.
+/// Keeps annealing acceptance gradients usable on both sides of the
+/// constraint; shared with `sea_baselines::Objective::penalized_score` so
+/// both flows penalize infeasibility identically.
+#[must_use]
+pub fn deadline_penalty_factor(eval: &MappingEvaluation, deadline_s: f64) -> f64 {
+    if eval.meets_deadline {
+        1.0
+    } else {
+        let overshoot = (eval.tm_seconds - deadline_s).max(0.0) / deadline_s;
+        10.0 + overshoot * 100.0
+    }
+}
+
+/// Deadline-penalized `Γ` score for the annealing acceptance.
+fn penalized_gamma(eval: &MappingEvaluation, deadline_s: f64) -> f64 {
+    eval.gamma * deadline_penalty_factor(eval, deadline_s)
+}
+
+/// Public form of the search ordering for callers choosing between warm
+/// starts: `true` if `a` is a strictly better starting point than `b`.
+#[must_use]
+pub fn prefer_start(a: &MappingEvaluation, b: &MappingEvaluation, deadline: f64) -> bool {
+    better(a, b, deadline)
 }
 
 /// Search ordering (Fig. 7 steps E–F): infeasible points descend on `TM`;
@@ -223,8 +315,7 @@ mod tests {
         let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
         let initial = initial_sea_mapping(&ctx, &s).unwrap();
         let initial_eval = ctx.evaluate(&initial, &s).unwrap();
-        let out =
-            optimized_mapping(&ctx, &s, initial, SearchBudget::fast(), 42).unwrap();
+        let out = optimized_mapping(&ctx, &s, initial, SearchBudget::fast(), 42).unwrap();
         if initial_eval.meets_deadline {
             assert!(out.feasible);
             assert!(out.evaluation.gamma <= initial_eval.gamma);
@@ -238,8 +329,7 @@ mod tests {
         let ctx = EvalContext::new(&app, &arch);
         let s = ScalingVector::try_new(vec![1, 1, 1, 1], &arch).unwrap();
         // Adversarial seed: maximum distribution of the heavy tail tasks.
-        let bad = Mapping::from_groups(&[&[0, 4, 8], &[1, 5, 9], &[2, 6, 10], &[3, 7]], 4)
-            .unwrap();
+        let bad = Mapping::from_groups(&[&[0, 4, 8], &[1, 5, 9], &[2, 6, 10], &[3, 7]], 4).unwrap();
         let bad_eval = ctx.evaluate(&bad, &s).unwrap();
         let out = optimized_mapping(&ctx, &s, bad, SearchBudget::fast(), 1).unwrap();
         assert!(out.feasible, "nominal voltage easily meets the deadline");
@@ -286,8 +376,7 @@ mod tests {
         let ctx = EvalContext::new(&app, &arch);
         let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
         let initial = initial_sea_mapping(&ctx, &s).unwrap();
-        let a = optimized_mapping(&ctx, &s, initial.clone(), SearchBudget::fast(), 5)
-            .unwrap();
+        let a = optimized_mapping(&ctx, &s, initial.clone(), SearchBudget::fast(), 5).unwrap();
         let b = optimized_mapping(&ctx, &s, initial, SearchBudget::fast(), 5).unwrap();
         assert_eq!(a.mapping, b.mapping);
         assert_eq!(a.evaluations, b.evaluations);

@@ -239,8 +239,7 @@ pub fn reference_design() -> (Application, Architecture, Mapping, ScalingVector)
     let arch = Architecture::arm7_calibrated(4, LevelSet::arm7_three_level());
     let mapping = Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4)
         .expect("Table II Exp:4 mapping is well-formed");
-    let scaling =
-        ScalingVector::try_new(vec![2, 2, 3, 2], &arch).expect("Table II Exp:4 scaling");
+    let scaling = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).expect("Table II Exp:4 scaling");
     (app, arch, mapping, scaling)
 }
 
@@ -275,8 +274,7 @@ mod tests {
     #[test]
     fn gamma_is_linear_in_ser() {
         let (app, arch, mapping, scaling) = reference_design();
-        let pts =
-            ser_sensitivity(&app, &arch, &mapping, &scaling, &[1e-10, 1e-9, 1e-8]).unwrap();
+        let pts = ser_sensitivity(&app, &arch, &mapping, &scaling, &[1e-10, 1e-9, 1e-8]).unwrap();
         let base = pts[0].1 / 1e-10;
         for &(ser, gamma) in &pts {
             assert!(
@@ -306,13 +304,7 @@ mod tests {
     #[test]
     fn mc_matches_analytic_on_reference_design() {
         let (app, arch, mapping, scaling) = reference_design();
-        let rows = mc_validation(
-            &app,
-            &arch,
-            &[("Exp:4".into(), mapping, scaling)],
-            13,
-        )
-        .unwrap();
+        let rows = mc_validation(&app, &arch, &[("Exp:4".into(), mapping, scaling)], 13).unwrap();
         assert_eq!(rows.len(), 1);
         assert!(
             rows[0].rel_deviation < 0.05,

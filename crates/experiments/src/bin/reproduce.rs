@@ -10,8 +10,7 @@
 use std::time::Instant;
 
 use sea_experiments::ablations::{
-    exposure_ablation, mc_table, mc_validation, reference_design, seed_ablation,
-    ser_sensitivity,
+    exposure_ablation, mc_table, mc_validation, reference_design, seed_ablation, ser_sensitivity,
 };
 use sea_experiments::{fig10, fig11, fig3, fig9, table2, table3, EffortProfile};
 use sea_opt::SearchBudget;
@@ -28,8 +27,14 @@ fn main() {
     let fig3 = fig3::run(120, 42).expect("Fig. 3 sweep");
     let s = fig3.summary();
     println!("## Fig. 3 (120 random mappings, 4 cores)");
-    println!("corr(TM, R)            = {:+.3}   (paper: negative trade-off)", s.corr_tm_r);
-    println!("Gamma ratio s2/s1      = {:.2}    (paper: ~2.5x)", s.gamma_ratio);
+    println!(
+        "corr(TM, R)            = {:+.3}   (paper: negative trade-off)",
+        s.corr_tm_r
+    );
+    println!(
+        "Gamma ratio s2/s1      = {:.2}    (paper: ~2.5x)",
+        s.gamma_ratio
+    );
     println!("TM ratio s2/s1         = {:.2}    (paper: ~2x)", s.tm_ratio);
     println!(
         "Gamma concavity edges  = {:.2} / {:.2} over the minimum (paper: concave)\n",
@@ -103,8 +108,8 @@ fn main() {
         "seeding:  search from SEA seed -> Gamma {:.3e}; from balanced seed -> {:.3e}; raw SEA seed {:.3e}",
         seed_ab.gamma_from_sea_seed, seed_ab.gamma_from_balanced_seed, seed_ab.gamma_sea_seed_raw
     );
-    let sens = ser_sensitivity(&app, &arch, &mapping, &scaling, &[1e-10, 1e-9, 1e-8])
-        .expect("SER sweep");
+    let sens =
+        ser_sensitivity(&app, &arch, &mapping, &scaling, &[1e-10, 1e-9, 1e-8]).expect("SER sweep");
     print!("SER sweep: ");
     for (ser, gamma) in &sens {
         print!("lambda={ser:.0e} -> Gamma={gamma:.2e}  ");

@@ -48,11 +48,7 @@ pub struct Fig11 {
 /// # Errors
 ///
 /// Propagates unexpected optimizer errors.
-pub fn run_on(
-    app: &Application,
-    cores: usize,
-    profile: EffortProfile,
-) -> Result<Fig11, OptError> {
+pub fn run_on(app: &Application, cores: usize, profile: EffortProfile) -> Result<Fig11, OptError> {
     let sets = [
         (2usize, LevelSet::arm7_two_level()),
         (3, LevelSet::arm7_three_level()),
@@ -120,10 +116,7 @@ pub fn level_isolation(
     ];
     // Reference operating points (frequencies) under the 3-level set.
     let ref_levels = LevelSet::arm7_three_level();
-    let ref_f: Vec<f64> = coeffs
-        .iter()
-        .map(|&s| ref_levels.level(s).f_hz)
-        .collect();
+    let ref_f: Vec<f64> = coeffs.iter().map(|&s| ref_levels.level(s).f_hz).collect();
 
     let mut out = Vec::with_capacity(sets.len());
     for (levels, set) in sets {
@@ -137,9 +130,7 @@ pub fn level_isolation(
             .map(|&f| {
                 arch.levels()
                     .iter()
-                    .min_by(|(_, a), (_, b)| {
-                        (a.f_hz - f).abs().total_cmp(&(b.f_hz - f).abs())
-                    })
+                    .min_by(|(_, a), (_, b)| (a.f_hz - f).abs().total_cmp(&(b.f_hz - f).abs()))
                     .map(|(s, _)| s)
                     .expect("level sets are non-empty")
             })
@@ -181,8 +172,7 @@ impl Fig11 {
         for p in &self.points {
             t.push_row(vec![
                 p.levels.to_string(),
-                p.power_mw
-                    .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+                p.power_mw.map_or_else(|| "-".into(), |v| format!("{v:.2}")),
                 p.gamma.map_or_else(|| "-".into(), |v| sci(v, 2)),
                 p.gamma_busy.map_or_else(|| "-".into(), |v| sci(v, 2)),
             ]);

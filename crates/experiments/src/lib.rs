@@ -46,7 +46,10 @@ impl EffortProfile {
         match self {
             EffortProfile::Smoke => SearchBudget {
                 max_evaluations: 600,
-                max_stale_sweeps: 1,
+                // Post-cooldown patience: how many neighbourhood-sized
+                // batches of non-improving movements the annealer tolerates
+                // after its schedule has cooled before giving up.
+                max_stale_sweeps: 4,
                 time_limit: None,
             },
             EffortProfile::Paper => SearchBudget {

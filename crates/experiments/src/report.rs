@@ -133,10 +133,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let mut t = Table::new(
-            "demo",
-            &[("name", Column::Left), ("value", Column::Right)],
-        );
+        let mut t = Table::new("demo", &[("name", Column::Left), ("value", Column::Right)]);
         t.push_row(vec!["alpha".into(), "1.5".into()]);
         t.push_row(vec!["b".into(), "22".into()]);
         t

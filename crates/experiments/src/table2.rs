@@ -62,11 +62,7 @@ pub fn run(profile: EffortProfile, cores: usize) -> Result<Table2, OptError> {
 /// # Errors
 ///
 /// Propagates optimizer errors.
-pub fn run_on(
-    app: &Application,
-    profile: EffortProfile,
-    cores: usize,
-) -> Result<Table2, OptError> {
+pub fn run_on(app: &Application, profile: EffortProfile, cores: usize) -> Result<Table2, OptError> {
     let mut config = OptimizerConfig::paper(cores);
     config.budget = profile.budget();
     config.seed = profile.seed();
@@ -138,10 +134,11 @@ impl Table2 {
         );
         for (i, row) in self.rows.iter().enumerate() {
             let e = &row.design.evaluation;
-            let (pp, pr, ptm, pg) = PAPER_REFERENCE
-                .get(i)
-                .copied()
-                .unwrap_or((f64::NAN, f64::NAN, f64::NAN, f64::NAN));
+            let (pp, pr, ptm, pg) =
+                PAPER_REFERENCE
+                    .get(i)
+                    .copied()
+                    .unwrap_or((f64::NAN, f64::NAN, f64::NAN, f64::NAN));
             t.push_row(vec![
                 row.label.clone(),
                 row.design.mapping.to_string(),
@@ -194,15 +191,27 @@ impl Table2 {
             "R: Exp4 < Exp2",
         );
         // Intrinsic parallelism at nominal scaling.
-        check(r(1).tm_nominal_s <= r(2).tm_nominal_s, "TM@nominal: Exp2 <= Exp3");
-        check(r(1).tm_nominal_s < r(0).tm_nominal_s, "TM@nominal: Exp2 < Exp1");
+        check(
+            r(1).tm_nominal_s <= r(2).tm_nominal_s,
+            "TM@nominal: Exp2 <= Exp3",
+        );
+        check(
+            r(1).tm_nominal_s < r(0).tm_nominal_s,
+            "TM@nominal: Exp2 < Exp1",
+        );
         // SEUs at matched scaling.
-        check(r(3).gamma_matched < r(1).gamma_matched, "Gamma@matched: Exp4 < Exp2");
+        check(
+            r(3).gamma_matched < r(1).gamma_matched,
+            "Gamma@matched: Exp4 < Exp2",
+        );
         check(
             r(3).gamma_matched <= r(2).gamma_matched,
             "Gamma@matched: Exp4 <= Exp3",
         );
-        check(r(3).gamma_matched < r(0).gamma_matched, "Gamma@matched: Exp4 < Exp1");
+        check(
+            r(3).gamma_matched < r(0).gamma_matched,
+            "Gamma@matched: Exp4 < Exp1",
+        );
         // Power: the min-R baseline pays the most.
         check(
             r(0).design.evaluation.power_mw > r(1).design.evaluation.power_mw,

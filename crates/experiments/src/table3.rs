@@ -110,11 +110,7 @@ pub fn run_on(
 ///
 /// See [`run_on`].
 pub fn run(profile: EffortProfile) -> Result<Table3, OptError> {
-    run_on(
-        &paper_workloads(profile.seed()),
-        &[2, 3, 4, 5, 6],
-        profile,
-    )
+    run_on(&paper_workloads(profile.seed()), &[2, 3, 4, 5, 6], profile)
 }
 
 impl Table3 {

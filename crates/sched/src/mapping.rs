@@ -64,7 +64,10 @@ impl Mapping {
                 assign[t] = Some(CoreId::new(c));
             }
         }
-        let assign: Vec<CoreId> = assign.into_iter().map(|c| c.expect("all covered")).collect();
+        let assign: Vec<CoreId> = assign
+            .into_iter()
+            .map(|c| c.expect("all covered"))
+            .collect();
         Mapping::try_new(assign, n_cores)
     }
 
@@ -260,7 +263,10 @@ mod tests {
     #[test]
     fn from_groups_rejects_double_coverage() {
         assert!(Mapping::from_groups(&[&[0, 1], &[1]], 2).is_err());
-        assert!(Mapping::from_groups(&[&[0, 2]], 2).is_err(), "gap at task 1");
+        assert!(
+            Mapping::from_groups(&[&[0, 2]], 2).is_err(),
+            "gap at task 1"
+        );
         assert!(Mapping::from_groups(&[&[0], &[1], &[2]], 2).is_err());
     }
 
@@ -273,7 +279,10 @@ mod tests {
     #[test]
     fn relocate_and_inverse() {
         let mut m = Mapping::from_groups(&[&[0, 1], &[2]], 2).unwrap();
-        let inv = m.apply(Move::Relocate { task: t(0), to: c(1) });
+        let inv = m.apply(Move::Relocate {
+            task: t(0),
+            to: c(1),
+        });
         assert_eq!(m.core_of(t(0)), c(1));
         m.apply(inv);
         assert_eq!(m.core_of(t(0)), c(0));
@@ -297,7 +306,10 @@ mod tests {
             .iter()
             .filter(|mv| matches!(mv, Move::Relocate { .. }))
             .count();
-        let swaps = n.iter().filter(|mv| matches!(mv, Move::Swap { .. })).count();
+        let swaps = n
+            .iter()
+            .filter(|mv| matches!(mv, Move::Swap { .. }))
+            .count();
         assert_eq!(relocations, 3);
         assert_eq!(swaps, 2); // (0,2) and (1,2)
     }

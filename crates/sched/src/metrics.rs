@@ -386,7 +386,9 @@ mod tests {
         let arch = arch(2);
         let ctx = EvalContext::new(&app, &arch);
         let m = Mapping::from_groups(&[&[0, 1], &[2]], 2).unwrap();
-        let e = ctx.evaluate(&m, &ScalingVector::all_nominal(&arch)).unwrap();
+        let e = ctx
+            .evaluate(&m, &ScalingVector::all_nominal(&arch))
+            .unwrap();
         assert!(!e.meets_deadline);
     }
 
@@ -396,7 +398,9 @@ mod tests {
         let arch = arch(2);
         let ctx = EvalContext::new(&app, &arch);
         let m = Mapping::from_groups(&[&[0, 1], &[2]], 2).unwrap();
-        let e = ctx.evaluate(&m, &ScalingVector::all_nominal(&arch)).unwrap();
+        let e = ctx
+            .evaluate(&m, &ScalingVector::all_nominal(&arch))
+            .unwrap();
         assert!((e.tm_nominal_cycles - e.tm_seconds * 200e6).abs() < 1.0);
     }
 

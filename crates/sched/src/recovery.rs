@@ -190,7 +190,11 @@ mod tests {
     #[test]
     fn full_coverage_removes_residual() {
         let (eval, counts, deadline) = design(1e-15);
-        let r = analyze(&eval, &counts, 437, deadline,
+        let r = analyze(
+            &eval,
+            &counts,
+            437,
+            deadline,
             RecoveryPolicy::ReExecution {
                 detection_coverage: 1.0,
             },
@@ -203,7 +207,11 @@ mod tests {
     #[test]
     fn partial_coverage_splits_gamma() {
         let (eval, counts, deadline) = design(1e-12);
-        let r = analyze(&eval, &counts, 437, deadline,
+        let r = analyze(
+            &eval,
+            &counts,
+            437,
+            deadline,
             RecoveryPolicy::ReExecution {
                 detection_coverage: 0.8,
             },
@@ -216,7 +224,11 @@ mod tests {
     fn rare_upsets_keep_deadline_frequent_ones_break_it() {
         // At a realistic (low) SER the recovery overhead is negligible.
         let (eval, counts, deadline) = design(1e-15);
-        let r = analyze(&eval, &counts, 437, deadline,
+        let r = analyze(
+            &eval,
+            &counts,
+            437,
+            deadline,
             RecoveryPolicy::ReExecution {
                 detection_coverage: 1.0,
             },
@@ -225,7 +237,11 @@ mod tests {
         // At the paper's (accelerated) SER the decoder cannot re-execute
         // its way out: hundreds of thousands of expected upsets.
         let (eval, counts, deadline) = design(1e-9);
-        let r = analyze(&eval, &counts, 437, deadline,
+        let r = analyze(
+            &eval,
+            &counts,
+            437,
+            deadline,
             RecoveryPolicy::ReExecution {
                 detection_coverage: 1.0,
             },
@@ -239,8 +255,7 @@ mod tests {
         let app = mpeg2::application();
         let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
         let scaling = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
-        let ctx =
-            EvalContext::new(&app, &arch).with_ser(SerModel::calibrated(1e-12));
+        let ctx = EvalContext::new(&app, &arch).with_ser(SerModel::calibrated(1e-12));
         let localized =
             Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
         let distributed =
@@ -264,7 +279,11 @@ mod tests {
     #[test]
     fn checkpointing_charges_saves_and_rollbacks() {
         let (eval, counts, deadline) = design(1e-13);
-        let r = analyze(&eval, &counts, 437, deadline,
+        let r = analyze(
+            &eval,
+            &counts,
+            437,
+            deadline,
             RecoveryPolicy::Checkpointing {
                 detection_coverage: 1.0,
                 interval_s: 0.1,
@@ -284,14 +303,22 @@ mod tests {
     #[test]
     fn shorter_checkpoint_interval_trades_saves_for_rollback() {
         let (eval, counts, deadline) = design(1e-11);
-        let coarse = analyze(&eval, &counts, 437, deadline,
+        let coarse = analyze(
+            &eval,
+            &counts,
+            437,
+            deadline,
             RecoveryPolicy::Checkpointing {
                 detection_coverage: 1.0,
                 interval_s: 1.0,
                 save_cost_s: 1e-4,
             },
         );
-        let fine = analyze(&eval, &counts, 437, deadline,
+        let fine = analyze(
+            &eval,
+            &counts,
+            437,
+            deadline,
             RecoveryPolicy::Checkpointing {
                 detection_coverage: 1.0,
                 interval_s: 0.01,
@@ -299,9 +326,7 @@ mod tests {
             },
         );
         // Fine intervals roll back less per event.
-        let rollback = |r: &RecoveryReport, interval: f64| {
-            r.expected_recoveries * interval / 2.0
-        };
+        let rollback = |r: &RecoveryReport, interval: f64| r.expected_recoveries * interval / 2.0;
         assert!(rollback(&fine, 0.01) < rollback(&coarse, 1.0));
     }
 

@@ -7,6 +7,12 @@
 //! * Tasks become ready when all predecessors have finished.
 //! * Among ready tasks, the one with the longest downstream critical path
 //!   is scheduled first, on the core the mapping assigns it to.
+//! * Placement uses the *insertion* policy: a task may start inside an
+//!   earlier idle gap of its core's timeline when it fits after the task's
+//!   data-ready time. Without insertion, a high-priority task waiting on a
+//!   predecessor leaves its core idle even when lower-priority ready work
+//!   could run there, which systematically overestimates `TM` relative to
+//!   the greedy event-driven dispatch measured by `sea-sim`.
 //! * Communication `d_jk` is charged on the consumer core when producer and
 //!   consumer sit on different cores (32-bit dedicated links, §II-A), so a
 //!   core's busy time matches eq. (7): `T_i = Σ_j (t_j + Σ_k d_jk)`.
@@ -138,10 +144,7 @@ pub fn list_schedule(
         ExecutionMode::Batch => Ok(fill),
         ExecutionMode::Pipelined { iterations } => {
             // Steady state: the busiest core bounds throughput.
-            let period = fill
-                .busy_s
-                .iter()
-                .fold(0.0f64, |acc, &b| acc.max(b));
+            let period = fill.busy_s.iter().fold(0.0f64, |acc, &b| acc.max(b));
             let makespan = fill.makespan_s + period * f64::from(iterations - 1);
             let busy: Vec<f64> = fill
                 .busy_s
@@ -214,16 +217,9 @@ fn schedule_one_pass(
         .map(|c| arch.effective_frequency(c, scaling))
         .collect();
 
-    let mut pending: Vec<usize> = g
-        .task_ids()
-        .map(|t| g.predecessors(t).len())
-        .collect();
-    let mut ready: Vec<TaskId> = g
-        .task_ids()
-        .filter(|&t| pending[t.index()] == 0)
-        .collect();
+    let mut pending: Vec<usize> = g.task_ids().map(|t| g.predecessors(t).len()).collect();
+    let mut ready: Vec<TaskId> = g.task_ids().filter(|&t| pending[t.index()] == 0).collect();
     let mut finish = vec![f64::NAN; n];
-    let mut core_ready = vec![0.0f64; arch.n_cores()];
     let mut busy = vec![0.0f64; arch.n_cores()];
     let mut per_core: Vec<Vec<ScheduledTask>> = vec![Vec::new(); arch.n_cores()];
     let mut scheduled = 0usize;
@@ -244,11 +240,11 @@ fn schedule_one_pass(
         let core = mapping.core_of(t);
         let f = freq[core.index()];
 
-        // Earliest start: core free, and all producers done.
-        let mut start = core_ready[core.index()];
+        // Earliest data-ready time: all producers done.
+        let mut ready_s = 0.0f64;
         let mut comm_cycles = 0.0f64;
         for &(p, comm) in g.predecessors(t) {
-            start = start.max(finish[p.index()]);
+            ready_s = ready_s.max(finish[p.index()]);
             if mapping.core_of(p) != core {
                 comm_cycles += comm.as_f64() * scale;
             }
@@ -256,15 +252,37 @@ fn schedule_one_pass(
         // Inbound cross-core communication occupies the consumer core
         // (eq. 7 counts d_jk in T_i).
         let dur = (g.task(t).computation().as_f64() * scale + comm_cycles) / f;
+
+        // Insertion placement: earliest slot on the core's timeline (an
+        // inter-task gap or the tail) that starts at or after `ready_s`
+        // and fits `dur`. The lane stays sorted by start time.
+        let lane = &mut per_core[core.index()];
+        let mut pos = lane.len();
+        let mut start = ready_s;
+        let mut cursor = 0.0f64;
+        for (i, e) in lane.iter().enumerate() {
+            let gap_start = cursor.max(ready_s);
+            if gap_start + dur <= e.start_s {
+                pos = i;
+                start = gap_start;
+                break;
+            }
+            cursor = e.finish_s;
+        }
+        if pos == lane.len() {
+            start = cursor.max(ready_s);
+        }
         let end = start + dur;
         finish[t.index()] = end;
-        core_ready[core.index()] = end;
         busy[core.index()] += dur;
-        per_core[core.index()].push(ScheduledTask {
-            task: t,
-            start_s: start,
-            finish_s: end,
-        });
+        lane.insert(
+            pos,
+            ScheduledTask {
+                task: t,
+                start_s: start,
+                finish_s: end,
+            },
+        );
         scheduled += 1;
 
         for &(s, _) in g.successors(t) {
@@ -451,8 +469,7 @@ mod tests {
             let blk = rm.add_block(format!("p{i}"), Bits::new(8));
             rm.assign(TaskId::new(i), blk).unwrap();
         }
-        let app =
-            Application::new("prio", g, rm.build(), ExecutionMode::Batch, 10.0).unwrap();
+        let app = Application::new("prio", g, rm.build(), ExecutionMode::Batch, 10.0).unwrap();
         let arch = arch(2);
         let s = ScalingVector::all_nominal(&arch);
         let m = Mapping::from_groups(&[&[0, 2], &[1]], 2).unwrap();

@@ -146,22 +146,23 @@ pub fn simulate_execution(
     // Priority: iteration asc (older frames drain first — anything else
     // lets an upstream core run hundreds of frames ahead and starve the
     // downstream cores), then bottom level desc, then task id asc.
-    let pick = |pool: &mut Vec<Instance>, bl: &[sea_taskgraph::units::Cycles]| -> Option<Instance> {
-        if pool.is_empty() {
-            return None;
-        }
-        let mut best = 0usize;
-        for i in 1..pool.len() {
-            let a = pool[i];
-            let b = pool[best];
-            let key_a = (a.iteration, std::cmp::Reverse(bl[a.task]), a.task);
-            let key_b = (b.iteration, std::cmp::Reverse(bl[b.task]), b.task);
-            if key_a < key_b {
-                best = i;
+    let pick =
+        |pool: &mut Vec<Instance>, bl: &[sea_taskgraph::units::Cycles]| -> Option<Instance> {
+            if pool.is_empty() {
+                return None;
             }
-        }
-        Some(pool.swap_remove(best))
-    };
+            let mut best = 0usize;
+            for i in 1..pool.len() {
+                let a = pool[i];
+                let b = pool[best];
+                let key_a = (a.iteration, std::cmp::Reverse(bl[a.task]), a.task);
+                let key_b = (b.iteration, std::cmp::Reverse(bl[b.task]), b.task);
+                if key_a < key_b {
+                    best = i;
+                }
+            }
+            Some(pool.swap_remove(best))
+        };
 
     loop {
         // Dispatch on every idle core with ready work.
@@ -179,8 +180,7 @@ pub fn simulate_execution(
                         comm_cycles += comm.as_f64() * scale;
                     }
                 }
-                let dur =
-                    (g.task(t).computation().as_f64() * scale + comm_cycles) / freq[c];
+                let dur = (g.task(t).computation().as_f64() * scale + comm_cycles) / freq[c];
                 let end = now + dur;
                 core_idle[c] = false;
                 busy[c] += dur;
@@ -323,7 +323,12 @@ mod tests {
         let trace = simulate_execution(&app, &arch, &m, &s).unwrap();
         let sched = list_schedule(&app, &arch, &m, &s).unwrap();
         let rel = (trace.tm_seconds - sched.makespan_s()).abs() / sched.makespan_s();
-        assert!(rel < 0.05, "simulated {} vs estimated {}", trace.tm_seconds, sched.makespan_s());
+        assert!(
+            rel < 0.05,
+            "simulated {} vs estimated {}",
+            trace.tm_seconds,
+            sched.makespan_s()
+        );
     }
 
     #[test]

@@ -21,11 +21,7 @@ pub fn trace_to_csv(trace: &ExecutionTrace) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{:.9},{:.9}",
-            e.task,
-            e.iteration,
-            e.core,
-            e.start_s,
-            e.finish_s
+            e.task, e.iteration, e.core, e.start_s, e.finish_s
         );
     }
     out

@@ -187,8 +187,8 @@ pub fn inject(
             out
         };
         let detail_budget = config.max_detailed_events.saturating_sub(events.len());
-        let detailed = usize::try_from(experienced.min(detail_budget as u64))
-            .expect("bounded by the cap");
+        let detailed =
+            usize::try_from(experienced.min(detail_budget as u64)).expect("bounded by the cap");
         for _ in 0..detailed {
             let time_s = rng.gen_range(0.0..=exposure_s.max(f64::MIN_POSITIVE));
             let block = pick_weighted(&mut rng, &block_weights);
@@ -222,10 +222,7 @@ pub fn inject(
     })
 }
 
-fn pick_weighted(
-    rng: &mut StdRng,
-    weights: &[(RegisterBlockId, f64)],
-) -> Option<RegisterBlockId> {
+fn pick_weighted(rng: &mut StdRng, weights: &[(RegisterBlockId, f64)]) -> Option<RegisterBlockId> {
     let total: f64 = weights.iter().map(|&(_, w)| w).sum();
     if total <= 0.0 {
         return None;
@@ -319,8 +316,7 @@ mod tests {
             let blk = rm.add_block(format!("p{i}"), Bits::from_kbits(40.0));
             rm.assign(TaskId::new(i), blk).unwrap();
         }
-        let app =
-            Application::new("tiny", g, rm.build(), ExecutionMode::Batch, 10.0).unwrap();
+        let app = Application::new("tiny", g, rm.build(), ExecutionMode::Batch, 10.0).unwrap();
         let arch = arch(2);
         let m = Mapping::from_groups(&[&[0], &[1]], 2).unwrap();
         let mut seg_sum = 0u64;
@@ -342,8 +338,7 @@ mod tests {
         let app = sea_taskgraph::mpeg2::application();
         let arch = arch(4);
         let s = ScalingVector::all_nominal(&arch);
-        let m =
-            Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
+        let m = Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
         let trace = simulate_execution(&app, &arch, &m, &s).unwrap();
         let mut cfg = SimConfig::seeded(0);
         cfg.mode = InjectionMode::PerCycle;

@@ -63,7 +63,7 @@ impl Application {
         deadline_s: f64,
     ) -> Result<Self, GraphError> {
         registers.validate_for(graph.len())?;
-        if !(deadline_s > 0.0) {
+        if deadline_s.is_nan() || deadline_s <= 0.0 {
             return Err(GraphError::InvalidParameter {
                 message: format!("deadline must be positive, got {deadline_s}"),
             });

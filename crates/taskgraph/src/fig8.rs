@@ -119,7 +119,10 @@ mod tests {
     fn register_sizes_match_fig8b() {
         let m = register_model();
         assert_eq!(m.blocks().len(), 9);
-        assert_eq!(m.block(crate::registers::RegisterBlockId::new(3)).bits(), Bits::new(5120));
+        assert_eq!(
+            m.block(crate::registers::RegisterBlockId::new(3)).bits(),
+            Bits::new(5120)
+        );
     }
 
     #[test]

@@ -72,8 +72,7 @@ impl RandomGraphConfig {
     /// Effective deadline: explicit override or the paper's `N/2` seconds.
     #[must_use]
     pub fn effective_deadline_s(&self) -> f64 {
-        self.deadline_s
-            .unwrap_or(self.n_tasks as f64 / 2.0)
+        self.deadline_s.unwrap_or(self.n_tasks as f64 / 2.0)
     }
 
     /// Generates an application from this configuration with a seeded RNG.
@@ -130,8 +129,7 @@ impl RandomGraphConfig {
                 targets.swap(k, j);
             }
             for &dst in &targets[..degree] {
-                let units =
-                    rng.gen_range(self.communication_units.0..=self.communication_units.1);
+                let units = rng.gen_range(self.communication_units.0..=self.communication_units.1);
                 edges.push((src, dst, units));
             }
         }
@@ -145,8 +143,7 @@ impl RandomGraphConfig {
         for (dst, pred_known) in has_pred.iter().enumerate().skip(1) {
             if !pred_known {
                 let src = rng.gen_range(0..dst);
-                let units =
-                    rng.gen_range(self.communication_units.0..=self.communication_units.1);
+                let units = rng.gen_range(self.communication_units.0..=self.communication_units.1);
                 edges.push((src, dst, units));
             }
         }

@@ -169,8 +169,7 @@ impl TaskGraph {
         let mut finish = vec![Cycles::ZERO; self.len()];
         for &t in &self.topo {
             let own = self.task(t).computation();
-            let start = self
-                .preds[t.index()]
+            let start = self.preds[t.index()]
                 .iter()
                 .map(|&(p, comm)| finish[p.index()] + comm)
                 .max()

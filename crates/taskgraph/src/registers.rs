@@ -195,10 +195,7 @@ impl RegisterModel {
             None => Bits::ZERO,
             Some((&first, rest)) => self.task_blocks[first.index()]
                 .iter()
-                .filter(|b| {
-                    rest.iter()
-                        .all(|t| self.task_blocks[t.index()].contains(b))
-                })
+                .filter(|b| rest.iter().all(|t| self.task_blocks[t.index()].contains(b)))
                 .map(|&b| self.blocks[b.index()].bits())
                 .sum(),
         }
@@ -407,10 +404,7 @@ mod tests {
     fn union_total_equals_union_plus_duplication() {
         let m = model();
         let groups = vec![vec![t(0)], vec![t(1), t(2)]];
-        let per_core: Bits = groups
-            .iter()
-            .map(|g| m.union_bits(g.iter().copied()))
-            .sum();
+        let per_core: Bits = groups.iter().map(|g| m.union_bits(g.iter().copied())).sum();
         assert_eq!(per_core, m.total_union() + m.duplication_bits(&groups));
     }
 
@@ -457,7 +451,8 @@ mod tests {
     #[test]
     fn add_shared_block_assigns_all() {
         let mut b = RegisterModelBuilder::new(3);
-        b.add_shared_block("s", Bits::new(64), &[t(0), t(2)]).unwrap();
+        b.add_shared_block("s", Bits::new(64), &[t(0), t(2)])
+            .unwrap();
         let m = b.build();
         assert_eq!(m.shared_bits(t(0), t(2)), Bits::new(64));
         assert_eq!(m.task_footprint(t(1)), Bits::ZERO);

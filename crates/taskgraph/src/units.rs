@@ -257,10 +257,7 @@ mod tests {
 
     #[test]
     fn cycles_saturating_sub() {
-        assert_eq!(
-            Cycles::new(3).saturating_sub(Cycles::new(10)),
-            Cycles::ZERO
-        );
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(10)), Cycles::ZERO);
     }
 
     #[test]

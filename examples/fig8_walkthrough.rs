@@ -44,8 +44,8 @@ fn main() {
     );
 
     // Stage 2: neighbourhood search under list scheduling (Fig. 7).
-    let out = optimized_mapping(&ctx, &scaling, initial, SearchBudget::fast(), 7)
-        .expect("search runs");
+    let out =
+        optimized_mapping(&ctx, &scaling, initial, SearchBudget::fast(), 7).expect("search runs");
     println!("OptimizedMapping:  {}", out.mapping);
     println!(
         "  TM = {:.1} ms, Gamma = {:.1}, feasible = {} ({} evaluations)\n",
@@ -56,20 +56,21 @@ fn main() {
     );
 
     let schedule = ctx.schedule(&out.mapping, &scaling).expect("schedulable");
-    println!("schedule (Gantt, {:.1} ms span):", schedule.makespan_s() * 1e3);
+    println!(
+        "schedule (Gantt, {:.1} ms span):",
+        schedule.makespan_s() * 1e3
+    );
     println!("{}", schedule.gantt(64));
 
     // Fault injection over the final design at a boosted SER so individual
     // upsets actually appear in a 75 ms window.
     let mut cfg = SimConfig::seeded(11);
     cfg.ser = sea_dse::arch::SerModel::calibrated(1e-5);
-    let report = simulate_design(&app, &arch, &out.mapping, &scaling, &cfg)
-        .expect("simulation runs");
+    let report =
+        simulate_design(&app, &arch, &out.mapping, &scaling, &cfg).expect("simulation runs");
     println!(
         "fault injection @ SER 1e-5: {} injected, {} experienced (analytic {:.1})",
-        report.faults.total_injected,
-        report.faults.total_experienced,
-        report.analytic.gamma
+        report.faults.total_injected, report.faults.total_experienced, report.analytic.gamma
     );
     for ev in report.faults.events.iter().take(8) {
         println!(

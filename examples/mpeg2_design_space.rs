@@ -20,9 +20,18 @@ fn main() {
     // Fig. 3: 120 random mappings on four cores.
     let fig = fig3::run(120, 42).expect("Fig. 3 sweep");
     let s = fig.summary();
-    println!("Fig. 3 - impact of task mapping ({} mappings)", fig.scale1.len());
-    println!("  corr(TM, R)      = {:+.3} (trade-off of panel a)", s.corr_tm_r);
-    println!("  Gamma s2/s1      = {:.2}x (Observation 3: ~2.5x)", s.gamma_ratio);
+    println!(
+        "Fig. 3 - impact of task mapping ({} mappings)",
+        fig.scale1.len()
+    );
+    println!(
+        "  corr(TM, R)      = {:+.3} (trade-off of panel a)",
+        s.corr_tm_r
+    );
+    println!(
+        "  Gamma s2/s1      = {:.2}x (Observation 3: ~2.5x)",
+        s.gamma_ratio
+    );
     println!("  TM s2/s1         = {:.2}x (~2x)", s.tm_ratio);
     println!(
         "  concavity edges  = {:.2}x / {:.2}x over the minimum Gamma\n",

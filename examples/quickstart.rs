@@ -40,15 +40,15 @@ fn main() {
     println!("  R  = {:.1} kbit/cycle", best.evaluation.r_total_kbits());
     println!("  Gamma = {:.3e} expected SEUs", best.evaluation.gamma);
 
-    println!("\nexplored {} voltage-scaling combinations:", outcome.explored.len());
+    println!(
+        "\nexplored {} voltage-scaling combinations:",
+        outcome.explored.len()
+    );
     for o in &outcome.explored {
         let e = o.best.as_ref().expect("every scaling produced a design");
         println!(
             "  {}  feasible={}  P={:6.2} mW  Gamma={:.3e}",
-            o.scaling,
-            o.feasible,
-            e.evaluation.power_mw,
-            e.evaluation.gamma
+            o.scaling, o.feasible, e.evaluation.power_mw, e.evaluation.gamma
         );
     }
 }

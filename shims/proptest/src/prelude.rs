@@ -1,0 +1,6 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::prop;
+pub use crate::strategy::{any, Any, Arbitrary, Just, Map, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,20 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Build from raw entropy (used by `any::<Index>()`).
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolve against a collection of length `len` (must be non-zero).
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

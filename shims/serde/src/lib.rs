@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access; the workspace derives
+//! `Serialize`/`Deserialize` as forward-looking metadata only (no code
+//! bounds on the traits, no serializer in the dependency tree). This shim
+//! keeps the derive syntax — including `#[serde(transparent)]`-style helper
+//! attributes — compiling, so the real serde can be dropped in later by
+//! swapping one `[workspace.dependencies]` path for a registry version.
+
+/// Marker stand-in for `serde::Serialize`; no required items.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; the lifetime mirrors the real
+/// trait so signatures written against it stay source-compatible.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

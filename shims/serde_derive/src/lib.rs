@@ -1,0 +1,56 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace derives serde traits purely as forward-looking metadata —
+//! nothing bounds on `serde::Serialize` today — so these derives only need
+//! to (a) exist and (b) register the `#[serde(...)]` helper attribute so
+//! container attributes like `#[serde(transparent)]` parse. They emit no
+//! code; the shim `serde` crate's traits have no required items, and real
+//! impls can be generated here later without touching call sites.
+
+use proc_macro::TokenStream;
+
+/// Parse the derived type's name and generics, emitting an empty trait impl.
+fn empty_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    // Tokens look like: (attrs)* (pub)? (struct|enum) Name (<generics>)? ...
+    // We only need `Name` and whether a generic list follows. Generic types
+    // get no impl (safe: the shim traits are never used as bounds), concrete
+    // types get `impl serde::Trait for Name {}` so `T: Serialize` holds if a
+    // future refactor adds such a bound on a concrete type.
+    let mut tokens = input.into_iter();
+    let mut name: Option<String> = None;
+    while let Some(tok) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = &tok {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(proc_macro::TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+    // A `<` right after the name means the type is generic; skip those.
+    if let Some(proc_macro::TokenTree::Punct(p)) = tokens.next() {
+        if p.as_char() == '<' {
+            return TokenStream::new();
+        }
+    }
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Derive the shim `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize")
+}
+
+/// Derive the shim `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize")
+}

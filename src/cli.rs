@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! sea-dse optimize  --app mpeg2 --cores 4 [--levels 2|3|4] [--budget fast|paper]
-//!                   [--seed N] [--selection power|gamma] [--csv]
+//!                   [--seed N] [--selection product|power|gamma] [--csv]
 //! sea-dse baseline  --objective r|tm|tmr --app <spec> --cores N [...]
 //! sea-dse simulate  --app <spec> --cores N --scaling 2,2,3,2
 //!                   --groups "0,1,2|3|4,5" [--ser 1e-9] [--seed N]
@@ -43,6 +43,19 @@ pub enum Command {
     Help,
 }
 
+/// `--selection` values: which [`sea_opt::SelectionPolicy`] the optimizer
+/// uses for its iterative assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionSpec {
+    /// The library default: joint `P·Γ` product (`product`, or omitted).
+    #[default]
+    Default,
+    /// Power-first with the 5 % tolerance band (`power`).
+    Power,
+    /// Γ-first (`gamma`).
+    Gamma,
+}
+
 /// Arguments shared by the optimizing commands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimizeArgs {
@@ -56,8 +69,8 @@ pub struct OptimizeArgs {
     pub paper_budget: bool,
     /// Search seed.
     pub seed: u64,
-    /// Gamma-first selection instead of power-first.
-    pub gamma_first: bool,
+    /// Selection policy of the iterative assessment.
+    pub selection: SelectionSpec,
     /// Emit CSV instead of human-readable text.
     pub csv: bool,
 }
@@ -208,7 +221,7 @@ sea-dse - soft error-aware design optimization (DATE 2010 reproduction)
 
 USAGE:
   sea-dse optimize  --app <spec> --cores <N> [--levels 2|3|4] [--budget fast|paper]
-                    [--seed <N>] [--selection power|gamma] [--csv]
+                    [--seed <N>] [--selection product|power|gamma] [--csv]
   sea-dse baseline  --objective r|tm|tmr --app <spec> --cores <N> [...optimize flags]
   sea-dse simulate  --app <spec> --cores <N> --scaling <s1,s2,...>
                     --groups <g0|g1|...> [--ser <rate>] [--seed <N>]
@@ -292,7 +305,9 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
 
 fn parse_app(args: &[String]) -> Result<AppSpec, CliError> {
     let Some(spec) = get_flag(args, "--app")? else {
-        return Err(CliError("missing --app (mpeg2 | fig8 | random:<tasks>[:<seed>])".into()));
+        return Err(CliError(
+            "missing --app (mpeg2 | fig8 | random:<tasks>[:<seed>])".into(),
+        ));
     };
     parse_app_spec(&spec)
 }
@@ -355,11 +370,16 @@ fn parse_optimize(args: &[String]) -> Result<OptimizeArgs, CliError> {
         Some(b) if b == "paper" => true,
         Some(b) => return Err(CliError(format!("unknown budget `{b}` (fast|paper)"))),
     };
-    let gamma_first = match get_flag(args, "--selection")? {
-        None => false,
-        Some(s) if s == "power" => false,
-        Some(s) if s == "gamma" => true,
-        Some(s) => return Err(CliError(format!("unknown selection `{s}` (power|gamma)"))),
+    let selection = match get_flag(args, "--selection")? {
+        None => SelectionSpec::Default,
+        Some(s) if s == "product" => SelectionSpec::Default,
+        Some(s) if s == "power" => SelectionSpec::Power,
+        Some(s) if s == "gamma" => SelectionSpec::Gamma,
+        Some(s) => {
+            return Err(CliError(format!(
+                "unknown selection `{s}` (product|power|gamma)"
+            )))
+        }
     };
     Ok(OptimizeArgs {
         app: parse_app(args)?,
@@ -370,7 +390,7 @@ fn parse_optimize(args: &[String]) -> Result<OptimizeArgs, CliError> {
             Some(s) => parse_num(&s, "seed")?,
             None => 0x5EA,
         },
-        gamma_first,
+        selection,
         csv: has_switch(args, "--csv"),
     })
 }
@@ -548,19 +568,18 @@ mod tests {
         assert_eq!(a.levels, 4);
         assert!(a.paper_budget);
         assert_eq!(a.seed, 9);
-        assert!(a.gamma_first);
+        assert_eq!(a.selection, SelectionSpec::Gamma);
         assert!(a.csv);
     }
 
     #[test]
     fn optimize_defaults() {
-        let Command::Optimize(a) = parse(&argv("optimize --app fig8 --cores 3")).unwrap()
-        else {
+        let Command::Optimize(a) = parse(&argv("optimize --app fig8 --cores 3")).unwrap() else {
             panic!()
         };
         assert_eq!(a.levels, 3);
         assert!(!a.paper_budget);
-        assert!(!a.gamma_first);
+        assert_eq!(a.selection, SelectionSpec::Default);
         assert!(!a.csv);
     }
 

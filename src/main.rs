@@ -5,9 +5,7 @@ use std::process::ExitCode;
 
 use sea_dse::arch::{Architecture, ScalingVector, SerModel};
 use sea_dse::baselines::{BaselineOptimizer, Objective};
-use sea_dse::cli::{
-    self, BaselineObjective, Command, DesignArgs, OptimizeArgs, PolicySpec,
-};
+use sea_dse::cli::{self, BaselineObjective, Command, DesignArgs, OptimizeArgs, PolicySpec};
 use sea_dse::opt::{
     DesignOptimizer, OptimizationOutcome, OptimizerConfig, SearchBudget, SelectionPolicy,
 };
@@ -104,8 +102,7 @@ fn run(cmd: Command) -> Result<(), String> {
             let app = s.app.build().map_err(|e| e.to_string())?;
             let arch = Architecture::arm7_calibrated(s.cores, cli::level_set(3));
             let ctx = EvalContext::new(&app, &arch);
-            let scaling =
-                ScalingVector::uniform(s.scale, &arch).map_err(|e| e.to_string())?;
+            let scaling = ScalingVector::uniform(s.scale, &arch).map_err(|e| e.to_string())?;
             let points =
                 sea_dse::baselines::sweep::random_mapping_sweep(&ctx, &scaling, s.count, s.seed)
                     .map_err(|e| e.to_string())?;
@@ -169,9 +166,10 @@ fn run(cmd: Command) -> Result<(), String> {
         }
         Command::Recovery(r) => {
             let (app, arch, mapping, scaling) = build_design(&r.design)?;
-            let ctx = EvalContext::new(&app, &arch)
-                .with_ser(SerModel::calibrated(r.design.ser));
-            let eval = ctx.evaluate(&mapping, &scaling).map_err(|e| e.to_string())?;
+            let ctx = EvalContext::new(&app, &arch).with_ser(SerModel::calibrated(r.design.ser));
+            let eval = ctx
+                .evaluate(&mapping, &scaling)
+                .map_err(|e| e.to_string())?;
             let policy = match r.policy {
                 PolicySpec::None => RecoveryPolicy::None,
                 PolicySpec::ReExec { coverage } => RecoveryPolicy::ReExecution {
@@ -188,7 +186,13 @@ fn run(cmd: Command) -> Result<(), String> {
                 },
             };
             let counts: Vec<usize> = mapping.groups().iter().map(Vec::len).collect();
-            let rep = recovery::analyze(&eval, &counts, app.mode().iterations(), app.deadline_s(), policy);
+            let rep = recovery::analyze(
+                &eval,
+                &counts,
+                app.mode().iterations(),
+                app.deadline_s(),
+                policy,
+            );
             println!("design:   {mapping} @ {scaling}");
             println!("Gamma:    {:.4e} expected SEUs", eval.gamma);
             println!(
@@ -218,9 +222,11 @@ fn config_of(a: &OptimizeArgs) -> OptimizerConfig {
         SearchBudget::fast()
     };
     cfg.seed = a.seed;
-    if a.gamma_first {
-        cfg.selection = SelectionPolicy::GammaFirst;
-    }
+    cfg.selection = match a.selection {
+        cli::SelectionSpec::Default => SelectionPolicy::PowerGammaProduct,
+        cli::SelectionSpec::Power => SelectionPolicy::PowerFirst { tolerance: 0.05 },
+        cli::SelectionSpec::Gamma => SelectionPolicy::GammaFirst,
+    };
     cfg
 }
 
@@ -246,8 +252,7 @@ fn build_design(
             app.graph().len()
         ));
     }
-    let scaling =
-        ScalingVector::try_new(d.scaling.clone(), &arch).map_err(|e| e.to_string())?;
+    let scaling = ScalingVector::try_new(d.scaling.clone(), &arch).map_err(|e| e.to_string())?;
     Ok((app, arch, mapping, scaling))
 }
 

@@ -39,8 +39,7 @@ fn batch_random_graphs_estimate_vs_measurement() {
             let scaling = ScalingVector::uniform(s, &arch).unwrap();
             let sched = ctx.schedule(&mapping, &scaling).unwrap();
             let trace = simulate_execution(&app, &arch, &mapping, &scaling).unwrap();
-            let rel =
-                (trace.tm_seconds - sched.makespan_s()).abs() / sched.makespan_s();
+            let rel = (trace.tm_seconds - sched.makespan_s()).abs() / sched.makespan_s();
             assert!(
                 rel < 0.35,
                 "seed {seed} s={s}: sim {} vs sched {} ({rel:.3})",
@@ -114,8 +113,7 @@ fn single_iteration_pipeline_equals_batch() {
 /// The CPI overhead slows timing without touching power or the register
 /// model, and Γ under whole-run exposure grows with it (longer exposure).
 #[test]
-fn cpi_overhead_affects_only_timing_dimensions()
-{
+fn cpi_overhead_affects_only_timing_dimensions() {
     let app = mpeg2::application();
     let ideal = Architecture::homogeneous(4, LevelSet::arm7_three_level());
     let slowed = Architecture::homogeneous(4, LevelSet::arm7_three_level())
@@ -168,7 +166,10 @@ fn gantt_and_groups_agree() {
 #[test]
 fn presets_are_optimizable() {
     use sea_dse::opt::{DesignOptimizer, OptimizerConfig};
-    for (app, cores) in [(presets::jpeg_encoder(), 3usize), (presets::sdr_receiver(), 4)] {
+    for (app, cores) in [
+        (presets::jpeg_encoder(), 3usize),
+        (presets::sdr_receiver(), 4),
+    ] {
         let out = DesignOptimizer::new(OptimizerConfig::fast(cores))
             .optimize(&app)
             .unwrap_or_else(|e| panic!("{} infeasible: {e}", app.name()));

@@ -21,13 +21,6 @@ fn arb_application() -> impl Strategy<Value = Application> {
     })
 }
 
-fn arb_mapping(n_tasks: usize, n_cores: usize) -> impl Strategy<Value = Mapping> {
-    proptest::collection::vec(0..n_cores, n_tasks).prop_map(move |cores| {
-        Mapping::try_new(cores.into_iter().map(CoreId::new).collect(), n_cores)
-            .expect("indices are in range")
-    })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
