@@ -93,6 +93,12 @@ impl BaselineOptimizer {
     /// has a long `TM`, cannot be scaled far down, and ends up with the
     /// highest power; the max-parallelism mapping (Exp:2) scales deepest.
     ///
+    /// The run is sequential by construction — stage 1 is one annealing
+    /// chain and stage 2 one cheap evaluation per scaling — so
+    /// [`OptimizerConfig::jobs`] is intentionally ignored here (it fans
+    /// out `sea_opt::DesignOptimizer`'s per-scaling searches, which the
+    /// baseline does not have).
+    ///
     /// # Errors
     ///
     /// Mirrors [`sea_opt::DesignOptimizer::optimize`]: [`OptError::TooFewTasks`]

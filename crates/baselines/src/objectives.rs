@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sea_sched::metrics::MappingEvaluation;
+use sea_sched::metrics::{EvalSummary, MappingEvaluation};
 
 /// The figure of merit a baseline minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -18,14 +18,27 @@ pub enum Objective {
 }
 
 impl Objective {
-    /// Raw objective value for an evaluated design (lower is better).
+    /// Raw objective value for an evaluation summary (lower is better) —
+    /// the `Copy`, allocation-free form used by the annealer's hot loop.
     #[must_use]
-    pub fn score(self, eval: &MappingEvaluation) -> f64 {
+    pub fn score_summary(self, eval: &EvalSummary) -> f64 {
         match self {
             Objective::RegisterUsage => eval.r_total.as_f64(),
             Objective::Parallelism => eval.tm_seconds,
             Objective::RegTimeProduct => eval.tm_seconds * eval.r_total.as_f64(),
         }
+    }
+
+    /// Raw objective value for an evaluated design (lower is better).
+    #[must_use]
+    pub fn score(self, eval: &MappingEvaluation) -> f64 {
+        self.score_summary(&eval.summary())
+    }
+
+    /// [`Objective::penalized_score`] over a summary (hot-loop form).
+    #[must_use]
+    pub fn penalized_summary(self, eval: &EvalSummary, deadline_s: f64) -> f64 {
+        self.score_summary(eval) * sea_opt::optimized::deadline_penalty_factor(eval, deadline_s)
     }
 
     /// Score with a deadline penalty: infeasible designs are pushed above
@@ -35,7 +48,7 @@ impl Objective {
     /// penalize infeasibility identically.
     #[must_use]
     pub fn penalized_score(self, eval: &MappingEvaluation, deadline_s: f64) -> f64 {
-        self.score(eval) * sea_opt::optimized::deadline_penalty_factor(eval, deadline_s)
+        self.penalized_summary(&eval.summary(), deadline_s)
     }
 
     /// The Table II experiment label for reports.

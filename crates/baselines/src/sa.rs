@@ -7,15 +7,25 @@
 //! with probability `exp(−Δ/T)` where `Δ` is the *relative* score increase
 //! (scale-free, so one schedule works for register-usage and
 //! execution-time objectives alike).
+//!
+//! The proposal loop runs on the same allocation-free machinery as the
+//! proposed flow's search ([`sea_opt::optimized`]): moves are drawn by
+//! index from the lazy neighbourhood, applied in place and undone via the
+//! inverse move on rejection, and candidates are evaluated through the
+//! scratch-buffer [`Evaluator`] into `Copy` summaries. The budget-parity
+//! contract therefore keeps comparing mapping *objectives*, not allocator
+//! pressure: both flows pay the same per-candidate cost.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use sea_arch::{CoreId, ScalingVector};
+use sea_opt::clock::{Clock, WallClock};
+use sea_opt::optimized::{apply_counted, move_keeps_all_cores, neighbourhood_len_from_counts};
 use sea_opt::{OptError, SearchBudget};
-use sea_sched::metrics::{EvalContext, MappingEvaluation};
-use sea_sched::Mapping;
+use sea_sched::metrics::{EvalContext, EvalSummary, MappingEvaluation};
+use sea_sched::{Evaluator, Mapping};
 
 use crate::objectives::Objective;
 
@@ -102,7 +112,25 @@ impl SimulatedAnnealing {
         scaling: &ScalingVector,
         objective: Objective,
     ) -> Result<SaOutcome, OptError> {
-        self.map_inner(ctx, scaling, objective, true)
+        self.map_inner(ctx, scaling, objective, true, &WallClock::start())
+    }
+
+    /// [`SimulatedAnnealing::map`] with an injectable [`Clock`], so
+    /// time-limited annealing runs are testable without real sleeps (the
+    /// same contract [`sea_opt::optimized::optimized_mapping_scratch`]
+    /// gives the proposed flow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors ([`OptError::Sched`]).
+    pub fn map_with_clock(
+        &self,
+        ctx: &EvalContext<'_>,
+        scaling: &ScalingVector,
+        objective: Objective,
+        clock: &dyn Clock,
+    ) -> Result<SaOutcome, OptError> {
+        self.map_inner(ctx, scaling, objective, true, clock)
     }
 
     /// Maps minimizing the *pure* objective, ignoring the deadline — the
@@ -118,7 +146,7 @@ impl SimulatedAnnealing {
         scaling: &ScalingVector,
         objective: Objective,
     ) -> Result<SaOutcome, OptError> {
-        self.map_inner(ctx, scaling, objective, false)
+        self.map_inner(ctx, scaling, objective, false, &WallClock::start())
     }
 
     fn map_inner(
@@ -127,59 +155,69 @@ impl SimulatedAnnealing {
         scaling: &ScalingVector,
         objective: Objective,
         penalize_deadline: bool,
+        clock: &dyn Clock,
     ) -> Result<SaOutcome, OptError> {
         let deadline = ctx.app().deadline_s();
-        let score_of = |eval: &MappingEvaluation| {
+        let score_of = |eval: &EvalSummary| {
             if penalize_deadline {
-                objective.penalized_score(eval, deadline)
+                objective.penalized_summary(eval, deadline)
             } else {
-                objective.score(eval)
+                objective.score_summary(eval)
             }
         };
         let n_cores = ctx.arch().n_cores();
         let require_all_cores = ctx.app().graph().len() >= n_cores;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut ev = Evaluator::new(ctx.clone());
 
         let mut current = balanced_seed(ctx, n_cores);
-        let mut current_eval = ctx.evaluate(&current, scaling)?;
-        let mut current_score = score_of(&current_eval);
+        let mut current_summary = ev.evaluate(&current, scaling)?;
+        let mut current_score = score_of(&current_summary);
         let mut evaluations = 1usize;
 
         let mut best = current.clone();
-        let mut best_eval = current_eval.clone();
+        let mut best_summary = current_summary;
         let mut best_score = current_score;
 
+        // Per-core occupancy cache for the O(C) validity check and
+        // neighbourhood size.
+        let mut counts: Vec<usize> = Vec::new();
+        current.count_per_core_into(&mut counts);
+        let n_tasks = current.n_tasks();
+        let mut n_moves = neighbourhood_len_from_counts(n_tasks, &counts);
+        debug_assert_eq!(n_moves, current.neighbourhood_len());
+
         let mut temperature = self.config.initial_temperature;
-        let started = std::time::Instant::now();
         let mut consecutive_skips = 0usize;
         while evaluations < self.config.iterations
             && self
                 .config
                 .time_limit
-                .is_none_or(|limit| started.elapsed() < limit)
+                .is_none_or(|limit| clock.elapsed() < limit)
         {
-            let moves = current.neighbourhood();
-            if moves.is_empty() {
+            if n_moves == 0 {
                 break;
             }
-            let mv = moves[rng.gen_range(0..moves.len())];
-            let candidate = current.with_move(mv);
+            let mv = current
+                .nth_neighbourhood_move(rng.gen_range(0..n_moves))
+                .expect("index drawn within the neighbourhood");
             // Skipped (structurally-invalid) moves consume no evaluation,
             // so they must not cool the schedule either — the proposed
             // flow's annealer freezes cooling on skips for the same
             // reason, keeping the two schedules budget-matched. The skip
             // cap guards a degenerate all-invalid neighbourhood.
-            if require_all_cores && !candidate.uses_all_cores() {
+            if require_all_cores && !move_keeps_all_cores(&counts, &current, mv) {
                 consecutive_skips += 1;
-                if consecutive_skips > moves.len().saturating_mul(50) {
+                if consecutive_skips > n_moves.saturating_mul(50) {
                     break;
                 }
                 continue;
             }
             consecutive_skips = 0;
-            let eval = ctx.evaluate(&candidate, scaling)?;
+            let inverse = apply_counted(&mut current, &mut counts, mv);
+            let summary = ev.evaluate(&current, scaling)?;
             evaluations += 1;
-            let score = score_of(&eval);
+            let score = score_of(&summary);
 
             let accept = if score <= current_score {
                 true
@@ -188,23 +226,28 @@ impl SimulatedAnnealing {
                 rng.gen_range(0.0..1.0f64) < (-delta / temperature.max(1e-12)).exp()
             };
             if accept {
-                current = candidate;
-                current_eval = eval;
+                current_summary = summary;
                 current_score = score;
+                n_moves = neighbourhood_len_from_counts(n_tasks, &counts);
+                debug_assert_eq!(n_moves, current.neighbourhood_len());
                 if current_score < best_score
-                    || (current_eval.meets_deadline && !best_eval.meets_deadline)
+                    || (current_summary.meets_deadline && !best_summary.meets_deadline)
                 {
-                    best = current.clone();
-                    best_eval = current_eval.clone();
+                    best.clone_from(&current);
+                    best_summary = current_summary;
                     best_score = current_score;
                 }
+            } else {
+                apply_counted(&mut current, &mut counts, inverse);
             }
             temperature *= self.config.cooling;
         }
 
+        // Off-budget full evaluation of the returned best design.
+        let evaluation = ev.evaluate_full(&best, scaling)?;
         Ok(SaOutcome {
             mapping: best,
-            evaluation: best_eval,
+            evaluation,
             evaluations,
         })
     }
@@ -293,6 +336,32 @@ mod tests {
         let seed_eval = ctx.evaluate(&balanced_seed(&ctx, 4), &s).unwrap();
         let out = fast_sa(3).map(&ctx, &s, Objective::RegisterUsage).unwrap();
         assert!(out.evaluation.r_total <= seed_eval.r_total);
+    }
+
+    #[test]
+    fn step_clock_time_limit_is_deterministic() {
+        use sea_opt::StepClock;
+        let (app, arch) = setup();
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::uniform(2, &arch).unwrap();
+        let step = std::time::Duration::from_millis(1);
+        let sa = SimulatedAnnealing::new(SaConfig {
+            iterations: usize::MAX,
+            initial_temperature: 0.1,
+            cooling: 0.997,
+            seed: 4,
+            time_limit: Some(step * 30),
+        });
+        let run = || {
+            sa.map_with_clock(&ctx, &s, Objective::RegisterUsage, &StepClock::new(step))
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        // The clock expires after exactly 30 queries on any machine.
+        assert_eq!(a.evaluations, b.evaluations);
+        assert!(a.evaluations <= 31);
+        assert_eq!(a.mapping, b.mapping);
     }
 
     #[test]

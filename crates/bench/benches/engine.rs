@@ -1,0 +1,67 @@
+//! Engine benchmarks for the allocation-free DSE pipeline:
+//!
+//! * evaluations/second of the seed clone-per-candidate path
+//!   (`Mapping::with_move` + `EvalContext::evaluate`) vs. the scratch
+//!   [`Evaluator`] with the in-place apply/undo move protocol;
+//! * full-optimizer wall-clock on `OptimizerConfig::paper(4)` / MPEG-2 as
+//!   a function of `--jobs` (the outcome is bitwise identical for every
+//!   job count, so the ratio is pure speedup).
+
+use criterion::{black_box, Criterion};
+use sea_arch::{Architecture, LevelSet, ScalingVector};
+use sea_opt::{DesignOptimizer, OptimizerConfig};
+use sea_sched::evaluator::Evaluator;
+use sea_sched::metrics::EvalContext;
+use sea_sched::Mapping;
+use sea_taskgraph::mpeg2;
+
+fn main() {
+    let app = mpeg2::application();
+    let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+    let ctx = EvalContext::new(&app, &arch);
+    let scaling = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+    let mapping = Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
+    // One full neighbourhood sweep per sample (the annealer's unit of work).
+    let moves = mapping.neighbourhood();
+
+    let mut c = Criterion::default().sample_size(20);
+    c.bench_function("engine/evaluate seed clone-per-candidate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &mv in &moves {
+                let candidate = mapping.with_move(mv);
+                acc += ctx.evaluate(&candidate, &scaling).unwrap().gamma;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("engine/evaluate scratch apply-undo", |b| {
+        let mut ev = Evaluator::new(ctx.clone());
+        let mut m = mapping.clone();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &mv in &moves {
+                let inverse = m.apply(mv);
+                acc += ev.evaluate(&m, &scaling).unwrap().gamma;
+                m.apply(inverse);
+            }
+            black_box(acc)
+        })
+    });
+
+    // Full-flow scaling: 15 scalings × 60k evaluations (paper budget).
+    let mut c = Criterion::default().sample_size(3);
+    for jobs in [1, 2, 4, 8] {
+        c.bench_function(
+            &format!("engine/optimize paper(4) mpeg2 jobs={jobs}"),
+            |b| {
+                b.iter(|| {
+                    let out = DesignOptimizer::new(OptimizerConfig::paper(4).with_jobs(jobs))
+                        .optimize(&app)
+                        .unwrap();
+                    black_box(out.total_evaluations)
+                })
+            },
+        );
+    }
+}

@@ -5,18 +5,70 @@
 //! error-aware task mapping (step 2: [`crate::initial`] then
 //! [`crate::optimized`]) and assesses the resulting design (step 3). The
 //! best feasible design under the configured [`SelectionPolicy`] wins.
+//!
+//! # Parallelism and determinism
+//!
+//! The scaling enumeration is embarrassingly parallel, so the driver
+//! partitions it into fixed, index-based chunks of [`SCALING_CHUNK`]
+//! combinations and fans the chunks out over a `std::thread::scope` worker
+//! pool of [`OptimizerConfig::jobs`] threads (std-only; no external
+//! runtime). The partition is a function of the enumeration alone — never
+//! of the job count — the per-scaling search seeds derive from the global
+//! enumeration index, the continuation warm-start chain lives *within* a
+//! chunk, and chunk results are merged back in enumeration order.
+//! **Consequently [`DesignOptimizer::optimize`] returns a bitwise
+//! identical [`OptimizationOutcome`] (best design, explored order,
+//! evaluation counts) for every `jobs` value, including 1**; `jobs` trades
+//! wall-clock time only. `tests/determinism.rs` pins this guarantee.
+//!
+//! One caveat: the guarantee covers evaluation-count budgets (the
+//! default). A [`SearchBudget::time_limit`] ties each search to real
+//! elapsed time, which no engine — sequential included — reproduces
+//! exactly across runs, machines, or load levels; under a wall-clock cap
+//! the job count additionally shifts where each search's limit lands.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use serde::{Deserialize, Serialize};
 
 use sea_arch::{Architecture, LevelSet, ScalingVector, SerModel};
 use sea_sched::metrics::{EvalContext, ExposurePolicy, MappingEvaluation};
-use sea_sched::Mapping;
+use sea_sched::{Evaluator, Mapping};
 use sea_taskgraph::Application;
 
+use crate::clock::WallClock;
 use crate::initial::initial_sea_mapping;
-use crate::optimized::{optimized_mapping_from, prefer_start, SearchBudget};
+use crate::optimized::{optimized_mapping_scratch, prefer_start, SearchBudget};
 use crate::scaling::ScalingIter;
 use crate::OptError;
+
+/// Scaling combinations per enumeration chunk. A chunk is the unit of
+/// parallel work *and* the span of one continuation warm-start chain; the
+/// value is a fixed property of the algorithm (never derived from the job
+/// count) so that outcomes are identical for every `jobs` setting. Three
+/// combinations per chunk keeps most of the warm-start benefit (two of
+/// every three scalings start from a neighbouring winner) while leaving
+/// enough chunks (5 for the paper's 15-combination four-core space, 10 for
+/// the 4-level space) to keep a worker pool busy.
+pub const SCALING_CHUNK: usize = 3;
+
+/// Default worker count for [`OptimizerConfig::jobs`]: the `SEA_JOBS`
+/// environment variable when set (parse failures fall back), else the
+/// machine's available parallelism. Results do not depend on the value —
+/// see the [module docs](self) — so the default favours speed.
+#[must_use]
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("SEA_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// How the iterative assessment ranks feasible designs (the paper jointly
 /// minimizes power and SEUs).
@@ -60,6 +112,10 @@ pub struct OptimizerConfig {
     pub selection: SelectionPolicy,
     /// Seed for the search's perturbation RNG.
     pub seed: u64,
+    /// Worker threads for the chunked scaling enumeration. Outcomes are
+    /// bitwise identical for every value (see the [module docs](self));
+    /// defaults to [`default_jobs`].
+    pub jobs: usize,
 }
 
 impl OptimizerConfig {
@@ -77,6 +133,7 @@ impl OptimizerConfig {
             budget: SearchBudget::thorough(),
             selection: SelectionPolicy::default(),
             seed: 0x5EA,
+            jobs: default_jobs(),
         }
     }
 
@@ -101,6 +158,13 @@ impl OptimizerConfig {
         self.arch = Architecture::homogeneous(n, levels)
             .with_cpi_overhead(overhead)
             .expect("existing overhead is valid");
+        self
+    }
+
+    /// Sets the worker-thread count (non-consuming builder).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 }
@@ -150,6 +214,14 @@ impl OptimizationOutcome {
     }
 }
 
+/// Everything one chunk of the enumeration reports back to the merger.
+struct ChunkOutcome {
+    outcomes: Vec<ScalingOutcome>,
+    /// Warm-start comparison evaluations, charged to the run total but not
+    /// to any single scaling (mirroring the sequential accounting).
+    extra_evaluations: usize,
+}
+
 /// The proposed soft error-aware design optimizer (paper Fig. 4).
 #[derive(Debug, Clone)]
 pub struct DesignOptimizer {
@@ -169,7 +241,10 @@ impl DesignOptimizer {
         &self.config
     }
 
-    /// Runs the full flow on `app`.
+    /// Runs the full flow on `app`, fanning the scaling enumeration out
+    /// over [`OptimizerConfig::jobs`] worker threads. The outcome is
+    /// bitwise identical for every `jobs` value (see the
+    /// [module docs](self) for the chunking scheme behind the guarantee).
     ///
     /// # Errors
     ///
@@ -178,74 +253,48 @@ impl DesignOptimizer {
     /// the real-time constraint.
     pub fn optimize(&self, app: &Application) -> Result<OptimizationOutcome, OptError> {
         let arch = &self.config.arch;
-        let ctx = EvalContext::new(app, arch)
-            .with_ser(self.config.ser)
-            .with_exposure(self.config.exposure);
+        let scalings = ScalingIter::for_architecture(arch)
+            .map(|raw| ScalingVector::try_new(raw, arch))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n_chunks = scalings.len().div_ceil(SCALING_CHUNK);
+        let jobs = self.config.jobs.clamp(1, n_chunks.max(1));
 
-        let mut explored = Vec::new();
+        let chunk_results: Vec<Result<ChunkOutcome, OptError>> = if jobs == 1 {
+            (0..n_chunks)
+                .map(|k| self.explore_chunk(app, &scalings, k))
+                .collect()
+        } else {
+            self.explore_parallel(app, &scalings, n_chunks, jobs)
+        };
+
+        // Merge in enumeration order; the fold below then reproduces the
+        // sequential selection exactly.
+        let mut explored = Vec::with_capacity(scalings.len());
         let mut total_evaluations = 0usize;
+        for result in chunk_results {
+            let chunk = result?;
+            total_evaluations += chunk.extra_evaluations;
+            explored.extend(chunk.outcomes);
+        }
+
         let mut best: Option<DesignPoint> = None;
         let mut best_tm = f64::INFINITY;
-        // Continuation warm start: the Γ landscape changes smoothly between
-        // neighbouring scaling combinations, so each search also considers
-        // the previous scaling's winner and starts from whichever of
-        // {greedy SEA seed, previous winner} scores better here. Search
-        // progress accumulates across the enumeration instead of being
-        // rebuilt from scratch per scaling.
-        let mut warm: Option<Mapping> = None;
-
-        for (i, raw) in ScalingIter::for_architecture(arch).enumerate() {
-            let scaling = ScalingVector::try_new(raw, arch)?;
-            let initial = initial_sea_mapping(&ctx, &scaling)?;
-            let init_eval = ctx.evaluate(&initial, &scaling)?;
-            let (start, start_eval) = match &warm {
-                None => (initial, init_eval),
-                Some(w) => {
-                    let warm_eval = ctx.evaluate(w, &scaling)?;
-                    // The losing start's evaluation is charged here; the
-                    // winner's is charged inside the search.
-                    total_evaluations += 1;
-                    if prefer_start(&warm_eval, &init_eval, app.deadline_s()) {
-                        (w.clone(), warm_eval)
-                    } else {
-                        (initial, init_eval)
-                    }
-                }
-            };
-            let out = optimized_mapping_from(
-                &ctx,
-                &scaling,
-                start,
-                start_eval,
-                self.config.budget,
-                // Decorrelate the perturbation streams across scalings.
-                self.config.seed.wrapping_add(i as u64),
-            )?;
-            warm = Some(out.mapping.clone());
-            total_evaluations += out.evaluations;
-            best_tm = best_tm.min(out.evaluation.tm_seconds);
-
-            let point = DesignPoint {
-                scaling: scaling.clone(),
-                mapping: out.mapping,
-                evaluation: out.evaluation,
-            };
-            let feasible = point.evaluation.meets_deadline;
-            if feasible {
+        for outcome in &explored {
+            total_evaluations += outcome.evaluations;
+            let point = outcome
+                .best
+                .as_ref()
+                .expect("every explored scaling records its best design");
+            best_tm = best_tm.min(point.evaluation.tm_seconds);
+            if outcome.feasible {
                 let replace = match &best {
                     None => true,
-                    Some(incumbent) => self.prefer(&point, incumbent),
+                    Some(incumbent) => self.prefer(point, incumbent),
                 };
                 if replace {
                     best = Some(point.clone());
                 }
             }
-            explored.push(ScalingOutcome {
-                scaling,
-                best: Some(point),
-                feasible,
-                evaluations: out.evaluations,
-            });
         }
 
         match best {
@@ -259,6 +308,120 @@ impl DesignOptimizer {
                 deadline_s: app.deadline_s(),
             }),
         }
+    }
+
+    /// Fans chunks out over a scoped worker pool. Workers pull chunk
+    /// indices from a shared counter (dynamic load balancing) and report
+    /// `(index, result)` over a channel; the results land in index order
+    /// regardless of completion order.
+    fn explore_parallel(
+        &self,
+        app: &Application,
+        scalings: &[ScalingVector],
+        n_chunks: usize,
+        jobs: usize,
+    ) -> Vec<Result<ChunkOutcome, OptError>> {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<ChunkOutcome, OptError>>> =
+            (0..n_chunks).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n_chunks {
+                        break;
+                    }
+                    let result = self.explore_chunk(app, scalings, k);
+                    if tx.send((k, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (k, result) in rx {
+                slots[k] = Some(result);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every chunk reports exactly once"))
+            .collect()
+    }
+
+    /// Explores chunk `chunk_index` of the enumeration sequentially with
+    /// one scratch [`Evaluator`]. The continuation warm start — the Γ
+    /// landscape changes smoothly between neighbouring scalings, so each
+    /// search also considers the previous scaling's winner and starts from
+    /// whichever of {greedy SEA seed, previous winner} scores better —
+    /// chains *within* the chunk only, which is what keeps chunks
+    /// independent and the overall outcome job-count-invariant.
+    fn explore_chunk(
+        &self,
+        app: &Application,
+        scalings: &[ScalingVector],
+        chunk_index: usize,
+    ) -> Result<ChunkOutcome, OptError> {
+        let ctx = EvalContext::new(app, &self.config.arch)
+            .with_ser(self.config.ser)
+            .with_exposure(self.config.exposure);
+        let mut ev = Evaluator::new(ctx);
+        let mut warm: Option<Mapping> = None;
+        let mut outcomes = Vec::with_capacity(SCALING_CHUNK);
+        let mut extra_evaluations = 0usize;
+
+        for (i, scaling) in scalings
+            .iter()
+            .enumerate()
+            .skip(chunk_index * SCALING_CHUNK)
+            .take(SCALING_CHUNK)
+        {
+            let initial = initial_sea_mapping(ev.ctx(), scaling)?;
+            let init_summary = ev.evaluate(&initial, scaling)?;
+            let (start, start_summary) = match &warm {
+                None => (initial, init_summary),
+                Some(w) => {
+                    let warm_summary = ev.evaluate(w, scaling)?;
+                    // The losing start's evaluation is charged here; the
+                    // winner's is charged inside the search.
+                    extra_evaluations += 1;
+                    if prefer_start(&warm_summary, &init_summary, app.deadline_s()) {
+                        (w.clone(), warm_summary)
+                    } else {
+                        (initial, init_summary)
+                    }
+                }
+            };
+            let out = optimized_mapping_scratch(
+                &mut ev,
+                scaling,
+                start,
+                start_summary,
+                self.config.budget,
+                // Decorrelate the perturbation streams across scalings;
+                // the seed depends on the global enumeration index only.
+                self.config.seed.wrapping_add(i as u64),
+                &WallClock::start(),
+            )?;
+            warm = Some(out.mapping.clone());
+            let feasible = out.feasible;
+            outcomes.push(ScalingOutcome {
+                scaling: scaling.clone(),
+                best: Some(DesignPoint {
+                    scaling: scaling.clone(),
+                    mapping: out.mapping,
+                    evaluation: out.evaluation,
+                }),
+                feasible,
+                evaluations: out.evaluations,
+            });
+        }
+        Ok(ChunkOutcome {
+            outcomes,
+            extra_evaluations,
+        })
     }
 
     /// True if `candidate` should replace `incumbent` under the selection
@@ -378,6 +541,22 @@ mod tests {
             .unwrap();
         assert_eq!(a.best.mapping, b.best.mapping);
         assert_eq!(a.best.scaling, b.best.scaling);
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_outcome() {
+        let app = mpeg2::application();
+        let run = |jobs: usize| {
+            DesignOptimizer::new(OptimizerConfig::fast(4).with_jobs(jobs))
+                .optimize(&app)
+                .unwrap()
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.best.mapping, par.best.mapping);
+        assert_eq!(seq.best.scaling, par.best.scaling);
+        assert_eq!(seq.best.evaluation, par.best.evaluation);
+        assert_eq!(seq.total_evaluations, par.total_evaluations);
     }
 
     #[test]

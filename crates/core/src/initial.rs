@@ -156,8 +156,16 @@ pub fn initial_sea_mapping(
             } else {
                 l.sort_by(|&a, &b| {
                     let key = |t: TaskId| {
-                        let mut mask = core_blocks[core_idx].clone();
-                        let added = registers.union_add(&mut mask, t);
+                        // Incremental register usage if `t` joined the core,
+                        // computed read-only against the occupancy mask (no
+                        // per-comparison mask clone on this hot path).
+                        let mask = &core_blocks[core_idx];
+                        let added: Bits = registers
+                            .task_blocks(t)
+                            .iter()
+                            .filter(|b| !mask[b.index()])
+                            .map(|&b| registers.block(b).bits())
+                            .sum();
                         let r_new = core_bits[core_idx] + added;
                         let t_new = core_cycles[core_idx] + g.task(t).computation().as_f64();
                         let gamma = lambda[core_idx] * r_new.as_f64() * t_new;

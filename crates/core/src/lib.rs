@@ -18,6 +18,14 @@
 //!
 //! The entry point is [`driver::DesignOptimizer`].
 //!
+//! The scaling enumeration runs on a chunked `std::thread::scope` worker
+//! pool ([`OptimizerConfig::jobs`]); the chunk partition and search seeds
+//! are functions of the enumeration alone, so **the outcome is bitwise
+//! identical for every job count** — see [`driver`] for the scheme. The
+//! per-candidate objective runs through the allocation-free
+//! [`sea_sched::Evaluator`] ([`optimized`]), and wall-clock-limited
+//! budgets read time from an injectable [`clock::Clock`].
+//!
 //! # Example
 //!
 //! ```
@@ -31,14 +39,16 @@
 //! assert!(outcome.best.evaluation.meets_deadline);
 //! ```
 
+pub mod clock;
 pub mod driver;
 pub mod initial;
 pub mod optimized;
 pub mod scaling;
 
+pub use clock::{Clock, StepClock, WallClock};
 pub use driver::{
-    DesignOptimizer, DesignPoint, OptimizationOutcome, OptimizerConfig, ScalingOutcome,
-    SelectionPolicy,
+    default_jobs, DesignOptimizer, DesignPoint, OptimizationOutcome, OptimizerConfig,
+    ScalingOutcome, SelectionPolicy, SCALING_CHUNK,
 };
 pub use optimized::{SearchBudget, SearchOutcome};
 pub use scaling::ScalingIter;

@@ -26,15 +26,29 @@
 //! infeasible ones on `TM` — and is the one returned, so the relaxed
 //! acceptance never worsens the outcome and a never-feasible run still
 //! returns its tightest design.
+//!
+//! # Allocation-free engine
+//!
+//! The engine underneath, [`optimized_mapping_scratch`], performs **zero
+//! steady-state heap allocation**: candidates are produced by applying a
+//! move in place and undone via the inverse [`Move`] when rejected
+//! (never by cloning the mapping), moves are drawn by index through
+//! [`Mapping::nth_neighbourhood_move`] (never by materializing a
+//! `Vec<Move>`), evaluation goes through the scratch-buffer
+//! [`Evaluator`], and scores travel as the `Copy` [`EvalSummary`]. Its
+//! decision sequence — RNG draws, acceptance tests, best tracking — is
+//! identical to the original clone-per-candidate implementation, so it
+//! returns the same design for the same seed, just faster.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use sea_arch::ScalingVector;
-use sea_sched::metrics::{EvalContext, MappingEvaluation};
-use sea_sched::{Mapping, Move};
+use sea_sched::metrics::{EvalContext, EvalSummary, MappingEvaluation};
+use sea_sched::{Evaluator, Mapping, Move};
 
+use crate::clock::{Clock, WallClock};
 use crate::OptError;
 
 /// Search budget for one `OptimizedMapping` run.
@@ -42,7 +56,9 @@ use crate::OptError;
 /// The primary budget is the deterministic evaluation count; an optional
 /// wall-clock limit mirrors the paper's literal protocol ("we impose a
 /// time-limit of 40 minutes to search the design space for each voltage
-/// scaling") for users who prefer time-boxed runs.
+/// scaling") for users who prefer time-boxed runs. Elapsed time is read
+/// from an injectable [`Clock`], so time-boxed budgets are testable
+/// without real sleeps (see [`crate::clock::StepClock`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchBudget {
     /// Maximum number of candidate evaluations (list schedules).
@@ -90,13 +106,14 @@ impl SearchBudget {
         self
     }
 
-    /// True if either budget dimension is exhausted.
+    /// True if either budget dimension is exhausted. The clock is only
+    /// queried when a time limit is set.
     #[must_use]
-    pub fn exhausted(&self, evaluations: usize, started: std::time::Instant) -> bool {
+    pub fn exhausted(&self, evaluations: usize, clock: &dyn Clock) -> bool {
         evaluations >= self.max_evaluations
             || self
                 .time_limit
-                .is_some_and(|limit| started.elapsed() >= limit)
+                .is_some_and(|limit| clock.elapsed() >= limit)
     }
 }
 
@@ -121,6 +138,9 @@ pub struct SearchOutcome {
 
 /// Runs the Fig. 7 neighbourhood search from `initial`.
 ///
+/// Convenience wrapper over [`optimized_mapping_scratch`] that builds a
+/// one-shot [`Evaluator`] and uses the real [`WallClock`].
+///
 /// # Errors
 ///
 /// Propagates evaluation errors ([`OptError::Sched`]).
@@ -131,8 +151,17 @@ pub fn optimized_mapping(
     budget: SearchBudget,
     seed: u64,
 ) -> Result<SearchOutcome, OptError> {
-    let initial_eval = ctx.evaluate(&initial, scaling)?;
-    optimized_mapping_from(ctx, scaling, initial, initial_eval, budget, seed)
+    let mut ev = Evaluator::new(ctx.clone());
+    let initial_summary = ev.evaluate(&initial, scaling)?;
+    optimized_mapping_scratch(
+        &mut ev,
+        scaling,
+        initial,
+        initial_summary,
+        budget,
+        seed,
+        &WallClock::start(),
+    )
 }
 
 /// [`optimized_mapping`] for callers that already evaluated the starting
@@ -151,21 +180,52 @@ pub fn optimized_mapping_from(
     budget: SearchBudget,
     seed: u64,
 ) -> Result<SearchOutcome, OptError> {
-    let require_all_cores = ctx.app().graph().len() >= ctx.arch().n_cores();
+    let mut ev = Evaluator::new(ctx.clone());
+    optimized_mapping_scratch(
+        &mut ev,
+        scaling,
+        initial,
+        initial_eval.summary(),
+        budget,
+        seed,
+        &WallClock::start(),
+    )
+}
+
+/// The allocation-free search engine (see the module docs). `ev` supplies
+/// the reusable scratch buffers and is typically shared across the
+/// scalings of one enumeration chunk; `initial_summary` must be
+/// `ev.evaluate(&initial, scaling)` (it is reused, not recomputed, and
+/// counts as the one initial evaluation).
+///
+/// # Errors
+///
+/// Propagates evaluation errors ([`OptError::Sched`]).
+#[allow(clippy::too_many_arguments)]
+pub fn optimized_mapping_scratch(
+    ev: &mut Evaluator<'_>,
+    scaling: &ScalingVector,
+    initial: Mapping,
+    initial_summary: EvalSummary,
+    budget: SearchBudget,
+    seed: u64,
+    clock: &dyn Clock,
+) -> Result<SearchOutcome, OptError> {
+    let require_all_cores = ev.ctx().app().graph().len() >= ev.ctx().arch().n_cores();
+    let deadline = ev.ctx().app().deadline_s();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut evaluations = 1usize; // the initial evaluation
 
     let mut current = initial;
-    let mut current_eval = initial_eval;
+    let mut current_summary = initial_summary;
 
     // `best` tracks the incumbent under the search ordering: feasible
     // beats infeasible, feasible points compare on Γ, infeasible points on
     // TM — so even a never-feasible run returns its tightest design.
     let mut best = current.clone();
-    let mut best_eval = current_eval.clone();
+    let mut best_summary = current_summary;
 
-    let deadline = ctx.app().deadline_s();
-    let mut current_score = penalized_gamma(&current_eval, deadline);
+    let mut current_score = penalized_gamma(&current_summary, deadline);
 
     // Annealing schedule sized to the evaluation budget: the temperature
     // decays geometrically to 1 % of its initial value by the time the
@@ -182,7 +242,6 @@ pub fn optimized_mapping_from(
     // the anneal off before its exploitation phase.
     let cold = INITIAL_TEMPERATURE * 0.02;
     let mut since_best = 0usize;
-    let mut moves: Vec<Move> = current.neighbourhood();
     let stale_limit = |n_moves: usize| {
         budget
             .max_stale_sweeps
@@ -190,31 +249,39 @@ pub fn optimized_mapping_from(
             .saturating_mul(n_moves.max(1))
     };
 
-    let started = std::time::Instant::now();
+    // Per-core occupancy, kept in sync with `current` so both the
+    // all-cores-stay-occupied validity check and the neighbourhood size
+    // are O(C) per proposal/acceptance.
+    let mut counts: Vec<usize> = Vec::new();
+    current.count_per_core_into(&mut counts);
+    let n_tasks = current.n_tasks();
+    let mut n_moves = neighbourhood_len_from_counts(n_tasks, &counts);
+    debug_assert_eq!(n_moves, current.neighbourhood_len());
+
     let mut consecutive_skips = 0usize;
-    while !budget.exhausted(evaluations, started)
-        && !moves.is_empty()
-        && since_best <= stale_limit(moves.len())
+    while !budget.exhausted(evaluations, clock) && n_moves > 0 && since_best <= stale_limit(n_moves)
     {
-        let mv = moves[rng.gen_range(0..moves.len())];
-        let candidate = current.with_move(mv);
+        let mv = current
+            .nth_neighbourhood_move(rng.gen_range(0..n_moves))
+            .expect("index drawn within the neighbourhood");
         // Structurally-invalid moves consume no evaluation budget, so
         // they must not advance the schedule either: cooling (and stale
         // counting) on skips would quench the anneal with budget unspent
         // on workloads where many relocations would empty a core. The
         // skip cap guards the degenerate all-invalid neighbourhood, which
         // would otherwise spin without ever touching the budget.
-        if require_all_cores && !candidate.uses_all_cores() {
+        if require_all_cores && !move_keeps_all_cores(&counts, &current, mv) {
             consecutive_skips += 1;
-            if consecutive_skips > moves.len().saturating_mul(50) {
+            if consecutive_skips > n_moves.saturating_mul(50) {
                 break;
             }
             continue;
         }
         consecutive_skips = 0;
-        let eval = ctx.evaluate(&candidate, scaling)?;
+        let inverse = apply_counted(&mut current, &mut counts, mv);
+        let summary = ev.evaluate(&current, scaling)?;
         evaluations += 1;
-        let score = penalized_gamma(&eval, deadline);
+        let score = penalized_gamma(&summary, deadline);
 
         let accept = if score <= current_score {
             true
@@ -223,30 +290,86 @@ pub fn optimized_mapping_from(
             rng.gen_range(0.0..1.0f64) < (-delta / temperature.max(1e-12)).exp()
         };
         if accept {
-            current = candidate;
-            current_eval = eval;
+            current_summary = summary;
             current_score = score;
-            moves = current.neighbourhood();
-            if better(&current_eval, &best_eval, deadline) {
-                best = current.clone();
-                best_eval = current_eval.clone();
+            n_moves = neighbourhood_len_from_counts(n_tasks, &counts);
+            debug_assert_eq!(n_moves, current.neighbourhood_len());
+            if better(&current_summary, &best_summary, deadline) {
+                best.clone_from(&current);
+                best_summary = current_summary;
                 since_best = 0;
             } else if temperature <= cold {
                 since_best += 1;
             }
-        } else if temperature <= cold {
-            since_best += 1;
+        } else {
+            apply_counted(&mut current, &mut counts, inverse);
+            if temperature <= cold {
+                since_best += 1;
+            }
         }
         temperature *= cooling;
     }
 
-    let feasible = best_eval.meets_deadline;
+    // One off-budget full evaluation of the (already-evaluated) best
+    // design materializes the per-core breakdown for the caller.
+    let evaluation = ev.evaluate_full(&best, scaling)?;
+    let feasible = evaluation.meets_deadline;
     Ok(SearchOutcome {
         mapping: best,
-        evaluation: best_eval,
+        evaluation,
         evaluations,
         feasible,
     })
+}
+
+/// Would `mv` leave every core occupied? Exactly
+/// `current.with_move(mv).uses_all_cores()`, computed in O(C) from the
+/// occupancy cache (`counts` as maintained by [`apply_counted`], seeded
+/// from [`Mapping::count_per_core_into`]) instead of cloning the mapping.
+/// Shared with `sea_baselines`' annealer, which runs the same in-place
+/// proposal loop.
+#[must_use]
+pub fn move_keeps_all_cores(counts: &[usize], current: &Mapping, mv: Move) -> bool {
+    match mv {
+        // The neighbourhood only contains cross-core swaps, which never
+        // change per-core occupancy.
+        Move::Swap { .. } => counts.iter().all(|&k| k > 0),
+        Move::Relocate { task, to } => {
+            let from = current.core_of(task).index();
+            counts.iter().enumerate().all(|(c, &k)| {
+                let k = if c == from {
+                    k - 1
+                } else if c == to.index() {
+                    k + 1
+                } else {
+                    k
+                };
+                k > 0
+            })
+        }
+    }
+}
+
+/// Applies `mv` in place, keeping the occupancy cache in sync; returns the
+/// inverse move for backtracking. Shared with `sea_baselines`' annealer.
+pub fn apply_counted(mapping: &mut Mapping, counts: &mut [usize], mv: Move) -> Move {
+    if let Move::Relocate { task, to } = mv {
+        let from = mapping.core_of(task);
+        counts[from.index()] -= 1;
+        counts[to.index()] += 1;
+    }
+    mapping.apply(mv)
+}
+
+/// `|neighbourhood|` in O(C) from the occupancy cache — equal to
+/// [`Mapping::neighbourhood_len`] (cross-core pairs are all pairs minus
+/// the same-core ones), without its O(N²) pair scan. Shared with
+/// `sea_baselines`' annealer, which maintains the same cache.
+#[must_use]
+pub fn neighbourhood_len_from_counts(n_tasks: usize, counts: &[usize]) -> usize {
+    let pairs = n_tasks * n_tasks.saturating_sub(1) / 2;
+    let same_core: usize = counts.iter().map(|&k| k * k.saturating_sub(1) / 2).sum();
+    n_tasks * (counts.len() - 1) + pairs - same_core
 }
 
 /// Geometric cooling factor that reaches 1 % of the initial temperature
@@ -268,7 +391,7 @@ pub fn geometric_cooling(schedule_len: usize) -> f64 {
 /// constraint; shared with `sea_baselines::Objective::penalized_score` so
 /// both flows penalize infeasibility identically.
 #[must_use]
-pub fn deadline_penalty_factor(eval: &MappingEvaluation, deadline_s: f64) -> f64 {
+pub fn deadline_penalty_factor(eval: &EvalSummary, deadline_s: f64) -> f64 {
     if eval.meets_deadline {
         1.0
     } else {
@@ -278,20 +401,20 @@ pub fn deadline_penalty_factor(eval: &MappingEvaluation, deadline_s: f64) -> f64
 }
 
 /// Deadline-penalized `Γ` score for the annealing acceptance.
-fn penalized_gamma(eval: &MappingEvaluation, deadline_s: f64) -> f64 {
+fn penalized_gamma(eval: &EvalSummary, deadline_s: f64) -> f64 {
     eval.gamma * deadline_penalty_factor(eval, deadline_s)
 }
 
 /// Public form of the search ordering for callers choosing between warm
 /// starts: `true` if `a` is a strictly better starting point than `b`.
 #[must_use]
-pub fn prefer_start(a: &MappingEvaluation, b: &MappingEvaluation, deadline: f64) -> bool {
+pub fn prefer_start(a: &EvalSummary, b: &EvalSummary, deadline: f64) -> bool {
     better(a, b, deadline)
 }
 
 /// Search ordering (Fig. 7 steps E–F): infeasible points descend on `TM`;
 /// feasible points descend on `Γ`; feasible always beats infeasible.
-fn better(candidate: &MappingEvaluation, incumbent: &MappingEvaluation, _deadline: f64) -> bool {
+fn better(candidate: &EvalSummary, incumbent: &EvalSummary, _deadline: f64) -> bool {
     match (candidate.meets_deadline, incumbent.meets_deadline) {
         (true, false) => true,
         (false, true) => false,
@@ -303,6 +426,7 @@ fn better(candidate: &MappingEvaluation, incumbent: &MappingEvaluation, _deadlin
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::StepClock;
     use crate::initial::initial_sea_mapping;
     use sea_arch::{Architecture, LevelSet};
     use sea_taskgraph::{fig8, mpeg2};
@@ -383,6 +507,45 @@ mod tests {
     }
 
     #[test]
+    fn reusing_one_evaluator_matches_fresh_evaluators() {
+        // The driver shares one Evaluator across the scalings of a chunk;
+        // scratch reuse must not leak state between searches.
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s1 = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let s2 = ScalingVector::try_new(vec![1, 1, 2, 2], &arch).unwrap();
+        let mut shared = Evaluator::new(ctx.clone());
+        let clock = WallClock::start();
+        let mut run_shared = |s: &ScalingVector, seed| {
+            let initial = initial_sea_mapping(&ctx, s).unwrap();
+            let summary = shared.evaluate(&initial, s).unwrap();
+            optimized_mapping_scratch(
+                &mut shared,
+                s,
+                initial,
+                summary,
+                SearchBudget::fast(),
+                seed,
+                &clock,
+            )
+            .unwrap()
+        };
+        let a1 = run_shared(&s1, 9);
+        let a2 = run_shared(&s2, 10);
+        let fresh = |s: &ScalingVector, seed| {
+            let initial = initial_sea_mapping(&ctx, s).unwrap();
+            optimized_mapping(&ctx, s, initial, SearchBudget::fast(), seed).unwrap()
+        };
+        let b1 = fresh(&s1, 9);
+        let b2 = fresh(&s2, 10);
+        assert_eq!(a1.mapping, b1.mapping);
+        assert_eq!(a1.evaluations, b1.evaluations);
+        assert_eq!(a2.mapping, b2.mapping);
+        assert_eq!(a2.evaluations, b2.evaluations);
+    }
+
+    #[test]
     fn time_limit_stops_the_search() {
         let app = mpeg2::application();
         let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
@@ -400,6 +563,34 @@ mod tests {
         // a single evaluation is microseconds.
         assert!(t0.elapsed() < std::time::Duration::from_secs(5));
         assert!(out.evaluations > 0);
+    }
+
+    #[test]
+    fn step_clock_makes_time_limited_budgets_deterministic() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(&app, &arch);
+        let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let step = std::time::Duration::from_millis(1);
+        let budget = SearchBudget {
+            max_evaluations: usize::MAX,
+            max_stale_sweeps: usize::MAX,
+            time_limit: Some(step * 40),
+        };
+        let run = || {
+            let initial = initial_sea_mapping(&ctx, &s).unwrap();
+            let mut ev = Evaluator::new(ctx.clone());
+            let summary = ev.evaluate(&initial, &s).unwrap();
+            let clock = StepClock::new(step);
+            optimized_mapping_scratch(&mut ev, &s, initial, summary, budget, 5, &clock).unwrap()
+        };
+        let a = run();
+        let b = run();
+        // The clock expires after exactly 40 queries, independent of
+        // machine speed: both runs stop at the same evaluation count.
+        assert_eq!(a.evaluations, b.evaluations);
+        assert!(a.evaluations <= 41);
+        assert_eq!(a.mapping, b.mapping);
     }
 
     #[test]

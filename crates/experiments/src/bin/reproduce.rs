@@ -1,11 +1,14 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! ```text
-//! cargo run --release -p sea-experiments --bin reproduce [smoke|paper]
+//! cargo run --release -p sea-experiments --bin reproduce [smoke|paper] [--jobs N]
 //! ```
 //!
 //! `smoke` (default) uses small search budgets for a quick look; `paper`
-//! uses the budgets behind EXPERIMENTS.md.
+//! uses the budgets behind EXPERIMENTS.md. `--jobs N` pins the optimizer's
+//! worker-thread count (sets `SEA_JOBS`, which every harness reads through
+//! `OptimizerConfig`); results are identical for every value — the
+//! parallel engine is deterministic — so the flag only trades wall-clock.
 
 use std::time::Instant;
 
@@ -16,11 +19,35 @@ use sea_experiments::{fig10, fig11, fig3, fig9, table2, table3, EffortProfile};
 use sea_opt::SearchBudget;
 
 fn main() {
-    let profile = match std::env::args().nth(1).as_deref() {
-        Some("paper") => EffortProfile::Paper,
-        _ => EffortProfile::Smoke,
-    };
-    println!("profile: {profile:?}\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = EffortProfile::Smoke;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "paper" => profile = EffortProfile::Paper,
+            "smoke" => profile = EffortProfile::Smoke,
+            "--jobs" => {
+                let jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+                // Single-threaded startup: set before any optimizer runs so
+                // every harness's `OptimizerConfig` picks it up.
+                std::env::set_var("SEA_JOBS", jobs.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (smoke|paper [--jobs N])");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    println!("profile: {profile:?}, jobs: {}\n", sea_opt::default_jobs());
     let t0 = Instant::now();
 
     // Fig. 3 — mapping study.

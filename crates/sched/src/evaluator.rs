@@ -1,0 +1,237 @@
+//! Scratch-buffer evaluation of `(mapping, scaling)` design points.
+//!
+//! [`EvalContext::evaluate`] allocates a fresh ready list, per-core lanes,
+//! frequency table and per-core breakdown for every call — fine for a
+//! handful of evaluations, ruinous for an annealer that evaluates tens of
+//! thousands of candidates per voltage scaling. [`Evaluator`] wraps a
+//! context together with reusable buffers so that, after the first call,
+//! scheduling and evaluating a candidate performs **zero steady-state heap
+//! allocation**: lanes keep their capacity, the register-block mask and
+//! activity table are reset in place, and the graph's bottom levels (which
+//! never change) are computed once.
+//!
+//! [`Evaluator::evaluate`] returns the `Copy` [`EvalSummary`] rather than a
+//! full [`MappingEvaluation`]; the scalar fields are computed with the same
+//! operation order as [`EvalContext::evaluate`], so the two paths agree
+//! bitwise — a search driven by summaries reaches exactly the decisions the
+//! allocating path would. [`Evaluator::evaluate_full`] produces the full
+//! per-core breakdown (off the hot path, e.g. for the returned best design).
+
+use sea_arch::power::{dynamic_power_w, watts_to_mw, CoreActivity};
+use sea_arch::ScalingVector;
+use sea_taskgraph::units::{Bits, Cycles};
+use sea_taskgraph::ExecutionMode;
+
+use crate::mapping::Mapping;
+use crate::metrics::{core_scalars, EvalContext, EvalSummary, MappingEvaluation};
+use crate::schedule::{check_shapes, schedule_one_pass_into, ScheduleScratch};
+use crate::SchedError;
+
+/// Reusable evaluation engine for one `(application, architecture)` pair.
+///
+/// Construction allocates the scratch buffers; every subsequent
+/// [`Evaluator::evaluate`] reuses them. The evaluator is cheap enough to
+/// create per worker thread — each thread of a parallel search owns one.
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    ctx: EvalContext<'a>,
+    /// Downstream critical paths, fixed for the application's graph.
+    bottom_levels: Vec<Cycles>,
+    sched: ScheduleScratch,
+    /// Register-block occupancy mask, reset per core per evaluation.
+    block_mask: Vec<bool>,
+    activities: Vec<CoreActivity>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator around a context, pre-computing the graph's
+    /// bottom levels and sizing the scratch buffers.
+    #[must_use]
+    pub fn new(ctx: EvalContext<'a>) -> Self {
+        let bottom_levels = ctx.app().graph().bottom_levels();
+        let n_blocks = ctx.app().registers().blocks().len();
+        let n_cores = ctx.arch().n_cores();
+        Evaluator {
+            ctx,
+            bottom_levels,
+            sched: ScheduleScratch::default(),
+            block_mask: vec![false; n_blocks],
+            activities: Vec::with_capacity(n_cores),
+        }
+    }
+
+    /// The wrapped evaluation context.
+    #[must_use]
+    pub fn ctx(&self) -> &EvalContext<'a> {
+        &self.ctx
+    }
+
+    /// Evaluates a design point into a [`EvalSummary`] without steady-state
+    /// heap allocation. Numerically identical to
+    /// `EvalContext::evaluate(..)` followed by [`MappingEvaluation::summary`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError::ShapeMismatch`] for inconsistent shapes.
+    pub fn evaluate(
+        &mut self,
+        mapping: &Mapping,
+        scaling: &ScalingVector,
+    ) -> Result<EvalSummary, SchedError> {
+        let app = self.ctx.app();
+        let arch = self.ctx.arch();
+        check_shapes(app, arch, mapping, scaling)?;
+        let ser = *self.ctx.ser();
+        let exposure = self.ctx.exposure();
+
+        let iterations = app.mode().iterations();
+        let scale = 1.0 / f64::from(iterations);
+        let fill_makespan = schedule_one_pass_into(
+            app,
+            arch,
+            mapping,
+            scaling,
+            scale,
+            &self.bottom_levels,
+            &mut self.sched,
+        );
+        // Mirror `list_schedule`'s pipelined adjustment: throughput is
+        // bounded by the busiest core, and whole-run busy time scales with
+        // the iteration count.
+        let (tm, iter_mult) = match app.mode() {
+            ExecutionMode::Batch => (fill_makespan, 1.0),
+            ExecutionMode::Pipelined { iterations } => {
+                let period = self.sched.busy.iter().fold(0.0f64, |acc, &b| acc.max(b));
+                (
+                    fill_makespan + period * f64::from(iterations - 1),
+                    f64::from(iterations),
+                )
+            }
+        };
+
+        let registers = app.registers();
+        self.activities.clear();
+        let mut gamma = 0.0f64;
+        let mut r_total = Bits::ZERO;
+        for core in arch.cores() {
+            let level = arch.operating_point(core, scaling);
+            let busy = self.sched.busy[core.index()] * iter_mult;
+            // Union of the mapped tasks' register blocks via the reusable
+            // mask (same additions, hence the same Bits total, as
+            // `union_bits` without its per-call allocation).
+            self.block_mask.fill(false);
+            let mut r_bits = Bits::ZERO;
+            for t in mapping.tasks_on_iter(core) {
+                r_bits += registers.union_add(&mut self.block_mask, t);
+            }
+            let s = core_scalars(level, busy, tm, r_bits, exposure, &ser);
+            gamma += s.gamma;
+            r_total += r_bits;
+            self.activities.push(CoreActivity {
+                alpha: s.alpha,
+                level,
+            });
+        }
+
+        let power_mw = watts_to_mw(dynamic_power_w(arch.c_load_farads(), &self.activities));
+        let nominal_f = arch.levels().level(1).f_hz;
+        Ok(EvalSummary {
+            tm_seconds: tm,
+            tm_nominal_cycles: tm * nominal_f,
+            meets_deadline: tm <= app.deadline_s(),
+            power_mw,
+            gamma,
+            r_total,
+        })
+    }
+
+    /// Full evaluation with the per-core breakdown, via the allocating
+    /// [`EvalContext::evaluate`] path (use off the hot loop, e.g. for the
+    /// final best design).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError::ShapeMismatch`] for inconsistent shapes.
+    pub fn evaluate_full(
+        &self,
+        mapping: &Mapping,
+        scaling: &ScalingVector,
+    ) -> Result<MappingEvaluation, SchedError> {
+        self.ctx.evaluate(mapping, scaling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_arch::{Architecture, LevelSet};
+    use sea_taskgraph::generator::RandomGraphConfig;
+    use sea_taskgraph::{fig8, mpeg2, Application};
+
+    fn assert_summary_matches_context(app: &Application, cores: usize) {
+        let arch = Architecture::homogeneous(cores, LevelSet::arm7_three_level());
+        let ctx = EvalContext::new(app, &arch);
+        let mut ev = Evaluator::new(ctx.clone());
+        let n = app.graph().len();
+        // A few deterministic mappings across a few scalings.
+        for seed in 0..4usize {
+            let assign: Vec<sea_arch::CoreId> = (0..n)
+                .map(|t| sea_arch::CoreId::new((t * 7 + seed) % cores))
+                .collect();
+            let mapping = Mapping::try_new(assign, cores).unwrap();
+            for s in [
+                ScalingVector::all_nominal(&arch),
+                ScalingVector::all_lowest(&arch),
+                ScalingVector::uniform(2, &arch).unwrap(),
+            ] {
+                let full = ctx.evaluate(&mapping, &s).unwrap().summary();
+                let fast = ev.evaluate(&mapping, &s).unwrap();
+                assert_eq!(full.tm_seconds.to_bits(), fast.tm_seconds.to_bits());
+                assert_eq!(full.gamma.to_bits(), fast.gamma.to_bits());
+                assert_eq!(full.power_mw.to_bits(), fast.power_mw.to_bits());
+                assert_eq!(full, fast);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_bitwise_identical_to_context_on_mpeg2() {
+        assert_summary_matches_context(&mpeg2::application(), 4);
+    }
+
+    #[test]
+    fn summary_bitwise_identical_to_context_on_fig8() {
+        assert_summary_matches_context(&fig8::application(), 3);
+    }
+
+    #[test]
+    fn summary_bitwise_identical_to_context_on_random_batch_graph() {
+        let app = RandomGraphConfig::paper(25).generate(9).unwrap();
+        assert_summary_matches_context(&app, 3);
+    }
+
+    #[test]
+    fn shape_mismatch_propagates() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let mut ev = Evaluator::new(EvalContext::new(&app, &arch));
+        let bad = Mapping::all_on_one_core(app.graph().len(), 3);
+        let s = ScalingVector::all_nominal(&arch);
+        assert!(matches!(
+            ev.evaluate(&bad, &s).unwrap_err(),
+            SchedError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn evaluate_full_agrees_with_summary() {
+        let app = mpeg2::application();
+        let arch = Architecture::homogeneous(4, LevelSet::arm7_three_level());
+        let mut ev = Evaluator::new(EvalContext::new(&app, &arch));
+        let m = Mapping::from_groups(&[&[0, 1, 2, 3, 4, 5], &[6, 7], &[8], &[9, 10]], 4).unwrap();
+        let s = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
+        let summary = ev.evaluate(&m, &s).unwrap();
+        let full = ev.evaluate_full(&m, &s).unwrap();
+        assert_eq!(full.summary(), summary);
+    }
+}

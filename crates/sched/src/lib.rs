@@ -11,6 +11,8 @@
 //!   architecture, mapping, scaling vector) into multiprocessor execution
 //!   time `TM` (eq. 6), per-core times `T_i` (eq. 7), register usage `R_i`
 //!   (eq. 8), dynamic power `P` (eq. 5) and expected SEUs `Γ` (eq. 3).
+//! * [`evaluator`] — the scratch-buffer [`Evaluator`], the allocation-free
+//!   form of the same objective used by the optimizers' hot loops.
 //!
 //! # Example
 //!
@@ -38,13 +40,15 @@
 //! # }
 //! ```
 
+pub mod evaluator;
 pub mod mapping;
 pub mod metrics;
 pub mod recovery;
 pub mod schedule;
 
+pub use evaluator::Evaluator;
 pub use mapping::{Mapping, Move};
-pub use metrics::{CoreEval, EvalContext, ExposurePolicy, MappingEvaluation};
+pub use metrics::{CoreEval, EvalContext, EvalSummary, ExposurePolicy, MappingEvaluation};
 pub use schedule::{Schedule, ScheduledTask};
 
 use std::error::Error;

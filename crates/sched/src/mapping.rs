@@ -102,15 +102,37 @@ impl Mapping {
         self.assign[task.index()]
     }
 
-    /// Tasks mapped on `core`, in task-id order.
-    #[must_use]
-    pub fn tasks_on(&self, core: CoreId) -> Vec<TaskId> {
+    /// Tasks mapped on `core`, in task-id order, without allocating
+    /// (the borrowing variant of [`Mapping::tasks_on`] for hot paths).
+    pub fn tasks_on_iter(&self, core: CoreId) -> impl Iterator<Item = TaskId> + '_ {
         self.assign
             .iter()
             .enumerate()
-            .filter(|&(_, c)| *c == core)
+            .filter(move |&(_, c)| *c == core)
             .map(|(t, _)| TaskId::new(t))
-            .collect()
+    }
+
+    /// Tasks mapped on `core`, in task-id order.
+    #[must_use]
+    pub fn tasks_on(&self, core: CoreId) -> Vec<TaskId> {
+        self.tasks_on_iter(core).collect()
+    }
+
+    /// Number of tasks mapped on `core` (allocation-free).
+    #[must_use]
+    pub fn count_on(&self, core: CoreId) -> usize {
+        self.tasks_on_iter(core).count()
+    }
+
+    /// Fills `counts` with the per-core task counts (reusing its storage),
+    /// the occupancy cache the searches maintain incrementally via
+    /// [`Mapping::apply`]'s returned inverse.
+    pub fn count_per_core_into(&self, counts: &mut Vec<usize>) {
+        counts.clear();
+        counts.resize(self.n_cores, 0);
+        for c in &self.assign {
+            counts[c.index()] += 1;
+        }
     }
 
     /// All per-core groups, in core order (empty cores yield empty groups).
@@ -162,35 +184,93 @@ impl Mapping {
         next
     }
 
-    /// Enumerates the full task-movement neighbourhood, deterministic order:
-    /// every relocation of a task to a different core, then every swap of
-    /// two tasks on different cores. This is the "maximum two task
-    /// movements" neighbourhood of the paper's `OptimizedMapping` (a swap
-    /// moves two tasks, a relocation one).
+    /// Enumerates the full task-movement neighbourhood lazily, in the
+    /// deterministic order of [`Mapping::neighbourhood`]: every relocation
+    /// of a task to a different core, then every swap of two tasks on
+    /// different cores. This is the "maximum two task movements"
+    /// neighbourhood of the paper's `OptimizedMapping` (a swap moves two
+    /// tasks, a relocation one). The iterator borrows the mapping and
+    /// performs no heap allocation.
+    pub fn neighbourhood_iter(&self) -> impl Iterator<Item = Move> + '_ {
+        let n = self.assign.len();
+        let n_cores = self.n_cores;
+        let relocations = (0..n).flat_map(move |t| {
+            (0..n_cores)
+                .filter(move |&c| self.assign[t].index() != c)
+                .map(move |c| Move::Relocate {
+                    task: TaskId::new(t),
+                    to: CoreId::new(c),
+                })
+        });
+        let swaps = (0..n).flat_map(move |a| {
+            ((a + 1)..n)
+                .filter(move |&b| self.assign[a] != self.assign[b])
+                .map(move |b| Move::Swap {
+                    a: TaskId::new(a),
+                    b: TaskId::new(b),
+                })
+        });
+        relocations.chain(swaps)
+    }
+
+    /// Size of [`Mapping::neighbourhood`] without materializing it:
+    /// `N·(C−1)` relocations plus the cross-core task pairs.
+    #[must_use]
+    pub fn neighbourhood_len(&self) -> usize {
+        let n = self.assign.len();
+        let mut swaps = 0usize;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.assign[a] != self.assign[b] {
+                    swaps += 1;
+                }
+            }
+        }
+        n * (self.n_cores - 1) + swaps
+    }
+
+    /// The `index`-th move of [`Mapping::neighbourhood`] without
+    /// materializing the list (`None` past the end). Relocations are
+    /// addressed in O(1); swaps by a scan over task pairs. Together with
+    /// [`Mapping::neighbourhood_len`] this lets a search sample the
+    /// neighbourhood uniformly with zero heap allocation, drawing the same
+    /// move the materialized `Vec<Move>` would yield at the same index.
+    #[must_use]
+    pub fn nth_neighbourhood_move(&self, index: usize) -> Option<Move> {
+        let n = self.assign.len();
+        let per_task = self.n_cores - 1;
+        let reloc_total = n * per_task;
+        if index < reloc_total {
+            let t = index / per_task;
+            let k = index % per_task;
+            let own = self.assign[t].index();
+            let c = if k < own { k } else { k + 1 };
+            return Some(Move::Relocate {
+                task: TaskId::new(t),
+                to: CoreId::new(c),
+            });
+        }
+        let mut rest = index - reloc_total;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.assign[a] != self.assign[b] {
+                    if rest == 0 {
+                        return Some(Move::Swap {
+                            a: TaskId::new(a),
+                            b: TaskId::new(b),
+                        });
+                    }
+                    rest -= 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Materialized neighbourhood (see [`Mapping::neighbourhood_iter`]).
     #[must_use]
     pub fn neighbourhood(&self) -> Vec<Move> {
-        let mut moves = Vec::new();
-        for t in 0..self.assign.len() {
-            for c in 0..self.n_cores {
-                if self.assign[t].index() != c {
-                    moves.push(Move::Relocate {
-                        task: TaskId::new(t),
-                        to: CoreId::new(c),
-                    });
-                }
-            }
-        }
-        for a in 0..self.assign.len() {
-            for b in (a + 1)..self.assign.len() {
-                if self.assign[a] != self.assign[b] {
-                    moves.push(Move::Swap {
-                        a: TaskId::new(a),
-                        b: TaskId::new(b),
-                    });
-                }
-            }
-        }
-        moves
+        self.neighbourhood_iter().collect()
     }
 }
 
@@ -321,6 +401,41 @@ mod tests {
             let next = m.with_move(mv);
             assert_ne!(next, m, "a move must change the mapping: {mv}");
         }
+    }
+
+    #[test]
+    fn lazy_neighbourhood_matches_materialized() {
+        for groups in [
+            vec![vec![0usize, 1], vec![2]],
+            vec![vec![0, 1, 2], vec![3], vec![4, 5]],
+            vec![vec![0], vec![1], vec![2], vec![3]],
+        ] {
+            let refs: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
+            let m = Mapping::from_groups(&refs, groups.len()).unwrap();
+            let eager = m.neighbourhood();
+            let lazy: Vec<Move> = m.neighbourhood_iter().collect();
+            assert_eq!(eager, lazy);
+            assert_eq!(eager.len(), m.neighbourhood_len());
+            for (i, &mv) in eager.iter().enumerate() {
+                assert_eq!(m.nth_neighbourhood_move(i), Some(mv), "index {i}");
+            }
+            assert_eq!(m.nth_neighbourhood_move(eager.len()), None);
+        }
+    }
+
+    #[test]
+    fn borrowing_accessors_match_owned() {
+        let m = Mapping::from_groups(&[&[0, 2], &[1]], 3).unwrap();
+        for core in 0..3 {
+            let c = CoreId::new(core);
+            let owned = m.tasks_on(c);
+            let lazy: Vec<TaskId> = m.tasks_on_iter(c).collect();
+            assert_eq!(owned, lazy);
+            assert_eq!(m.count_on(c), owned.len());
+        }
+        let mut counts = Vec::new();
+        m.count_per_core_into(&mut counts);
+        assert_eq!(counts, vec![2, 1, 0]);
     }
 
     #[test]

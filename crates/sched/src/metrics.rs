@@ -26,7 +26,7 @@
 use serde::{Deserialize, Serialize};
 
 use sea_arch::power::{dynamic_power_w, watts_to_mw, CoreActivity};
-use sea_arch::{Architecture, CoreId, ScalingVector, SerModel};
+use sea_arch::{Architecture, CoreId, ScalingVector, SerModel, VoltageLevel};
 use sea_taskgraph::units::Bits;
 use sea_taskgraph::Application;
 
@@ -97,6 +97,77 @@ impl MappingEvaluation {
     pub fn r_total_kbits(&self) -> f64 {
         self.r_total.as_kbits()
     }
+
+    /// The scalar slice of this evaluation (drops the per-core breakdown).
+    #[must_use]
+    pub fn summary(&self) -> EvalSummary {
+        EvalSummary {
+            tm_seconds: self.tm_seconds,
+            tm_nominal_cycles: self.tm_nominal_cycles,
+            meets_deadline: self.meets_deadline,
+            power_mw: self.power_mw,
+            gamma: self.gamma,
+            r_total: self.r_total,
+        }
+    }
+}
+
+/// The scalar slice of a [`MappingEvaluation`] — everything the optimizers'
+/// acceptance and selection rules need, as a `Copy` value so hot search
+/// loops can keep, compare and clone scores without heap allocation. The
+/// fields carry exactly the values of the corresponding
+/// [`MappingEvaluation`] fields ([`crate::evaluator::Evaluator`] computes
+/// them with the same operation order, so they are bitwise identical).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Multiprocessor execution time in seconds.
+    pub tm_seconds: f64,
+    /// `TM` in nominal-frequency clock cycles.
+    pub tm_nominal_cycles: f64,
+    /// True if `TM ≤` the application's deadline.
+    pub meets_deadline: bool,
+    /// Dynamic power in milliwatts (eq. 5).
+    pub power_mw: f64,
+    /// Expected SEUs experienced `Γ` (eq. 3).
+    pub gamma: f64,
+    /// Total register usage `R = Σ_i R_i`, bits.
+    pub r_total: Bits,
+}
+
+/// Per-core scalar metrics derived from one core's operating point and
+/// schedule slice.
+pub(crate) struct CoreScalars {
+    pub alpha: f64,
+    pub exposure_cycles: f64,
+    pub lambda: f64,
+    pub gamma: f64,
+}
+
+/// The single source of the per-core metric arithmetic (eqs. 3, 7), shared
+/// by [`EvalContext::evaluate_scheduled`] and
+/// [`crate::evaluator::Evaluator::evaluate`] so the allocating and
+/// scratch-buffer paths cannot drift: both must produce bitwise-identical
+/// scalars for the same inputs.
+pub(crate) fn core_scalars(
+    level: VoltageLevel,
+    busy: f64,
+    tm: f64,
+    r_bits: Bits,
+    exposure: ExposurePolicy,
+    ser: &SerModel,
+) -> CoreScalars {
+    let alpha = if tm > 0.0 { (busy / tm).min(1.0) } else { 0.0 };
+    let exposure_cycles = match exposure {
+        ExposurePolicy::WholeRun => tm * level.f_hz,
+        ExposurePolicy::BusyOnly => busy * level.f_hz,
+    };
+    let lambda = ser.lambda(level.vdd);
+    CoreScalars {
+        alpha,
+        exposure_cycles,
+        lambda,
+        gamma: r_bits.as_f64() * exposure_cycles * lambda,
+    }
 }
 
 /// Evaluation context binding an application to an architecture, an SER
@@ -136,15 +207,16 @@ impl<'a> EvalContext<'a> {
         self
     }
 
-    /// The application under evaluation.
+    /// The application under evaluation (returned at the context's full
+    /// lifetime, so callers can hold it alongside mutable scratch state).
     #[must_use]
-    pub fn app(&self) -> &Application {
+    pub fn app(&self) -> &'a Application {
         self.app
     }
 
-    /// The target architecture.
+    /// The target architecture (full-lifetime borrow, see [`Self::app`]).
     #[must_use]
-    pub fn arch(&self) -> &Architecture {
+    pub fn arch(&self) -> &'a Architecture {
         self.arch
     }
 
@@ -207,28 +279,25 @@ impl<'a> EvalContext<'a> {
         for core in self.arch.cores() {
             let level = self.arch.operating_point(core, scaling);
             let busy = schedule.busy_s(core);
-            let alpha = if tm > 0.0 { (busy / tm).min(1.0) } else { 0.0 };
-            let r_bits = registers.union_bits(mapping.tasks_on(core));
-            let exposure_cycles = match self.exposure {
-                ExposurePolicy::WholeRun => tm * level.f_hz,
-                ExposurePolicy::BusyOnly => busy * level.f_hz,
-            };
-            let lambda = self.ser.lambda(level.vdd);
-            let core_gamma = r_bits.as_f64() * exposure_cycles * lambda;
-            gamma += core_gamma;
+            let r_bits = registers.union_bits(mapping.tasks_on_iter(core));
+            let s = core_scalars(level, busy, tm, r_bits, self.exposure, &self.ser);
+            gamma += s.gamma;
             r_total += r_bits;
-            activities.push(CoreActivity { alpha, level });
+            activities.push(CoreActivity {
+                alpha: s.alpha,
+                level,
+            });
             per_core.push(CoreEval {
                 core,
                 coefficient: scaling.coefficient(core),
                 f_hz: level.f_hz,
                 vdd: level.vdd,
                 busy_s: busy,
-                alpha,
+                alpha: s.alpha,
                 r_bits,
-                exposure_cycles,
-                lambda,
-                gamma: core_gamma,
+                exposure_cycles: s.exposure_cycles,
+                lambda: s.lambda,
+                gamma: s.gamma,
             });
         }
 

@@ -26,6 +26,7 @@
 use serde::{Deserialize, Serialize};
 
 use sea_arch::{Architecture, CoreId, ScalingVector};
+use sea_taskgraph::units::Cycles;
 use sea_taskgraph::{Application, ExecutionMode, TaskId};
 
 use crate::mapping::Mapping;
@@ -161,7 +162,7 @@ pub fn list_schedule(
     }
 }
 
-fn check_shapes(
+pub(crate) fn check_shapes(
     app: &Application,
     arch: &Architecture,
     mapping: &Mapping,
@@ -197,6 +198,23 @@ fn check_shapes(
     Ok(())
 }
 
+/// Reusable buffers for repeated list scheduling of one application on one
+/// architecture. A fresh scratch allocates on first use; after that every
+/// [`schedule_one_pass_into`] call runs without heap allocation (lanes keep
+/// their capacity across candidates). Owned by
+/// [`crate::evaluator::Evaluator`], which is the intended consumer.
+#[derive(Debug, Default, Clone)]
+pub struct ScheduleScratch {
+    pending: Vec<usize>,
+    ready: Vec<TaskId>,
+    finish: Vec<f64>,
+    freq: Vec<f64>,
+    /// Busy seconds per core for the last scheduled fill pass.
+    pub(crate) busy: Vec<f64>,
+    /// Per-core timelines for the last scheduled fill pass.
+    pub(crate) lanes: Vec<Vec<ScheduledTask>>,
+}
+
 /// Schedules one pass of the DAG with costs scaled by `scale`
 /// (1.0 for batch, 1/iterations for the pipelined fill pass).
 fn schedule_one_pass(
@@ -206,22 +224,65 @@ fn schedule_one_pass(
     scaling: &ScalingVector,
     scale: f64,
 ) -> Schedule {
+    let bl = app.graph().bottom_levels();
+    let mut scratch = ScheduleScratch::default();
+    let makespan = schedule_one_pass_into(app, arch, mapping, scaling, scale, &bl, &mut scratch);
+    Schedule {
+        per_core: std::mem::take(&mut scratch.lanes),
+        makespan_s: makespan,
+        busy_s: std::mem::take(&mut scratch.busy),
+        period_s: None,
+    }
+}
+
+/// The allocation-free core of [`schedule_one_pass`]: schedules one pass of
+/// the DAG into `scratch`'s buffers (busy times and per-core lanes are left
+/// in the scratch) and returns the pass makespan in seconds. `bottom_levels`
+/// must come from `app.graph().bottom_levels()`; callers evaluating many
+/// candidates cache it once since the graph never changes.
+pub(crate) fn schedule_one_pass_into(
+    app: &Application,
+    arch: &Architecture,
+    mapping: &Mapping,
+    scaling: &ScalingVector,
+    scale: f64,
+    bottom_levels: &[Cycles],
+    scratch: &mut ScheduleScratch,
+) -> f64 {
     let g = app.graph();
     let n = g.len();
-    let bl = g.bottom_levels();
+    let bl = bottom_levels;
+    let ScheduleScratch {
+        pending,
+        ready,
+        finish,
+        freq,
+        busy,
+        lanes,
+    } = scratch;
 
     // Effective throughput (cycles of useful work per second); the raw
     // clock stays with the electrical models (power, SEU exposure).
-    let freq: Vec<f64> = arch
-        .cores()
-        .map(|c| arch.effective_frequency(c, scaling))
-        .collect();
+    freq.clear();
+    freq.extend(arch.cores().map(|c| arch.effective_frequency(c, scaling)));
 
-    let mut pending: Vec<usize> = g.task_ids().map(|t| g.predecessors(t).len()).collect();
-    let mut ready: Vec<TaskId> = g.task_ids().filter(|&t| pending[t.index()] == 0).collect();
-    let mut finish = vec![f64::NAN; n];
-    let mut busy = vec![0.0f64; arch.n_cores()];
-    let mut per_core: Vec<Vec<ScheduledTask>> = vec![Vec::new(); arch.n_cores()];
+    pending.clear();
+    pending.extend(g.task_ids().map(|t| g.predecessors(t).len()));
+    ready.clear();
+    for t in g.task_ids() {
+        if pending[t.index()] == 0 {
+            ready.push(t);
+        }
+    }
+    finish.clear();
+    finish.resize(n, f64::NAN);
+    busy.clear();
+    busy.resize(arch.n_cores(), 0.0f64);
+    lanes.resize_with(arch.n_cores(), Vec::new);
+    for lane in lanes.iter_mut() {
+        lane.clear();
+    }
+    let per_core = lanes;
     let mut scheduled = 0usize;
 
     while scheduled < n {
@@ -293,13 +354,7 @@ fn schedule_one_pass(
         }
     }
 
-    let makespan = finish.iter().fold(0.0f64, |acc, &x| acc.max(x));
-    Schedule {
-        per_core,
-        makespan_s: makespan,
-        busy_s: busy,
-        period_s: None,
-    }
+    finish.iter().fold(0.0f64, |acc, &x| acc.max(x))
 }
 
 #[cfg(test)]

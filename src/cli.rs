@@ -71,6 +71,10 @@ pub struct OptimizeArgs {
     pub seed: u64,
     /// Selection policy of the iterative assessment.
     pub selection: SelectionSpec,
+    /// Worker threads for the scaling enumeration (`None` = the engine's
+    /// default: the `SEA_JOBS` env var, else available parallelism).
+    /// Results are identical for every value; only wall-clock changes.
+    pub jobs: Option<usize>,
     /// Emit CSV instead of human-readable text.
     pub csv: bool,
 }
@@ -221,7 +225,7 @@ sea-dse - soft error-aware design optimization (DATE 2010 reproduction)
 
 USAGE:
   sea-dse optimize  --app <spec> --cores <N> [--levels 2|3|4] [--budget fast|paper]
-                    [--seed <N>] [--selection product|power|gamma] [--csv]
+                    [--seed <N>] [--selection product|power|gamma] [--jobs <N>] [--csv]
   sea-dse baseline  --objective r|tm|tmr --app <spec> --cores <N> [...optimize flags]
   sea-dse simulate  --app <spec> --cores <N> --scaling <s1,s2,...>
                     --groups <g0|g1|...> [--ser <rate>] [--seed <N>]
@@ -234,6 +238,10 @@ USAGE:
 APP SPECS: mpeg2 | fig8 | random:<tasks>[:<seed>]
 GROUPS:    0-based task ids, comma-separated within a core, cores separated by '|'
            e.g. --groups \"0,1,2,3,4,5|6,7|8|9,10\"
+JOBS:      worker threads for `optimize`'s scaling enumeration; results are
+           identical for every value (default: SEA_JOBS env, else available
+           parallelism). `baseline` is a single sequential annealing chain
+           plus one evaluation per scaling, so --jobs has no effect there.
 ";
 
 /// Parses a full argument vector (without the program name).
@@ -381,6 +389,16 @@ fn parse_optimize(args: &[String]) -> Result<OptimizeArgs, CliError> {
             )))
         }
     };
+    let jobs = match get_flag(args, "--jobs")? {
+        None => None,
+        Some(j) => {
+            let j: usize = parse_num(&j, "job count")?;
+            if j == 0 {
+                return Err(CliError("--jobs must be at least 1".into()));
+            }
+            Some(j)
+        }
+    };
     Ok(OptimizeArgs {
         app: parse_app(args)?,
         cores: parse_cores(args)?,
@@ -391,6 +409,7 @@ fn parse_optimize(args: &[String]) -> Result<OptimizeArgs, CliError> {
             None => 0x5EA,
         },
         selection,
+        jobs,
         csv: has_switch(args, "--csv"),
     })
 }
@@ -557,7 +576,7 @@ mod tests {
     #[test]
     fn parses_optimize() {
         let cmd = parse(&argv(
-            "optimize --app mpeg2 --cores 4 --levels 4 --budget paper --seed 9 --selection gamma --csv",
+            "optimize --app mpeg2 --cores 4 --levels 4 --budget paper --seed 9 --selection gamma --jobs 8 --csv",
         ))
         .unwrap();
         let Command::Optimize(a) = cmd else {
@@ -569,6 +588,7 @@ mod tests {
         assert!(a.paper_budget);
         assert_eq!(a.seed, 9);
         assert_eq!(a.selection, SelectionSpec::Gamma);
+        assert_eq!(a.jobs, Some(8));
         assert!(a.csv);
     }
 
@@ -580,7 +600,14 @@ mod tests {
         assert_eq!(a.levels, 3);
         assert!(!a.paper_budget);
         assert_eq!(a.selection, SelectionSpec::Default);
+        assert_eq!(a.jobs, None);
         assert!(!a.csv);
+    }
+
+    #[test]
+    fn jobs_must_be_positive() {
+        assert!(parse(&argv("optimize --app mpeg2 --cores 4 --jobs 0")).is_err());
+        assert!(parse(&argv("optimize --app mpeg2 --cores 4 --jobs x")).is_err());
     }
 
     #[test]

@@ -185,7 +185,9 @@ fn run(cmd: Command) -> Result<(), String> {
                     save_cost_s: save_s,
                 },
             };
-            let counts: Vec<usize> = mapping.groups().iter().map(Vec::len).collect();
+            let counts: Vec<usize> = (0..mapping.n_cores())
+                .map(|c| mapping.count_on(sea_dse::arch::CoreId::new(c)))
+                .collect();
             let rep = recovery::analyze(
                 &eval,
                 &counts,
@@ -222,6 +224,9 @@ fn config_of(a: &OptimizeArgs) -> OptimizerConfig {
         SearchBudget::fast()
     };
     cfg.seed = a.seed;
+    if let Some(jobs) = a.jobs {
+        cfg.jobs = jobs;
+    }
     cfg.selection = match a.selection {
         cli::SelectionSpec::Default => SelectionPolicy::PowerGammaProduct,
         cli::SelectionSpec::Power => SelectionPolicy::PowerFirst { tolerance: 0.05 },

@@ -1,16 +1,20 @@
 //! Determinism regression tests: the simulator must be a pure function of
-//! its seed. The optimizer's iterative assessment, the experiment
-//! harnesses, and the Monte-Carlo-vs-analytic validation all assume that
-//! re-running a seeded simulation reproduces the exact trace and fault
-//! counts — a silent nondeterminism (hash-map iteration order, an
-//! unseeded RNG path, time-dependent tie-breaking) would corrupt every
-//! published number without failing any single-run assertion.
+//! its seed, and the optimizer a pure function of its configuration —
+//! including across worker-thread counts. The optimizer's iterative
+//! assessment, the experiment harnesses, and the
+//! Monte-Carlo-vs-analytic validation all assume that re-running a seeded
+//! run reproduces the exact trace, fault counts and explored designs — a
+//! silent nondeterminism (hash-map iteration order, an unseeded RNG path,
+//! time-dependent tie-breaking, job-count-dependent chunking) would
+//! corrupt every published number without failing any single-run
+//! assertion.
 
 use sea_dse::arch::{Architecture, CoreId, LevelSet, ScalingVector};
+use sea_dse::opt::{DesignOptimizer, OptError, OptimizationOutcome, OptimizerConfig};
 use sea_dse::sched::Mapping;
 use sea_dse::sim::{simulate_design, SimConfig};
 use sea_dse::taskgraph::generator::RandomGraphConfig;
-use sea_dse::taskgraph::mpeg2;
+use sea_dse::taskgraph::{fig8, mpeg2, Application};
 
 #[test]
 fn simulate_design_is_deterministic_for_a_fixed_seed() {
@@ -66,4 +70,88 @@ fn batch_random_graph_simulation_is_deterministic() {
     let b = simulate_design(&app, &arch, &mapping, &scaling, &SimConfig::seeded(1)).unwrap();
     assert_eq!(a.trace, b.trace);
     assert_eq!(a.faults, b.faults);
+}
+
+/// Bitwise comparison of two optimization outcomes: best design, explored
+/// set (order, per-scaling winners and evaluation counts) and totals.
+fn assert_outcomes_identical(a: &OptimizationOutcome, b: &OptimizationOutcome, what: &str) {
+    assert_eq!(a.best.mapping, b.best.mapping, "{what}: best mapping");
+    assert_eq!(a.best.scaling, b.best.scaling, "{what}: best scaling");
+    assert_eq!(
+        a.best.evaluation, b.best.evaluation,
+        "{what}: best evaluation"
+    );
+    assert_eq!(
+        a.total_evaluations, b.total_evaluations,
+        "{what}: total evaluations"
+    );
+    assert_eq!(a.explored.len(), b.explored.len(), "{what}: explored count");
+    for (i, (x, y)) in a.explored.iter().zip(&b.explored).enumerate() {
+        assert_eq!(x.scaling, y.scaling, "{what}: explored[{i}] scaling");
+        assert_eq!(x.feasible, y.feasible, "{what}: explored[{i}] feasible");
+        assert_eq!(
+            x.evaluations, y.evaluations,
+            "{what}: explored[{i}] evaluations"
+        );
+        let (bx, by) = (x.best.as_ref().unwrap(), y.best.as_ref().unwrap());
+        assert_eq!(bx.mapping, by.mapping, "{what}: explored[{i}] mapping");
+        assert_eq!(
+            bx.evaluation, by.evaluation,
+            "{what}: explored[{i}] evaluation"
+        );
+    }
+}
+
+/// The parallel engine's core guarantee: `optimize` is a pure function of
+/// the configuration — the worker-thread count changes wall-clock only.
+/// Chunk partition and search seeds derive from the enumeration index, and
+/// the warm-start chain lives within a chunk, so `--jobs 1/2/8` must agree
+/// bitwise on the best design, the explored set and every evaluation count.
+#[test]
+fn optimize_is_identical_across_jobs_1_2_8() {
+    let cases: Vec<(&str, Application, usize)> = vec![
+        ("mpeg2", mpeg2::application(), 4),
+        ("fig8", fig8::application(), 3),
+        (
+            "random:20:3",
+            RandomGraphConfig::paper(20).generate(3).unwrap(),
+            4,
+        ),
+        (
+            "random:24:11",
+            RandomGraphConfig::paper(24).generate(11).unwrap(),
+            4,
+        ),
+    ];
+    for (name, app, cores) in &cases {
+        let run = |jobs: usize| {
+            DesignOptimizer::new(OptimizerConfig::fast(*cores).with_jobs(jobs)).optimize(app)
+        };
+        let (r1, r2, r8) = (run(1), run(2), run(8));
+        match (&r1, &r2, &r8) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                assert_outcomes_identical(a, b, &format!("{name} jobs 1 vs 2"));
+                assert_outcomes_identical(a, c, &format!("{name} jobs 1 vs 8"));
+            }
+            (
+                Err(OptError::Infeasible {
+                    best_tm_seconds: t1,
+                    ..
+                }),
+                Err(OptError::Infeasible {
+                    best_tm_seconds: t2,
+                    ..
+                }),
+                Err(OptError::Infeasible {
+                    best_tm_seconds: t8,
+                    ..
+                }),
+            ) => {
+                // Infeasible runs must agree on the tightest TM found too.
+                assert_eq!(t1.to_bits(), t2.to_bits(), "{name}");
+                assert_eq!(t1.to_bits(), t8.to_bits(), "{name}");
+            }
+            _ => panic!("{name}: feasibility disagrees across jobs: {r1:?} / {r2:?} / {r8:?}"),
+        }
+    }
 }
