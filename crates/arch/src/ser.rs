@@ -2,7 +2,7 @@
 //!
 //! Lowering `Vdd` reduces the critical charge `Q_crit` of storage nodes and
 //! raises the SEU rate exponentially (Chandra & Aitken, the paper's ref.
-//! [2]). The paper quantifies the effect on its own platform: scaling every
+//! \[2\]). The paper quantifies the effect on its own platform: scaling every
 //! core from s=1 (1.0 V) to s=2 (0.583 V) multiplies the number of SEUs
 //! experienced by ≈2.5 with unchanged cycle counts and register usage
 //! (Observation 3, Fig. 3(b) vs. 3(c)).

@@ -1,7 +1,7 @@
 //! Soft error-unaware baseline optimizations (paper §V, Exp:1–Exp:3).
 //!
 //! The paper compares its proposed flow against designs produced by
-//! simulated-annealing task mapping (Orsila et al., the paper's ref. [13])
+//! simulated-annealing task mapping (Orsila et al., the paper's ref. \[13\])
 //! under three soft error-*unaware* objectives:
 //!
 //! * **Exp:1** — minimize register usage `R` ([`Objective::RegisterUsage`]),
@@ -84,7 +84,7 @@ impl BaselineOptimizer {
     /// 1. **Mapping** — simulated annealing minimizes the *pure* objective
     ///    (`R`, `TM` or `TM·R`) at nominal uniform scaling. The mapping is
     ///    soft error-unaware and scaling-unaware, exactly like a
-    ///    memory-/performance-aware distribution tool (ref. [13]).
+    ///    memory-/performance-aware distribution tool (ref. \[13\]).
     /// 2. **Power minimization** — iterative voltage scaling over the
     ///    `nextScaling` enumeration finds the lowest-power combination at
     ///    which the *fixed* mapping still meets the real-time constraint.

@@ -8,7 +8,7 @@ use sea_sched::metrics::{EvalSummary, MappingEvaluation};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Objective {
     /// Exp:1 — minimize total register usage `R` (memory-aware
-    /// distribution in the spirit of the paper's ref. [13]).
+    /// distribution in the spirit of the paper's ref. \[13\]).
     RegisterUsage,
     /// Exp:2 — maximize parallelism: minimize multiprocessor execution
     /// time `TM`.

@@ -1,4 +1,4 @@
-//! Simulated-annealing task mapping (the paper's ref. [13], used by the
+//! Simulated-annealing task mapping (the paper's ref. \[13\], used by the
 //! soft error-unaware experiments Exp:1–Exp:3).
 //!
 //! Standard geometric-cooling annealing over the task-movement

@@ -43,7 +43,6 @@ fn bench_ablations(c: &mut Criterion) {
 
     let rows = mc_validation(
         &app,
-        &arch,
         &[("Exp:4".into(), mapping.clone(), scaling.clone())],
         13,
     )
@@ -62,7 +61,6 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| {
             mc_validation(
                 &app,
-                &arch,
                 &[("Exp:4".into(), mapping.clone(), scaling.clone())],
                 13,
             )

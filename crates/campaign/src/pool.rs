@@ -1,0 +1,173 @@
+//! The shared worker pool: executes a flat unit list across scenarios.
+//!
+//! Workers pull unit indices from a shared atomic counter (work stealing
+//! over the enumeration — no per-scenario barriers, so a wide campaign
+//! keeps every core busy until the tail) and report `(index, result)`
+//! over a channel. The collector streams each completion to the sink in
+//! *completion* order and slots the result by *enumeration* index, so the
+//! returned list — and every final report rendered from it — is bitwise
+//! identical for any worker count. Units are pure functions of their own
+//! fields ([`crate::unit`]), which is the whole guarantee: scheduling can
+//! only change wall-clock and the interleaving of progress lines.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::sink::Sink;
+use crate::unit::{run_unit_with_jobs, Unit, UnitResult};
+use crate::CampaignError;
+
+/// Executes `units` on `jobs` workers, streaming completions to `sink`.
+///
+/// Returns results in enumeration order. The sink's
+/// [`Sink::unit_completed`] observes completion order (nondeterministic
+/// under `jobs > 1`); its [`Sink::finish`] always observes enumeration
+/// order.
+///
+/// # Errors
+///
+/// Propagates the first (by enumeration index) hard unit error after all
+/// workers have drained — infeasible units are results, not errors.
+pub fn run_units(
+    units: &[Unit],
+    jobs: usize,
+    sink: &mut dyn Sink,
+) -> Result<Vec<UnitResult>, CampaignError> {
+    sink.begin(units.len());
+    let requested = jobs.max(1);
+    let jobs = requested.min(units.len().max(1));
+    // Narrow campaigns must not strand capacity: when there are fewer
+    // units than requested workers, the surplus is handed down to each
+    // unit's own scaling enumeration (whose outcome is job-count
+    // invariant), so a one-unit campaign on a 16-way host still uses the
+    // machine.
+    let inner_jobs = (requested / units.len().max(1)).max(1);
+    let mut slots: Vec<Option<Result<UnitResult, CampaignError>>> =
+        (0..units.len()).map(|_| None).collect();
+
+    if jobs == 1 {
+        for (i, unit) in units.iter().enumerate() {
+            let result = run_unit_with_jobs(unit, inner_jobs);
+            if let Ok(r) = &result {
+                sink.unit_completed(&r.record);
+            }
+            slots[i] = Some(result);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= units.len() {
+                        break;
+                    }
+                    if tx
+                        .send((i, run_unit_with_jobs(&units[i], inner_jobs)))
+                        .is_err()
+                    {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                if let Ok(r) = &result {
+                    sink.unit_completed(&r.record);
+                }
+                slots[i] = Some(result);
+            }
+        });
+    }
+
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every unit reports exactly once"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let records: Vec<_> = results.iter().map(|r| r.record.clone()).collect();
+    sink.finish(&records);
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NullSink;
+    use crate::spec::parse_campaign;
+
+    const SMALL: &str = "\
+name = \"pool-test\"
+budget = \"fast\"
+[scenario]
+kind = \"optimize\"
+apps = \"mpeg2, fig8\"
+cores = \"3,4\"
+[scenario]
+kind = \"sweep\"
+apps = \"mpeg2\"
+cores = \"4\"
+count = 15
+";
+
+    #[test]
+    fn results_are_identical_across_worker_counts() {
+        let units = parse_campaign(SMALL).unwrap().expand();
+        let run = |jobs| run_units(&units, jobs, &mut NullSink).unwrap();
+        let seq = run(1);
+        for jobs in [2, 8] {
+            let par = run(jobs);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.record.status, b.record.status, "jobs={jobs}");
+                assert_eq!(
+                    a.record.gamma.map(f64::to_bits),
+                    b.record.gamma.map(f64::to_bits),
+                    "jobs={jobs}"
+                );
+                assert_eq!(
+                    a.record.power_mw.map(f64::to_bits),
+                    b.record.power_mw.map(f64::to_bits),
+                    "jobs={jobs}"
+                );
+                assert_eq!(a.record.mapping, b.record.mapping, "jobs={jobs}");
+                assert_eq!(a.record.evaluations, b.record.evaluations, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_unit_and_ordered_finish() {
+        struct Counting {
+            begun: usize,
+            streamed: Vec<usize>,
+            finished: Vec<usize>,
+        }
+        impl Sink for Counting {
+            fn begin(&mut self, total: usize) {
+                self.begun = total;
+            }
+            fn unit_completed(&mut self, record: &crate::unit::UnitRecord) {
+                self.streamed.push(record.index);
+            }
+            fn finish(&mut self, records: &[crate::unit::UnitRecord]) {
+                self.finished = records.iter().map(|r| r.index).collect();
+            }
+        }
+        let units = parse_campaign(SMALL).unwrap().expand();
+        let mut sink = Counting {
+            begun: 0,
+            streamed: Vec::new(),
+            finished: Vec::new(),
+        };
+        run_units(&units, 4, &mut sink).unwrap();
+        assert_eq!(sink.begun, units.len());
+        let mut streamed = sink.streamed.clone();
+        streamed.sort_unstable();
+        assert_eq!(streamed, (0..units.len()).collect::<Vec<_>>());
+        // The final report is always in enumeration order.
+        assert_eq!(sink.finished, (0..units.len()).collect::<Vec<_>>());
+    }
+}

@@ -252,12 +252,35 @@ impl DesignOptimizer {
     /// every core and [`OptError::Infeasible`] when no explored design meets
     /// the real-time constraint.
     pub fn optimize(&self, app: &Application) -> Result<OptimizationOutcome, OptError> {
+        self.optimize_with_jobs(app, self.config.jobs)
+    }
+
+    /// Per-unit entry point for external schedulers (the `sea-campaign`
+    /// cross-scenario pool): runs the whole flow sequentially on the
+    /// calling thread, spawning nothing, regardless of
+    /// [`OptimizerConfig::jobs`]. Because the engine's outcome is
+    /// job-count-invariant, this returns exactly what [`Self::optimize`]
+    /// would — an outer scheduler can fan units out without paying for,
+    /// or reasoning about, nested pools.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::optimize`].
+    pub fn optimize_unit(&self, app: &Application) -> Result<OptimizationOutcome, OptError> {
+        self.optimize_with_jobs(app, 1)
+    }
+
+    fn optimize_with_jobs(
+        &self,
+        app: &Application,
+        jobs: usize,
+    ) -> Result<OptimizationOutcome, OptError> {
         let arch = &self.config.arch;
         let scalings = ScalingIter::for_architecture(arch)
             .map(|raw| ScalingVector::try_new(raw, arch))
             .collect::<Result<Vec<_>, _>>()?;
         let n_chunks = scalings.len().div_ceil(SCALING_CHUNK);
-        let jobs = self.config.jobs.clamp(1, n_chunks.max(1));
+        let jobs = jobs.clamp(1, n_chunks.max(1));
 
         let chunk_results: Vec<Result<ChunkOutcome, OptError>> = if jobs == 1 {
             (0..n_chunks)

@@ -12,13 +12,15 @@
 //! * [`mc_validation`] — Monte-Carlo fault injection vs. the analytic Γ on
 //!   the Table II designs.
 
-use sea_arch::{Architecture, LevelSet, ScalingVector, SerModel};
+use std::sync::Arc;
+
+use sea_arch::{Architecture, CoreId, LevelSet, ScalingVector, SerModel};
+use sea_campaign::{AppRef, BudgetSpec, CampaignError, Unit, UnitKind, UnitPayload, UnitResult};
 use sea_opt::initial::initial_sea_mapping;
 use sea_opt::optimized::optimized_mapping;
-use sea_opt::{OptError, SearchBudget};
+use sea_opt::{OptError, SearchBudget, SelectionPolicy};
 use sea_sched::metrics::{EvalContext, ExposurePolicy};
 use sea_sched::Mapping;
-use sea_sim::{simulate_design, SimConfig, SimError};
 use sea_taskgraph::{mpeg2, Application};
 
 use crate::report::{sci, Column, Table};
@@ -136,31 +138,95 @@ pub struct McRow {
     pub rel_deviation: f64,
 }
 
-/// Validates the analytic Γ against fault injection on a set of designs.
+/// The MC-validation unit list: one `simulate` unit per design, on the
+/// paper-calibrated architecture at each design's core count with
+/// `levels` DVS levels (the level set the designs' scaling vectors were
+/// built against — a 4-level design's coefficient 4 does not exist in
+/// the 3-level set).
+#[must_use]
+pub fn mc_units(
+    app: &Arc<Application>,
+    designs: &[(String, Mapping, ScalingVector)],
+    levels: usize,
+    seed: u64,
+) -> Vec<Unit> {
+    designs
+        .iter()
+        .enumerate()
+        .map(|(index, (label, mapping, scaling))| {
+            let groups = (0..mapping.n_cores())
+                .map(|c| {
+                    mapping
+                        .tasks_on_iter(CoreId::new(c))
+                        .map(sea_taskgraph::TaskId::index)
+                        .collect()
+                })
+                .collect();
+            Unit {
+                index,
+                scenario: format!("mc:{label}"),
+                kind: UnitKind::Simulate {
+                    scaling: scaling.coefficients().to_vec(),
+                    groups,
+                    ser: sea_arch::ser::PAPER_SER,
+                },
+                app: AppRef::Inline(Arc::clone(app)),
+                cores: mapping.n_cores(),
+                levels,
+                budget: BudgetSpec::Fast,
+                selection: SelectionPolicy::default(),
+                seed,
+            }
+        })
+        .collect()
+}
+
+/// Assembles MC-validation rows from `simulate` unit results.
+#[must_use]
+pub fn mc_from_results(
+    designs: &[(String, Mapping, ScalingVector)],
+    results: &[UnitResult],
+) -> Vec<McRow> {
+    assert_eq!(
+        results.len(),
+        designs.len(),
+        "one simulate unit per design (misaligned result slice?)"
+    );
+    designs
+        .iter()
+        .zip(results)
+        .map(|((label, _, _), result)| {
+            let UnitPayload::Sim(report) = &result.payload else {
+                unreachable!("mc units are simulate units and cannot be infeasible");
+            };
+            let analytic = report.analytic.gamma;
+            let experienced = report.faults.total_experienced;
+            McRow {
+                label: label.clone(),
+                gamma_analytic: analytic,
+                experienced,
+                rel_deviation: (experienced as f64 - analytic).abs() / analytic,
+            }
+        })
+        .collect()
+}
+
+/// Validates the analytic Γ against fault injection on a set of designs
+/// (paper-calibrated architecture at each design's core count, 3 DVS
+/// levels — use [`mc_units`] directly for other level sets), through the
+/// campaign engine.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn mc_validation(
     app: &Application,
-    arch: &Architecture,
     designs: &[(String, Mapping, ScalingVector)],
     seed: u64,
-) -> Result<Vec<McRow>, SimError> {
-    designs
-        .iter()
-        .map(|(label, mapping, scaling)| {
-            let report = simulate_design(app, arch, mapping, scaling, &SimConfig::seeded(seed))?;
-            let analytic = report.analytic.gamma;
-            let experienced = report.faults.total_experienced;
-            Ok(McRow {
-                label: label.clone(),
-                gamma_analytic: analytic,
-                experienced,
-                rel_deviation: (experienced as f64 - analytic).abs() / analytic,
-            })
-        })
-        .collect()
+) -> Result<Vec<McRow>, CampaignError> {
+    let app = Arc::new(app.clone());
+    let results = crate::campaigns::run(&mc_units(&app, designs, 3, seed))?;
+    Ok(mc_from_results(designs, &results))
 }
 
 /// Renders MC validation rows.
@@ -303,8 +369,8 @@ mod tests {
 
     #[test]
     fn mc_matches_analytic_on_reference_design() {
-        let (app, arch, mapping, scaling) = reference_design();
-        let rows = mc_validation(&app, &arch, &[("Exp:4".into(), mapping, scaling)], 13).unwrap();
+        let (app, _, mapping, scaling) = reference_design();
+        let rows = mc_validation(&app, &[("Exp:4".into(), mapping, scaling)], 13).unwrap();
         assert_eq!(rows.len(), 1);
         assert!(
             rows[0].rel_deviation < 0.05,

@@ -1,31 +1,72 @@
-//! Regenerates every table and figure of the paper in one run.
+//! Regenerates every table and figure of the paper in one run — as one
+//! campaign.
 //!
 //! ```text
-//! cargo run --release -p sea-experiments --bin reproduce [smoke|paper] [--jobs N]
+//! cargo run --release -p sea-experiments --bin reproduce [smoke|paper] [--jobs N] [--quiet]
 //! ```
 //!
-//! `smoke` (default) uses small search budgets for a quick look; `paper`
-//! uses the budgets behind EXPERIMENTS.md. `--jobs N` pins the optimizer's
-//! worker-thread count (sets `SEA_JOBS`, which every harness reads through
-//! `OptimizerConfig`); results are identical for every value — the
-//! parallel engine is deterministic — so the flag only trades wall-clock.
+//! The harnesses define their work as campaign unit lists
+//! (`sea_experiments::campaigns`); this binary concatenates *all* of them
+//! — Table II, Table III, Fig. 10, Fig. 11 and the MC validation — into a
+//! single flat list and runs it through one shared worker pool, so the
+//! scheduler balances across tables and figures instead of idling between
+//! them. Progress streams to stderr as units complete; the assembled
+//! reports print to stdout in the usual order. `--jobs N` pins the worker
+//! count; the reports are bitwise identical for every value.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use sea_campaign::{Sink, UnitRecord};
 use sea_experiments::ablations::{
-    exposure_ablation, mc_table, mc_validation, reference_design, seed_ablation, ser_sensitivity,
+    exposure_ablation, mc_from_results, mc_table, mc_units, reference_design, seed_ablation,
+    ser_sensitivity,
 };
-use sea_experiments::{fig10, fig11, fig3, fig9, table2, table3, EffortProfile};
+use sea_experiments::{campaigns, fig10, fig11, fig3, fig9, table2, table3, EffortProfile};
 use sea_opt::SearchBudget;
+
+/// Streams one progress line per completed unit to stderr.
+struct StderrProgress {
+    total: usize,
+    done: usize,
+    enabled: bool,
+}
+
+impl Sink for StderrProgress {
+    fn begin(&mut self, total: usize) {
+        self.total = total;
+        if self.enabled {
+            eprintln!("campaign: {total} units across all tables and figures");
+        }
+    }
+
+    fn unit_completed(&mut self, record: &UnitRecord) {
+        self.done += 1;
+        if self.enabled {
+            eprintln!(
+                "[{}/{}] {} {} cores={} levels={} {}",
+                self.done,
+                self.total,
+                record.scenario,
+                record.app,
+                record.cores,
+                record.levels,
+                record.status
+            );
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = EffortProfile::Smoke;
+    let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "paper" => profile = EffortProfile::Paper,
             "smoke" => profile = EffortProfile::Smoke,
+            "--quiet" => quiet = true,
             "--jobs" => {
                 let jobs = args
                     .get(i + 1)
@@ -35,13 +76,13 @@ fn main() {
                         eprintln!("error: --jobs needs a positive integer");
                         std::process::exit(2);
                     });
-                // Single-threaded startup: set before any optimizer runs so
-                // every harness's `OptimizerConfig` picks it up.
+                // Single-threaded startup: set before any pool spins up so
+                // the campaign engine and every inner config pick it up.
                 std::env::set_var("SEA_JOBS", jobs.to_string());
                 i += 1;
             }
             other => {
-                eprintln!("error: unknown argument `{other}` (smoke|paper [--jobs N])");
+                eprintln!("error: unknown argument `{other}` (smoke|paper [--jobs N] [--quiet])");
                 std::process::exit(2);
             }
         }
@@ -50,7 +91,7 @@ fn main() {
     println!("profile: {profile:?}, jobs: {}\n", sea_opt::default_jobs());
     let t0 = Instant::now();
 
-    // Fig. 3 — mapping study.
+    // Fig. 3 — mapping study (pure evaluation sweep; runs inline).
     let fig3 = fig3::run(120, 42).expect("Fig. 3 sweep");
     let s = fig3.summary();
     println!("## Fig. 3 (120 random mappings, 4 cores)");
@@ -68,8 +109,40 @@ fn main() {
         s.gamma_edge_over_min_low, s.gamma_edge_over_min_high
     );
 
+    // One merged campaign: every remaining table and figure as units.
+    let mpeg2 = Arc::new(sea_taskgraph::mpeg2::application());
+    let app60 = Arc::new(
+        sea_taskgraph::generator::RandomGraphConfig::paper(60)
+            .generate(profile.seed())
+            .expect("valid generator parameters"),
+    );
+    let t3_workloads = table3::paper_workloads(profile.seed());
+    let t3_cores = [2usize, 3, 4, 5, 6];
+    let (ref_app, _, ref_mapping, ref_scaling) = reference_design();
+    let ref_app = Arc::new(ref_app);
+    let mc_designs = vec![(
+        "Exp:4 (proposed)".to_string(),
+        ref_mapping.clone(),
+        ref_scaling.clone(),
+    )];
+
+    let (units, ranges) = campaigns::merge(vec![
+        table2::units_on(&mpeg2, profile, 4),
+        table3::units_on(&t3_workloads, &t3_cores, profile),
+        fig10::units_on(&app60, &t3_cores, profile),
+        fig11::units_on(&app60, 6, profile),
+        mc_units(&ref_app, &mc_designs, 3, 13),
+    ]);
+    let mut progress = StderrProgress {
+        total: 0,
+        done: 0,
+        enabled: !quiet,
+    };
+    let results =
+        campaigns::run_with(&units, sea_opt::default_jobs(), &mut progress).expect("campaign run");
+
     // Table II + Fig. 9.
-    let t2 = table2::run(profile, 4).expect("Table II");
+    let t2 = table2::from_results(&results[ranges[0].clone()]).expect("Table II");
     println!("{}", t2.to_table().to_ascii());
     let violations = t2.shape_violations();
     if violations.is_empty() {
@@ -81,7 +154,7 @@ fn main() {
     println!("{}", f9.to_table().to_ascii());
 
     // Table III.
-    let t3 = table3::run(profile).expect("Table III");
+    let t3 = table3::from_results(&t3_workloads, &t3_cores, &results[ranges[1].clone()]);
     println!("{}", t3.to_table().to_ascii());
     for (label, monotone, total) in t3.gamma_monotonicity() {
         println!("Gamma growth with cores [{label}]: {monotone}/{total} steps monotone");
@@ -89,7 +162,7 @@ fn main() {
     println!();
 
     // Fig. 10.
-    let f10 = fig10::run(profile).expect("Fig. 10");
+    let f10 = fig10::from_results(&t3_cores, &results[ranges[2].clone()]);
     println!("{}", f10.to_table().to_ascii());
     println!(
         "proposed Gamma win rate vs Exp:3: {:.0}%\n",
@@ -97,11 +170,8 @@ fn main() {
     );
 
     // Fig. 11.
-    let f11 = fig11::run(profile).expect("Fig. 11");
+    let f11 = fig11::from_results(&results[ranges[3].clone()]).expect("Fig. 11");
     println!("{}", f11.to_table().to_ascii());
-    let app60 = sea_taskgraph::generator::RandomGraphConfig::paper(60)
-        .generate(profile.seed())
-        .expect("valid generator parameters");
     let iso = fig11::level_isolation(&app60, 6, profile).expect("level isolation");
     println!("fixed-mapping level isolation (busy-cycle accounting):");
     for (levels, p, g) in &iso {
@@ -142,13 +212,7 @@ fn main() {
         print!("lambda={ser:.0e} -> Gamma={gamma:.2e}  ");
     }
     println!();
-    let mc = mc_validation(
-        &app,
-        &arch,
-        &[("Exp:4 (proposed)".into(), mapping, scaling)],
-        13,
-    )
-    .expect("MC validation");
+    let mc = mc_from_results(&mc_designs, &results[ranges[4].clone()]);
     println!("{}", mc_table(&mc).to_ascii());
 
     println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());

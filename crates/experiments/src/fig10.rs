@@ -15,8 +15,11 @@
 //! Exp:3 is infeasible), so the Γ series isolates the mapping quality the
 //! paper's Fig. 10 is about.
 
-use sea_baselines::{BaselineOptimizer, Objective};
-use sea_opt::{DesignOptimizer, OptError, OptimizerConfig};
+use std::sync::Arc;
+
+use sea_baselines::Objective;
+use sea_campaign::{AppRef, CampaignError, Unit, UnitKind, UnitResult};
+use sea_opt::SelectionPolicy;
 use sea_taskgraph::generator::RandomGraphConfig;
 use sea_taskgraph::Application;
 
@@ -50,34 +53,49 @@ pub struct Fig10 {
     pub points: Vec<Fig10Point>,
 }
 
-/// Runs the comparison on the paper's 60-task workload across `core_counts`.
-///
-/// # Errors
-///
-/// Propagates unexpected optimizer errors (infeasible allocations yield
-/// empty cells).
-pub fn run_on(
-    app: &Application,
+/// The Fig. 10 unit grid: an Exp:3 baseline and an Exp:4 proposed run per
+/// core count, interleaved `(exp3, exp4)` pairwise.
+#[must_use]
+pub fn units_on(
+    app: &Arc<Application>,
     core_counts: &[usize],
     profile: EffortProfile,
-) -> Result<Fig10, OptError> {
-    let mut points = Vec::with_capacity(core_counts.len());
+) -> Vec<Unit> {
+    let mut units = Vec::with_capacity(core_counts.len() * 2);
     for &cores in core_counts {
-        let mut config = OptimizerConfig::paper(cores);
-        config.budget = profile.budget();
-        config.seed = profile.seed();
+        for kind in [
+            UnitKind::Baseline(Objective::RegTimeProduct),
+            UnitKind::Optimize,
+        ] {
+            units.push(Unit {
+                index: units.len(),
+                scenario: "fig10".into(),
+                kind,
+                app: AppRef::Inline(Arc::clone(app)),
+                cores,
+                levels: 3,
+                budget: profile.budget_spec(),
+                selection: SelectionPolicy::default(),
+                seed: profile.seed(),
+            });
+        }
+    }
+    units
+}
 
-        let exp3 =
-            match BaselineOptimizer::new(config.clone(), Objective::RegTimeProduct).optimize(app) {
-                Ok(out) => Some(out.best),
-                Err(OptError::Infeasible { .. }) | Err(OptError::TooFewTasks { .. }) => None,
-                Err(other) => return Err(other),
-            };
-        let (exp4, matched) = match DesignOptimizer::new(config).optimize(app) {
-            Ok(out) => {
+/// Assembles Fig. 10 from the unit results (the `(exp3, exp4)` pair order
+/// of [`units_on`]). Infeasible units become empty cells.
+#[must_use]
+pub fn from_results(core_counts: &[usize], results: &[UnitResult]) -> Fig10 {
+    assert_eq!(results.len(), core_counts.len() * 2);
+    let mut points = Vec::with_capacity(core_counts.len());
+    for (i, &cores) in core_counts.iter().enumerate() {
+        let exp3 = results[2 * i].payload.outcome().map(|out| &out.best);
+        let (exp4, matched) = match results[2 * i + 1].payload.outcome() {
+            Some(out) => {
                 // Matched-scaling comparison (see module docs): report
                 // Exp:4's explored design at the scaling Exp:3 selected.
-                let matched = exp3.as_ref().and_then(|e3| {
+                let matched = exp3.and_then(|e3| {
                     out.at_scaling(&e3.scaling)
                         .filter(|o| o.feasible)
                         .and_then(|o| o.best.as_ref())
@@ -85,23 +103,38 @@ pub fn run_on(
                 });
                 match matched {
                     Some(eval) => (Some(eval), true),
-                    None => (Some(out.best.evaluation), false),
+                    None => (Some(out.best.evaluation.clone()), false),
                 }
             }
-            Err(OptError::Infeasible { .. }) | Err(OptError::TooFewTasks { .. }) => (None, false),
-            Err(other) => return Err(other),
+            None => (None, false),
         };
-        let exp3 = exp3.map(|p| p.evaluation);
+        let exp3 = exp3.map(|p| &p.evaluation);
         points.push(Fig10Point {
             cores,
-            exp3_power_mw: exp3.as_ref().map(|e| e.power_mw),
-            exp3_gamma: exp3.as_ref().map(|e| e.gamma),
+            exp3_power_mw: exp3.map(|e| e.power_mw),
+            exp3_gamma: exp3.map(|e| e.gamma),
             exp4_power_mw: exp4.as_ref().map(|e| e.power_mw),
             exp4_gamma: exp4.as_ref().map(|e| e.gamma),
             matched,
         });
     }
-    Ok(Fig10 { points })
+    Fig10 { points }
+}
+
+/// Runs the comparison on the paper's 60-task workload across `core_counts`.
+///
+/// # Errors
+///
+/// Propagates hard unit errors (infeasible allocations yield empty
+/// cells).
+pub fn run_on(
+    app: &Application,
+    core_counts: &[usize],
+    profile: EffortProfile,
+) -> Result<Fig10, CampaignError> {
+    let app = Arc::new(app.clone());
+    let results = crate::campaigns::run(&units_on(&app, core_counts, profile))?;
+    Ok(from_results(core_counts, &results))
 }
 
 /// Runs the published configuration: 60-task graph, 2–6 cores.
@@ -109,7 +142,7 @@ pub fn run_on(
 /// # Errors
 ///
 /// See [`run_on`].
-pub fn run(profile: EffortProfile) -> Result<Fig10, OptError> {
+pub fn run(profile: EffortProfile) -> Result<Fig10, CampaignError> {
     let app = RandomGraphConfig::paper(60)
         .generate(profile.seed())
         .expect("paper generator parameters are valid");

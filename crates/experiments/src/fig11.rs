@@ -14,8 +14,11 @@
 //! muting the contrast. The harness therefore reports Γ under **both**
 //! exposure policies; EXPERIMENTS.md discusses the difference.
 
+use std::sync::Arc;
+
 use sea_arch::LevelSet;
-use sea_opt::{DesignOptimizer, OptError, OptimizerConfig};
+use sea_campaign::{AppRef, CampaignError, Unit, UnitKind, UnitResult};
+use sea_opt::{DesignOptimizer, OptError, OptimizerConfig, SelectionPolicy};
 use sea_sched::metrics::{EvalContext, ExposurePolicy};
 use sea_taskgraph::generator::RandomGraphConfig;
 use sea_taskgraph::Application;
@@ -43,28 +46,47 @@ pub struct Fig11 {
     pub points: Vec<Fig11Point>,
 }
 
-/// Runs the study on an arbitrary application and core count.
+/// The Fig. 11 unit grid: one proposed-flow optimization per DVS level
+/// count (2, 3, 4).
+#[must_use]
+pub fn units_on(app: &Arc<Application>, cores: usize, profile: EffortProfile) -> Vec<Unit> {
+    [2usize, 3, 4]
+        .into_iter()
+        .enumerate()
+        .map(|(index, levels)| Unit {
+            index,
+            scenario: "fig11".into(),
+            kind: UnitKind::Optimize,
+            app: AppRef::Inline(Arc::clone(app)),
+            cores,
+            levels,
+            budget: profile.budget_spec(),
+            selection: SelectionPolicy::default(),
+            seed: profile.seed(),
+        })
+        .collect()
+}
+
+/// Assembles Fig. 11 from the three unit results (level order 2, 3, 4),
+/// adding the busy-cycles Γ re-evaluation for feasible points.
 ///
 /// # Errors
 ///
-/// Propagates unexpected optimizer errors.
-pub fn run_on(app: &Application, cores: usize, profile: EffortProfile) -> Result<Fig11, OptError> {
-    let sets = [
-        (2usize, LevelSet::arm7_two_level()),
-        (3, LevelSet::arm7_three_level()),
-        (4, LevelSet::arm7_four_level()),
-    ];
-    let mut points = Vec::with_capacity(sets.len());
-    for (levels, set) in sets {
-        let mut config = OptimizerConfig::paper(cores).with_levels(set);
-        config.budget = profile.budget();
-        config.seed = profile.seed();
-        match DesignOptimizer::new(config.clone()).optimize(app) {
-            Ok(out) => {
-                let busy = EvalContext::new(app, &config.arch)
+/// Propagates evaluation errors.
+pub fn from_results(results: &[UnitResult]) -> Result<Fig11, CampaignError> {
+    assert_eq!(results.len(), 3, "Fig. 11 studies 2/3/4 levels");
+    let mut points = Vec::with_capacity(results.len());
+    for result in results {
+        let levels = result.unit.levels;
+        match result.payload.outcome() {
+            Some(out) => {
+                let app = result.unit.app.build()?;
+                let config = result.unit.optimizer_config();
+                let busy = EvalContext::new(&app, &config.arch)
                     .with_ser(config.ser)
                     .with_exposure(ExposurePolicy::BusyOnly)
-                    .evaluate(&out.best.mapping, &out.best.scaling)?;
+                    .evaluate(&out.best.mapping, &out.best.scaling)
+                    .map_err(OptError::from)?;
                 points.push(Fig11Point {
                     levels,
                     power_mw: Some(out.best.evaluation.power_mw),
@@ -72,18 +94,30 @@ pub fn run_on(app: &Application, cores: usize, profile: EffortProfile) -> Result
                     gamma_busy: Some(busy.gamma),
                 });
             }
-            Err(OptError::Infeasible { .. }) | Err(OptError::TooFewTasks { .. }) => {
-                points.push(Fig11Point {
-                    levels,
-                    power_mw: None,
-                    gamma: None,
-                    gamma_busy: None,
-                });
-            }
-            Err(other) => return Err(other),
+            None => points.push(Fig11Point {
+                levels,
+                power_mw: None,
+                gamma: None,
+                gamma_busy: None,
+            }),
         }
     }
     Ok(Fig11 { points })
+}
+
+/// Runs the study on an arbitrary application and core count.
+///
+/// # Errors
+///
+/// Propagates hard unit errors.
+pub fn run_on(
+    app: &Application,
+    cores: usize,
+    profile: EffortProfile,
+) -> Result<Fig11, CampaignError> {
+    let app = Arc::new(app.clone());
+    let results = crate::campaigns::run(&units_on(&app, cores, profile))?;
+    from_results(&results)
 }
 
 /// Isolates the level-set SER mechanism: takes the design optimized under
@@ -149,7 +183,7 @@ pub fn level_isolation(
 /// # Errors
 ///
 /// See [`run_on`].
-pub fn run(profile: EffortProfile) -> Result<Fig11, OptError> {
+pub fn run(profile: EffortProfile) -> Result<Fig11, CampaignError> {
     let app = RandomGraphConfig::paper(60)
         .generate(profile.seed())
         .expect("paper generator parameters are valid");

@@ -36,15 +36,15 @@ pub struct Fig9 {
     pub scaling: Vec<u8>,
 }
 
-/// Runs the comparison: all four Table II mappings re-evaluated at the
-/// fixed scaling (2, 2, 3, 2) as in the paper.
+/// Runs the comparison: the Table II campaign re-evaluated at the fixed
+/// scaling (2, 2, 3, 2) as in the paper.
 ///
 /// # Errors
 ///
-/// Propagates optimizer/evaluation errors.
-pub fn run(profile: EffortProfile) -> Result<Fig9, OptError> {
+/// Propagates unit/evaluation errors.
+pub fn run(profile: EffortProfile) -> Result<Fig9, sea_campaign::CampaignError> {
     let table2 = crate::table2::run(profile, 4)?;
-    from_table2(&table2)
+    Ok(from_table2(&table2)?)
 }
 
 /// Builds Fig. 9 from an existing Table II run (avoids re-optimizing).

@@ -17,6 +17,7 @@
 //! records the outcome).
 
 pub mod ablations;
+pub mod campaigns;
 pub mod fig10;
 pub mod fig11;
 pub mod fig3;
@@ -27,6 +28,7 @@ pub mod table3;
 
 pub use report::{Column, Table};
 
+use sea_campaign::BudgetSpec;
 use sea_opt::SearchBudget;
 
 /// How much search effort the harnesses spend.
@@ -40,24 +42,20 @@ pub enum EffortProfile {
 }
 
 impl EffortProfile {
+    /// The campaign budget preset of this profile (the harnesses are
+    /// campaign definitions, so the presets live in `sea-campaign`).
+    #[must_use]
+    pub fn budget_spec(self) -> BudgetSpec {
+        match self {
+            EffortProfile::Smoke => BudgetSpec::Smoke,
+            EffortProfile::Paper => BudgetSpec::Paper,
+        }
+    }
+
     /// The per-scaling search budget of this profile.
     #[must_use]
     pub fn budget(self) -> SearchBudget {
-        match self {
-            EffortProfile::Smoke => SearchBudget {
-                max_evaluations: 600,
-                // Post-cooldown patience: how many neighbourhood-sized
-                // batches of non-improving movements the annealer tolerates
-                // after its schedule has cooled before giving up.
-                max_stale_sweeps: 4,
-                time_limit: None,
-            },
-            EffortProfile::Paper => SearchBudget {
-                max_evaluations: 20_000,
-                max_stale_sweeps: 4,
-                time_limit: None,
-            },
-        }
+        self.budget_spec().to_budget()
     }
 
     /// Base RNG seed shared by the harnesses (experiments decorrelate it).

@@ -7,8 +7,11 @@
 //! simulated annealing minimizing `R` / `TM` / `TM·R` for Exp:1/2/3, and
 //! the proposed two-stage soft error-aware mapping for Exp:4.
 
-use sea_baselines::{BaselineOptimizer, Objective};
-use sea_opt::{DesignOptimizer, DesignPoint, OptError, OptimizerConfig};
+use std::sync::Arc;
+
+use sea_baselines::Objective;
+use sea_campaign::{AppRef, CampaignError, Unit, UnitKind, UnitResult};
+use sea_opt::{DesignPoint, SelectionPolicy};
 use sea_taskgraph::{mpeg2, Application};
 
 use crate::report::{sci, Column, Table};
@@ -46,42 +49,59 @@ pub struct Table2 {
     pub rows: Vec<Table2Row>,
 }
 
-/// Runs all four experiments on the MPEG-2 decoder with `cores` cores.
-///
-/// # Errors
-///
-/// Propagates optimizer errors; [`OptError::Infeasible`] should not occur
-/// for the published 4-core setup.
-pub fn run(profile: EffortProfile, cores: usize) -> Result<Table2, OptError> {
-    run_on(&mpeg2::application(), profile, cores)
+/// The four Table II units — Exp:1–3 SA baselines plus the proposed flow,
+/// each an independent grid point for the campaign pool.
+#[must_use]
+pub fn units_on(app: &Arc<Application>, profile: EffortProfile, cores: usize) -> Vec<Unit> {
+    let kinds = [
+        UnitKind::Baseline(Objective::RegisterUsage),
+        UnitKind::Baseline(Objective::Parallelism),
+        UnitKind::Baseline(Objective::RegTimeProduct),
+        UnitKind::Optimize,
+    ];
+    kinds
+        .into_iter()
+        .enumerate()
+        .map(|(index, kind)| Unit {
+            index,
+            scenario: "table2".into(),
+            kind,
+            app: AppRef::Inline(Arc::clone(app)),
+            cores,
+            levels: 3,
+            budget: profile.budget_spec(),
+            selection: SelectionPolicy::default(),
+            seed: profile.seed(),
+        })
+        .collect()
 }
 
-/// Runs the four experiments on an arbitrary application (used by Fig. 10
-/// and Table III with random graphs).
+/// Assembles Table II from the four unit results (enumeration order:
+/// Exp:1, Exp:2, Exp:3, Exp:4).
 ///
 /// # Errors
 ///
-/// Propagates optimizer errors.
-pub fn run_on(app: &Application, profile: EffortProfile, cores: usize) -> Result<Table2, OptError> {
-    let mut config = OptimizerConfig::paper(cores);
-    config.budget = profile.budget();
-    config.seed = profile.seed();
+/// Re-raises infeasible units as optimizer errors (the published 4-core
+/// setup is feasible) and propagates evaluation errors from the derived
+/// metrics.
+pub fn from_results(results: &[UnitResult]) -> Result<Table2, CampaignError> {
+    assert_eq!(results.len(), 4, "Table II has four experiments");
+    let app = results[0].unit.app.build()?;
+    let config = results[3].unit.optimizer_config();
 
-    let mut designs = Vec::with_capacity(4);
-    for objective in [
-        Objective::RegisterUsage,
-        Objective::Parallelism,
-        Objective::RegTimeProduct,
-    ] {
-        let out = BaselineOptimizer::new(config.clone(), objective).optimize(app)?;
-        designs.push((objective.label().to_string(), out.best));
+    let mut designs: Vec<(String, DesignPoint)> = Vec::with_capacity(4);
+    for result in results {
+        let label = match &result.unit.kind {
+            UnitKind::Baseline(objective) => objective.label().to_string(),
+            _ => "Exp:4 (Proposed)".to_string(),
+        };
+        let out = result.payload.require_design()?;
+        designs.push((label, out.best.clone()));
     }
-    let out = DesignOptimizer::new(config.clone()).optimize(app)?;
-    let matched_scaling = out.best.scaling.clone();
-    designs.push(("Exp:4 (Proposed)".to_string(), out.best));
+    let matched_scaling = designs[3].1.scaling.clone();
 
     // Derived, scaling-normalized metrics for the shape comparison.
-    let ctx = sea_sched::metrics::EvalContext::new(app, &config.arch)
+    let ctx = sea_sched::metrics::EvalContext::new(&app, &config.arch)
         .with_ser(config.ser)
         .with_exposure(config.exposure);
     let nominal = sea_arch::ScalingVector::all_nominal(&config.arch);
@@ -97,8 +117,34 @@ pub fn run_on(app: &Application, profile: EffortProfile, cores: usize) -> Result
                 gamma_matched,
             })
         })
-        .collect::<Result<Vec<_>, OptError>>()?;
+        .collect::<Result<Vec<_>, sea_opt::OptError>>()?;
     Ok(Table2 { rows })
+}
+
+/// Runs all four experiments on the MPEG-2 decoder with `cores` cores.
+///
+/// # Errors
+///
+/// Propagates unit errors; infeasibility should not occur for the
+/// published 4-core setup.
+pub fn run(profile: EffortProfile, cores: usize) -> Result<Table2, CampaignError> {
+    run_on(&mpeg2::application(), profile, cores)
+}
+
+/// Runs the four experiments on an arbitrary application (used by Fig. 10
+/// and Table III with random graphs) through the campaign engine.
+///
+/// # Errors
+///
+/// Propagates unit errors.
+pub fn run_on(
+    app: &Application,
+    profile: EffortProfile,
+    cores: usize,
+) -> Result<Table2, CampaignError> {
+    let app = Arc::new(app.clone());
+    let results = crate::campaigns::run(&units_on(&app, profile, cores))?;
+    from_results(&results)
 }
 
 impl Table2 {

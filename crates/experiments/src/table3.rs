@@ -7,7 +7,10 @@
 //! and Γ grows with the core count (more parallelism → lower TM → deeper
 //! voltage scaling and more register duplication).
 
-use sea_opt::{DesignOptimizer, OptError, OptimizerConfig};
+use std::sync::Arc;
+
+use sea_campaign::{AppRef, CampaignError, Unit, UnitKind, UnitResult};
+use sea_opt::SelectionPolicy;
 use sea_taskgraph::generator::RandomGraphConfig;
 use sea_taskgraph::{mpeg2, Application};
 
@@ -56,6 +59,72 @@ pub fn paper_workloads(seed: u64) -> Vec<(String, Application)> {
     out
 }
 
+/// The Table III unit grid: one proposed-flow optimization per
+/// `(workload, core count)` cell, workload-major — a wide, embarrassingly
+/// parallel list the campaign pool schedules across.
+#[must_use]
+pub fn units_on(
+    workloads: &[(String, Application)],
+    core_counts: &[usize],
+    profile: EffortProfile,
+) -> Vec<Unit> {
+    let mut units = Vec::with_capacity(workloads.len() * core_counts.len());
+    for (label, app) in workloads {
+        let app = Arc::new(app.clone());
+        for &cores in core_counts {
+            units.push(Unit {
+                index: units.len(),
+                scenario: format!("table3:{label}"),
+                kind: UnitKind::Optimize,
+                app: AppRef::Inline(Arc::clone(&app)),
+                cores,
+                levels: 3,
+                budget: profile.budget_spec(),
+                selection: SelectionPolicy::default(),
+                seed: profile.seed(),
+            });
+        }
+    }
+    units
+}
+
+/// Assembles Table III from the unit results (same workload-major order
+/// as [`units_on`]). Infeasible units become empty cells.
+#[must_use]
+pub fn from_results(
+    workloads: &[(String, Application)],
+    core_counts: &[usize],
+    results: &[UnitResult],
+) -> Table3 {
+    assert_eq!(results.len(), workloads.len() * core_counts.len());
+    let mut rows = Vec::with_capacity(workloads.len());
+    for (w, (label, _)) in workloads.iter().enumerate() {
+        let cells = core_counts
+            .iter()
+            .enumerate()
+            .map(|(c, &cores)| {
+                let best = results[w * core_counts.len() + c]
+                    .payload
+                    .outcome()
+                    .map(|out| &out.best.evaluation);
+                Table3Cell {
+                    cores,
+                    power_mw: best.map(|e| e.power_mw),
+                    gamma: best.map(|e| e.gamma),
+                }
+            })
+            .collect();
+        rows.push(Table3Row {
+            label: label.clone(),
+            cells,
+        });
+    }
+    Table3 {
+        core_counts: core_counts.to_vec(),
+        rows,
+    }
+}
+
 /// Runs Table III over the given workloads and core counts.
 ///
 /// Infeasible (application, cores) combinations yield empty cells rather
@@ -63,45 +132,14 @@ pub fn paper_workloads(seed: u64) -> Vec<(String, Application)> {
 ///
 /// # Errors
 ///
-/// Propagates non-feasibility errors other than
-/// [`OptError::Infeasible`]/[`OptError::TooFewTasks`].
+/// Propagates hard unit errors (infeasibility is an empty cell).
 pub fn run_on(
     workloads: &[(String, Application)],
     core_counts: &[usize],
     profile: EffortProfile,
-) -> Result<Table3, OptError> {
-    let mut rows = Vec::with_capacity(workloads.len());
-    for (label, app) in workloads {
-        let mut cells = Vec::with_capacity(core_counts.len());
-        for &cores in core_counts {
-            let mut config = OptimizerConfig::paper(cores);
-            config.budget = profile.budget();
-            config.seed = profile.seed();
-            match DesignOptimizer::new(config).optimize(app) {
-                Ok(out) => cells.push(Table3Cell {
-                    cores,
-                    power_mw: Some(out.best.evaluation.power_mw),
-                    gamma: Some(out.best.evaluation.gamma),
-                }),
-                Err(OptError::Infeasible { .. }) | Err(OptError::TooFewTasks { .. }) => {
-                    cells.push(Table3Cell {
-                        cores,
-                        power_mw: None,
-                        gamma: None,
-                    });
-                }
-                Err(other) => return Err(other),
-            }
-        }
-        rows.push(Table3Row {
-            label: label.clone(),
-            cells,
-        });
-    }
-    Ok(Table3 {
-        core_counts: core_counts.to_vec(),
-        rows,
-    })
+) -> Result<Table3, CampaignError> {
+    let results = crate::campaigns::run(&units_on(workloads, core_counts, profile))?;
+    Ok(from_results(workloads, core_counts, &results))
 }
 
 /// Runs the published Table III (six workloads, 2–6 cores).
@@ -109,7 +147,7 @@ pub fn run_on(
 /// # Errors
 ///
 /// See [`run_on`].
-pub fn run(profile: EffortProfile) -> Result<Table3, OptError> {
+pub fn run(profile: EffortProfile) -> Result<Table3, CampaignError> {
     run_on(&paper_workloads(profile.seed()), &[2, 3, 4, 5, 6], profile)
 }
 

@@ -2,7 +2,7 @@
 //! that *reacts* to upsets.
 //!
 //! The paper optimizes the raw number of SEUs experienced; its related
-//! work (refs. [5]–[8]: time/information redundancy, re-execution,
+//! work (refs. \[5\]–\[8\]: time/information redundancy, re-execution,
 //! checkpointing) supplies the standard recovery mechanisms layered on
 //! top. This module closes that loop analytically: given a design's
 //! evaluation (per-core `Γ_i`, busy times, utilization) and a
@@ -18,7 +18,7 @@
 //!   the utilization-weighted mean task duration on the core.
 //! * **Checkpointing** — state is saved every `interval_s`; a detected
 //!   upset rolls back half an interval on average, plus the checkpoint
-//!   save overhead accrued over the run (Zhang & Chakrabarty, ref. [7]).
+//!   save overhead accrued over the run (Zhang & Chakrabarty, ref. \[7\]).
 //! * Undetected upsets (coverage < 1) remain as residual Γ — the quantity
 //!   the paper's optimization minimizes.
 

@@ -1,7 +1,7 @@
 //! Deterministic list scheduling for mapped task graphs (paper §IV-B).
 //!
 //! The paper's `OptimizedMapping` "employs list scheduling for scheduling
-//! tasks [8]". We use the classic priority list scheduler with *bottom
+//! tasks \[8\]". We use the classic priority list scheduler with *bottom
 //! level* (downstream critical path) priority:
 //!
 //! * Tasks become ready when all predecessors have finished.
@@ -200,7 +200,7 @@ pub(crate) fn check_shapes(
 
 /// Reusable buffers for repeated list scheduling of one application on one
 /// architecture. A fresh scratch allocates on first use; after that every
-/// [`schedule_one_pass_into`] call runs without heap allocation (lanes keep
+/// `schedule_one_pass_into` call runs without heap allocation (lanes keep
 /// their capacity across candidates). Owned by
 /// [`crate::evaluator::Evaluator`], which is the intended consumer.
 #[derive(Debug, Default, Clone)]

@@ -1,4 +1,4 @@
-//! SEU fault injection (paper §II-B, ref. [11]).
+//! SEU fault injection (paper §II-B, ref. \[11\]).
 //!
 //! The authors' SystemC flow keeps a centralized list of the register space
 //! and draws the number and location of injected SEUs from a Poisson

@@ -2,7 +2,7 @@
 //!
 //! This crate is the workspace's substitute for the paper's SystemC
 //! cycle-accurate simulation and the minimum-intrusive fault-injection flow
-//! of the authors' IOLTS'08 technique (paper §II-B, ref. [11]):
+//! of the authors' IOLTS'08 technique (paper §II-B, ref. \[11\]):
 //!
 //! * [`kernel`] — a small discrete-event simulation kernel (time-ordered
 //!   event queue with deterministic tie-breaking).

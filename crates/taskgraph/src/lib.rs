@@ -47,6 +47,7 @@ pub mod graph;
 pub mod mpeg2;
 pub mod presets;
 pub mod registers;
+pub mod spec;
 pub mod task;
 pub mod units;
 
@@ -54,5 +55,6 @@ pub use application::{Application, ExecutionMode};
 pub use error::GraphError;
 pub use graph::{Edge, TaskGraph, TaskGraphBuilder};
 pub use registers::{RegisterBlock, RegisterBlockId, RegisterModel, RegisterModelBuilder};
+pub use spec::{AppSpec, SpecError};
 pub use task::{Task, TaskId};
 pub use units::{Bits, Cycles};

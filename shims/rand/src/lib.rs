@@ -7,7 +7,7 @@
 //!   SplitMix64), stable across platforms and releases of this workspace.
 //! * [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`].
 //! * [`Rng::gen_range`] over half-open and inclusive integer and `f64`
-//!   ranges, plus [`Rng::gen_bool`] and [`Rng::gen`].
+//!   ranges, plus [`Rng::gen_bool`].
 //!
 //! The statistical quality (equidistribution of xoshiro256**) is more than
 //! adequate for the Monte-Carlo fault injection and simulated annealing done

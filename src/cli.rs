@@ -14,15 +14,24 @@
 //! sea-dse generate  --tasks N [--seed N] [--dot]
 //! sea-dse recovery  --app <spec> --cores N --scaling ... --groups ...
 //!                   --policy none|reexec:<coverage>|ckpt:<coverage>:<interval>:<save>
+//! sea-dse campaign  --spec <file> | --builtin <name> | --list-builtin
+//!                   [--jobs N] [--format human|csv|jsonl] [--budget fast|smoke|paper|thorough]
 //! ```
 //!
-//! Application specs: `mpeg2`, `fig8`, or `random:<tasks>[:<seed>]`.
+//! Application specs (`mpeg2`, `fig8`, `random:<tasks>[:<seed>]`) parse
+//! through the shared [`sea_taskgraph::spec`] grammar, so the CLI and
+//! campaign files accept exactly the same strings. Every flag may be
+//! given at most once — duplicates are rejected rather than silently
+//! last-wins.
 
 use std::fmt;
 
 use crate::arch::LevelSet;
-use crate::taskgraph::generator::RandomGraphConfig;
-use crate::taskgraph::{fig8, mpeg2, Application};
+use sea_campaign::BudgetSpec;
+
+/// Re-exported from the shared spec module ([`sea_taskgraph::spec`]): the
+/// application selector the CLI and campaign grammar both consume.
+pub use crate::taskgraph::spec::AppSpec;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,8 +48,42 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Recovery analysis of one design point.
     Recovery(RecoveryArgs),
+    /// Run (or list) declarative multi-scenario campaigns.
+    Campaign(CampaignArgs),
     /// Print usage.
     Help,
+}
+
+/// Campaign command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignArgs {
+    /// Path to a campaign spec file (`--spec`).
+    pub spec_path: Option<String>,
+    /// Name of a built-in campaign (`--builtin`).
+    pub builtin: Option<String>,
+    /// List the built-in campaigns and exit (`--list-builtin`).
+    pub list_builtin: bool,
+    /// Worker threads for the campaign pool (`None` = `SEA_JOBS`, else
+    /// available parallelism). Final reports are identical for every
+    /// value.
+    pub jobs: Option<usize>,
+    /// Final-report format.
+    pub format: OutputFormat,
+    /// Overrides the campaign's budget (including per-scenario
+    /// overrides).
+    pub budget: Option<BudgetSpec>,
+}
+
+/// `--format` values for campaign reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Aligned ASCII table (the default).
+    #[default]
+    Human,
+    /// CSV (header + one row per unit).
+    Csv,
+    /// JSON Lines (one object per unit).
+    Jsonl,
 }
 
 /// `--selection` values: which [`sea_opt::SelectionPolicy`] the optimizer
@@ -174,39 +217,6 @@ pub enum PolicySpec {
     },
 }
 
-/// Application selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AppSpec {
-    /// The MPEG-2 decoder of Fig. 2.
-    Mpeg2,
-    /// The Fig. 8 tutorial graph.
-    Fig8,
-    /// A §V random workload.
-    Random {
-        /// Task count.
-        tasks: usize,
-        /// Generator seed.
-        seed: u64,
-    },
-}
-
-impl AppSpec {
-    /// Materializes the application.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message if the random generator rejects the parameters.
-    pub fn build(self) -> Result<Application, CliError> {
-        match self {
-            AppSpec::Mpeg2 => Ok(mpeg2::application()),
-            AppSpec::Fig8 => Ok(fig8::application()),
-            AppSpec::Random { tasks, seed } => RandomGraphConfig::paper(tasks)
-                .generate(seed)
-                .map_err(|e| CliError(format!("cannot generate workload: {e}"))),
-        }
-    }
-}
-
 /// A CLI parse/validation error with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError(pub String);
@@ -233,6 +243,9 @@ USAGE:
   sea-dse generate  --tasks <N> [--seed <N>] [--dot]
   sea-dse recovery  --app <spec> --cores <N> --scaling ... --groups ...
                     --policy none|reexec:<cov>|ckpt:<cov>:<interval_s>:<save_s>
+  sea-dse campaign  --spec <file> | --builtin <name> | --list-builtin
+                    [--jobs <N>] [--format human|csv|jsonl]
+                    [--budget fast|smoke|paper|thorough]
   sea-dse help
 
 APP SPECS: mpeg2 | fig8 | random:<tasks>[:<seed>]
@@ -242,6 +255,16 @@ JOBS:      worker threads for `optimize`'s scaling enumeration; results are
            identical for every value (default: SEA_JOBS env, else available
            parallelism). `baseline` is a single sequential annealing chain
            plus one evaluation per scaling, so --jobs has no effect there.
+CAMPAIGNS: declarative multi-scenario runs (see README \"Campaigns\"):
+           progress streams to stderr as units complete; the
+           enumeration-order final report prints to stdout and is byte
+           identical for every --jobs value.
+           Campaign budgets name evaluation caps per voltage scaling:
+           fast=2k, smoke=600, paper=20k (the EXPERIMENTS.md harness
+           profile), thorough=60k. NOTE: `campaign --budget paper` is the
+           experiment-harness budget (20k); `optimize --budget paper` is
+           the thorough 60k budget — use `campaign --budget thorough` to
+           match the latter.
 ";
 
 /// Parses a full argument vector (without the program name).
@@ -269,6 +292,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "simulate" => Ok(Command::Simulate(parse_design(rest)?)),
         "sweep" => Ok(Command::Sweep(parse_sweep(rest)?)),
         "generate" => Ok(Command::Generate(parse_generate(rest)?)),
+        "campaign" => Ok(Command::Campaign(parse_campaign_cmd(rest)?)),
         "recovery" => {
             let policy = match get_flag(rest, "--policy")? {
                 Some(p) => parse_policy(&p)?,
@@ -293,6 +317,13 @@ fn get_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
             let Some(v) = args.get(i + 1) else {
                 return Err(CliError(format!("flag {name} needs a value")));
             };
+            if value.is_some() {
+                // Last-wins duplicate handling silently drops user intent;
+                // make the conflict loud instead.
+                return Err(CliError(format!(
+                    "flag {name} given more than once (remove the duplicate)"
+                )));
+            }
             value = Some(v.clone());
             i += 2;
         } else {
@@ -320,34 +351,15 @@ fn parse_app(args: &[String]) -> Result<AppSpec, CliError> {
     parse_app_spec(&spec)
 }
 
-/// Parses an application spec string.
+/// Parses an application spec string through the shared
+/// [`sea_taskgraph::spec`] grammar.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] for unknown specs or malformed `random:` forms.
 pub fn parse_app_spec(spec: &str) -> Result<AppSpec, CliError> {
-    match spec {
-        "mpeg2" => Ok(AppSpec::Mpeg2),
-        "fig8" => Ok(AppSpec::Fig8),
-        other => {
-            let mut parts = other.split(':');
-            if parts.next() != Some("random") {
-                return Err(CliError(format!("unknown app spec `{other}`")));
-            }
-            let tasks = parts
-                .next()
-                .ok_or_else(|| CliError("random spec needs a task count".into()))?;
-            let tasks: usize = parse_num(tasks, "task count")?;
-            let seed = match parts.next() {
-                Some(s) => parse_num(s, "seed")?,
-                None => 7,
-            };
-            if parts.next().is_some() {
-                return Err(CliError("too many `:` fields in random spec".into()));
-            }
-            Ok(AppSpec::Random { tasks, seed })
-        }
-    }
+    spec.parse()
+        .map_err(|e: crate::taskgraph::SpecError| CliError(e.to_string()))
 }
 
 fn parse_cores(args: &[String]) -> Result<usize, CliError> {
@@ -506,6 +518,73 @@ fn parse_generate(args: &[String]) -> Result<GenerateArgs, CliError> {
     })
 }
 
+fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
+    // Campaign output is flag-selected and consumed by scripts, so a
+    // misspelled flag must fail loudly instead of silently falling back
+    // to a default format/budget.
+    let value_flags = ["--spec", "--builtin", "--jobs", "--format", "--budget"];
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if value_flags.contains(&arg) {
+            i += 2;
+        } else if arg == "--list-builtin" {
+            i += 1;
+        } else {
+            return Err(CliError(format!(
+                "unknown campaign flag `{arg}` (--spec|--builtin|--list-builtin|--jobs|--format|--budget)"
+            )));
+        }
+    }
+    let spec_path = get_flag(args, "--spec")?;
+    let builtin = get_flag(args, "--builtin")?;
+    let list_builtin = has_switch(args, "--list-builtin");
+    let sources = usize::from(spec_path.is_some())
+        + usize::from(builtin.is_some())
+        + usize::from(list_builtin);
+    if sources != 1 {
+        return Err(CliError(
+            "campaign needs exactly one of --spec <file>, --builtin <name>, --list-builtin".into(),
+        ));
+    }
+    let jobs = match get_flag(args, "--jobs")? {
+        None => None,
+        Some(j) => {
+            let j: usize = parse_num(&j, "job count")?;
+            if j == 0 {
+                return Err(CliError("--jobs must be at least 1".into()));
+            }
+            Some(j)
+        }
+    };
+    let format = match get_flag(args, "--format")?.as_deref() {
+        None | Some("human") => OutputFormat::Human,
+        Some("csv") => OutputFormat::Csv,
+        Some("jsonl") => OutputFormat::Jsonl,
+        Some(other) => {
+            return Err(CliError(format!(
+                "unknown --format `{other}` (human|csv|jsonl)"
+            )));
+        }
+    };
+    let budget = match get_flag(args, "--budget")? {
+        None => None,
+        Some(b) => Some(BudgetSpec::parse(&b).map_err(|_| {
+            CliError(format!(
+                "unknown --budget `{b}` (fast|smoke|paper|thorough)"
+            ))
+        })?),
+    };
+    Ok(CampaignArgs {
+        spec_path,
+        builtin,
+        list_builtin,
+        jobs,
+        format,
+        budget,
+    })
+}
+
 fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
     let mut parts = s.split(':');
     match parts.next() {
@@ -557,12 +636,7 @@ fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
 /// Panics if `levels` was not validated to 2..=4.
 #[must_use]
 pub fn level_set(levels: usize) -> LevelSet {
-    match levels {
-        2 => LevelSet::arm7_two_level(),
-        3 => LevelSet::arm7_three_level(),
-        4 => LevelSet::arm7_four_level(),
-        _ => unreachable!("validated at parse time"),
-    }
+    sea_campaign::level_set(levels)
 }
 
 #[cfg(test)]
@@ -740,5 +814,69 @@ mod tests {
     #[test]
     fn flag_value_missing_is_reported() {
         assert!(parse(&argv("optimize --app")).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_with_the_flag_name() {
+        let err = parse(&argv("optimize --app mpeg2 --cores 4 --cores 2")).unwrap_err();
+        assert!(err.0.contains("--cores"), "{err}");
+        assert!(err.0.contains("more than once"), "{err}");
+        let err = parse(&argv("optimize --app mpeg2 --app fig8 --cores 4")).unwrap_err();
+        assert!(err.0.contains("--app"), "{err}");
+        let err = parse(&argv("campaign --spec a.toml --format csv --format jsonl")).unwrap_err();
+        assert!(err.0.contains("--format"), "{err}");
+    }
+
+    #[test]
+    fn parses_campaign_command() {
+        let Command::Campaign(c) = parse(&argv(
+            "campaign --spec examples/campaign_quickstart.toml --jobs 2 --format jsonl --budget smoke",
+        ))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(
+            c.spec_path.as_deref(),
+            Some("examples/campaign_quickstart.toml")
+        );
+        assert_eq!(c.builtin, None);
+        assert!(!c.list_builtin);
+        assert_eq!(c.jobs, Some(2));
+        assert_eq!(c.format, OutputFormat::Jsonl);
+        assert_eq!(c.budget, Some(BudgetSpec::Smoke));
+
+        let Command::Campaign(c) = parse(&argv("campaign --builtin quickstart")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.builtin.as_deref(), Some("quickstart"));
+        assert_eq!(c.format, OutputFormat::Human);
+
+        let Command::Campaign(c) = parse(&argv("campaign --list-builtin")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert!(c.list_builtin);
+    }
+
+    #[test]
+    fn campaign_rejects_bad_flag_values_by_name() {
+        let err = parse(&argv("campaign --spec a.toml --format yaml")).unwrap_err();
+        assert!(
+            err.0.contains("--format") && err.0.contains("yaml"),
+            "{err}"
+        );
+        let err = parse(&argv("campaign --spec a.toml --budget leisurely")).unwrap_err();
+        assert!(
+            err.0.contains("--budget") && err.0.contains("leisurely"),
+            "{err}"
+        );
+        assert!(parse(&argv("campaign --spec a.toml --jobs 0")).is_err());
+        // Misspelled flags fail loudly instead of defaulting.
+        let err = parse(&argv("campaign --spec a.toml --fromat jsonl")).unwrap_err();
+        assert!(err.0.contains("--fromat"), "{err}");
+        assert!(parse(&argv("campaign --spec a.toml extra")).is_err());
+        // Exactly one source selector.
+        assert!(parse(&argv("campaign")).is_err());
+        assert!(parse(&argv("campaign --spec a.toml --builtin quickstart")).is_err());
+        assert!(parse(&argv("campaign --spec a.toml --list-builtin")).is_err());
     }
 }

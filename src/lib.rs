@@ -17,7 +17,10 @@
 //!   `OptimizedMapping`, and the iterative-assessment driver.
 //! * [`baselines`] — simulated-annealing mappers for the soft error-unaware
 //!   experiments Exp:1–Exp:3 and the random-mapping sweep of Fig. 3.
-//! * [`experiments`] — harnesses regenerating every table and figure.
+//! * [`campaign`] — declarative multi-scenario campaigns: spec grammar,
+//!   deterministic cross-scenario worker pool, streaming result sinks.
+//! * [`experiments`] — harnesses regenerating every table and figure,
+//!   defined as campaign unit lists.
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@ pub mod cli;
 
 pub use sea_arch as arch;
 pub use sea_baselines as baselines;
+pub use sea_campaign as campaign;
 pub use sea_experiments as experiments;
 pub use sea_opt as opt;
 pub use sea_sched as sched;

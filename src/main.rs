@@ -5,7 +5,12 @@ use std::process::ExitCode;
 
 use sea_dse::arch::{Architecture, ScalingVector, SerModel};
 use sea_dse::baselines::{BaselineOptimizer, Objective};
-use sea_dse::cli::{self, BaselineObjective, Command, DesignArgs, OptimizeArgs, PolicySpec};
+use sea_dse::campaign::{run_units, CsvSink, HumanSink, JsonlSink, Sink};
+use sea_dse::cli::{
+    self, BaselineObjective, CampaignArgs, Command, DesignArgs, OptimizeArgs, OutputFormat,
+    PolicySpec,
+};
+use sea_dse::experiments::campaigns as builtin_campaigns;
 use sea_dse::opt::{
     DesignOptimizer, OptimizationOutcome, OptimizerConfig, SearchBudget, SelectionPolicy,
 };
@@ -164,6 +169,7 @@ fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Campaign(c) => run_campaign(&c),
         Command::Recovery(r) => {
             let (app, arch, mapping, scaling) = build_design(&r.design)?;
             let ctx = EvalContext::new(&app, &arch).with_ser(SerModel::calibrated(r.design.ser));
@@ -214,6 +220,62 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
+    if c.list_builtin {
+        println!("built-in campaigns (sea-dse campaign --builtin <name>):");
+        for b in builtin_campaigns::builtins() {
+            println!("  {:<12} {}", b.name, b.description);
+        }
+        return Ok(());
+    }
+    let source = match (&c.spec_path, &c.builtin) {
+        (Some(path), _) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read campaign spec `{path}`: {e}"))?,
+        (None, Some(name)) => match builtin_campaigns::builtin(name) {
+            Some(b) => b.source.to_string(),
+            None => {
+                let names: Vec<&str> = builtin_campaigns::builtins()
+                    .iter()
+                    .map(|b| b.name)
+                    .collect();
+                return Err(format!(
+                    "unknown built-in campaign `{name}` (available: {})",
+                    names.join(", ")
+                ));
+            }
+        },
+        (None, None) => unreachable!("validated at parse time"),
+    };
+    let mut campaign = sea_dse::campaign::parse_campaign(&source).map_err(|e| e.to_string())?;
+    if let Some(budget) = c.budget {
+        campaign.budget = budget;
+        for scenario in &mut campaign.scenarios {
+            scenario.budget = None;
+        }
+    }
+    let units = campaign.expand();
+    let jobs = c.jobs.unwrap_or_else(sea_dse::opt::default_jobs);
+    eprintln!(
+        "campaign `{}`: {} units on {} worker(s)",
+        campaign.name,
+        units.len(),
+        jobs
+    );
+    // Progress streams to stderr in completion order; the final report
+    // goes to stdout in enumeration order (byte-identical for any --jobs).
+    let mut sink: Box<dyn Sink> = match c.format {
+        OutputFormat::Human => Box::new(HumanSink::new(std::io::stderr(), std::io::stdout())),
+        OutputFormat::Csv => Box::new(CsvSink::new(std::io::stderr(), std::io::stdout())),
+        OutputFormat::Jsonl => Box::new(JsonlSink::new(std::io::stderr(), std::io::stdout())),
+    };
+    run_units(&units, jobs, sink.as_mut()).map_err(|e| e.to_string())?;
+    // A truncated final report (full disk, closed pipe) must not exit 0.
+    if let Some(e) = sink.take_io_error() {
+        return Err(format!("writing the campaign report failed: {e}"));
+    }
+    Ok(())
 }
 
 fn config_of(a: &OptimizeArgs) -> OptimizerConfig {

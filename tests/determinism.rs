@@ -10,6 +10,7 @@
 //! assertion.
 
 use sea_dse::arch::{Architecture, CoreId, LevelSet, ScalingVector};
+use sea_dse::campaign::{csv_report, jsonl_report, parse_campaign, run_units, NullSink};
 use sea_dse::opt::{DesignOptimizer, OptError, OptimizationOutcome, OptimizerConfig};
 use sea_dse::sched::Mapping;
 use sea_dse::sim::{simulate_design, SimConfig};
@@ -99,6 +100,71 @@ fn assert_outcomes_identical(a: &OptimizationOutcome, b: &OptimizationOutcome, w
             bx.evaluation, by.evaluation,
             "{what}: explored[{i}] evaluation"
         );
+    }
+}
+
+/// The campaign engine's determinism contract: a campaign's final
+/// reports are *byte-identical* for every worker count. The pool
+/// work-steals unit indices, so completion order varies wildly across
+/// `--jobs` — but units are pure functions of their own fields and the
+/// final report is rendered in enumeration order, so the serialized
+/// output must not differ by a single byte.
+#[test]
+fn campaign_reports_are_byte_identical_across_jobs_1_2_8() {
+    // All four unit kinds, mixed grids, a derived-seed scenario and an
+    // explicit-seed scenario, plus an infeasible corner (8 cores for the
+    // 6-task fig8 graph -> too-few-tasks record).
+    let spec = "\
+name = \"determinism\"
+budget = \"fast\"
+seed = 77
+
+[scenario]
+name = \"opt\"
+kind = \"optimize\"
+apps = \"mpeg2, fig8\"
+cores = \"3,4,8\"
+
+[scenario]
+name = \"base\"
+kind = \"baseline\"
+objectives = \"tm,tmr\"
+apps = \"mpeg2\"
+cores = \"4\"
+
+[scenario]
+name = \"sweep\"
+kind = \"sweep\"
+apps = \"mpeg2\"
+cores = \"4\"
+count = 25
+scales = \"1,2\"
+seeds = \"42\"
+
+[scenario]
+name = \"sim\"
+kind = \"simulate\"
+apps = \"mpeg2\"
+cores = \"4\"
+scaling = \"2,2,3,2\"
+groups = \"0,1,2,3,4,5|6,7|8|9,10\"
+seeds = \"13\"
+";
+    let units = parse_campaign(spec).expect("well-formed spec").expand();
+    let report_at = |jobs: usize| {
+        let results = run_units(&units, jobs, &mut NullSink).expect("campaign runs");
+        let records: Vec<_> = results.iter().map(|r| r.record.clone()).collect();
+        (jsonl_report(&records), csv_report(&records))
+    };
+    let (jsonl_1, csv_1) = report_at(1);
+    assert!(
+        jsonl_1.contains("too-few-tasks"),
+        "infeasible corner present"
+    );
+    for jobs in [2, 8] {
+        let (jsonl_n, csv_n) = report_at(jobs);
+        assert_eq!(jsonl_1, jsonl_n, "JSONL report differs at jobs={jobs}");
+        assert_eq!(csv_1, csv_n, "CSV report differs at jobs={jobs}");
     }
 }
 
