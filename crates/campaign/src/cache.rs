@@ -1,0 +1,613 @@
+//! Content-addressed on-disk result cache for campaign units.
+//!
+//! A unit's result is a pure function of its content hash
+//! ([`crate::hash::unit_hash`]), so completed results can be reused across
+//! processes, campaigns and front ends: repeated `reproduce` runs and
+//! overlapping specs become incremental. The cache is opt-in (the
+//! `--cache` flag or the `SEA_CACHE` environment variable); when neither
+//! is set, nothing here runs and the engine performs **zero** filesystem
+//! writes.
+//!
+//! Layout: one file per unit, named `<unit-hash>.unit`, written to a
+//! temporary name and atomically renamed — concurrent writers (parallel
+//! workers, overlapping campaigns) can only ever race to publish
+//! identical bytes. Each entry carries the unit's flat
+//! [`UnitRecord`](crate::unit::UnitRecord) (as
+//! the exact JSON the sinks emit) plus a bitwise-exact encoding of the
+//! full typed payload ([`sea_opt::codec`] for designs, local codecs for
+//! sweep/simulate), and ends with a content checksum. A truncated or
+//! corrupted entry fails the checksum (or any parse step) and is treated
+//! as a miss — the unit is recomputed and the entry rewritten; corruption
+//! never crashes a campaign and never poisons a report.
+
+use std::path::{Path, PathBuf};
+
+use sea_baselines::sweep::SweepPoint;
+use sea_opt::codec::{self, CodecError, Tokens};
+use sea_sim::fault::CoreFaults;
+use sea_sim::{ExecutionTrace, FaultReport, SeuEvent, SimReport, TaskEvent};
+
+use crate::hash::{unit_hash, ContentHash, ContentHasher};
+use crate::journal::parse_record_json;
+use crate::sink::json_record;
+use crate::unit::{Unit, UnitPayload, UnitResult};
+
+/// Environment variable naming the cache directory when `--cache` is not
+/// given.
+pub const CACHE_ENV: &str = "SEA_CACHE";
+
+/// Cache entry format version (first line of every entry).
+pub const CACHE_VERSION: u32 = 1;
+
+/// Handle to a cache directory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Cache { dir })
+    }
+
+    /// Resolves the cache from an explicit flag value or, failing that,
+    /// the [`CACHE_ENV`] environment variable. An *empty* value in
+    /// either position means "unset" (an unset shell variable expanding
+    /// to `--cache ""` must not root a cache at the current directory).
+    /// Returns `Ok(None)` — and guarantees no filesystem activity — when
+    /// neither names a directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures for a named directory.
+    pub fn resolve(flag: Option<&str>) -> std::io::Result<Option<Self>> {
+        let dir = flag
+            .map(str::to_string)
+            .filter(|s| !s.is_empty())
+            .or_else(|| std::env::var(CACHE_ENV).ok().filter(|s| !s.is_empty()));
+        match dir {
+            Some(d) => Cache::open(d).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// The directory backing this cache.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a unit hash.
+    #[must_use]
+    pub fn entry_path(&self, hash: ContentHash) -> PathBuf {
+        self.dir.join(format!("{}.unit", hash.to_hex()))
+    }
+
+    /// Looks a unit up. Any miss, parse failure, checksum mismatch or
+    /// shape incompatibility returns `None` — the caller recomputes.
+    #[must_use]
+    pub fn load(&self, unit: &Unit) -> Option<UnitResult> {
+        let hash = unit_hash(unit);
+        let source = std::fs::read_to_string(self.entry_path(hash)).ok()?;
+        decode_entry(&source, unit, hash).ok()
+    }
+
+    /// Publishes a completed unit result (atomic rename; best-effort —
+    /// the pool ignores failures, a full disk must not fail a campaign).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors for callers that do care (tests).
+    pub fn store(&self, result: &UnitResult) -> std::io::Result<()> {
+        // Per-store unique temp name: pid separates processes, the
+        // counter separates same-process workers storing the *same* unit
+        // hash (possible when two scenarios contain content-identical
+        // units) — without it, one worker's fs::write could truncate the
+        // file another worker is mid-rename on.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let hash = unit_hash(&result.unit);
+        let body = encode_entry(result, hash);
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            hash.to_hex(),
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, self.entry_path(hash))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry encoding.
+// ---------------------------------------------------------------------------
+
+fn payload_kind(payload: &UnitPayload) -> &'static str {
+    match payload {
+        UnitPayload::Design(_) => "design",
+        UnitPayload::Infeasible { .. } => "infeasible",
+        UnitPayload::TooFewTasks { .. } => "too-few-tasks",
+        UnitPayload::Sweep(_) => "sweep",
+        UnitPayload::Sim(_) => "simulate",
+    }
+}
+
+fn encode_payload(payload: &UnitPayload) -> String {
+    let mut s = String::new();
+    match payload {
+        UnitPayload::Design(out) => s.push_str(&codec::encode_outcome(out)),
+        UnitPayload::Infeasible {
+            best_tm_seconds,
+            deadline_s,
+        } => {
+            codec::push_f64(&mut s, *best_tm_seconds);
+            codec::push_f64(&mut s, *deadline_s);
+        }
+        UnitPayload::TooFewTasks { tasks, cores } => {
+            codec::push_u64(&mut s, *tasks as u64);
+            codec::push_u64(&mut s, *cores as u64);
+        }
+        UnitPayload::Sweep(points) => {
+            codec::push_u64(&mut s, points.len() as u64);
+            for p in points {
+                s.push('\n');
+                codec::push_mapping(&mut s, &p.mapping);
+                codec::encode_evaluation(&mut s, &p.evaluation);
+            }
+        }
+        UnitPayload::Sim(report) => encode_sim(&mut s, report),
+    }
+    s
+}
+
+fn encode_sim(s: &mut String, r: &SimReport) {
+    codec::push_f64(s, r.trace.tm_seconds);
+    codec::push_u64(s, u64::from(r.trace.iterations));
+    codec::push_u64(s, r.trace.busy_s.len() as u64);
+    for &b in &r.trace.busy_s {
+        codec::push_f64(s, b);
+    }
+    codec::push_u64(s, r.trace.events.len() as u64);
+    for e in &r.trace.events {
+        codec::push_u64(s, e.task.index() as u64);
+        codec::push_u64(s, u64::from(e.iteration));
+        codec::push_u64(s, e.core.index() as u64);
+        codec::push_f64(s, e.start_s);
+        codec::push_f64(s, e.finish_s);
+    }
+    codec::push_u64(s, r.faults.per_core.len() as u64);
+    for c in &r.faults.per_core {
+        codec::push_u64(s, c.core.index() as u64);
+        codec::push_u64(s, c.injected);
+        codec::push_u64(s, c.experienced);
+        codec::push_f64(s, c.expected_experienced);
+        codec::push_u64(s, c.r_bits.as_u64());
+        codec::push_f64(s, c.exposure_cycles);
+    }
+    codec::push_u64(s, r.faults.total_injected);
+    codec::push_u64(s, r.faults.total_experienced);
+    codec::push_f64(s, r.faults.gamma_expected);
+    codec::push_u64(s, r.faults.events.len() as u64);
+    for e in &r.faults.events {
+        codec::push_u64(s, e.core.index() as u64);
+        codec::push_f64(s, e.time_s);
+        match e.block {
+            Some(b) => codec::push_u64(s, b.index() as u64),
+            None => codec::push_tok(s, "-"),
+        }
+        codec::push_bool(s, e.experienced);
+    }
+    codec::encode_evaluation(s, &r.analytic);
+}
+
+fn decode_sim(t: &mut Tokens<'_>) -> Result<SimReport, CodecError> {
+    let tm_seconds = t.next_f64()?;
+    let iterations = t.next_u32()?;
+    let n_busy = t.next_usize()?;
+    let busy_s = (0..n_busy)
+        .map(|_| t.next_f64())
+        .collect::<Result<Vec<_>, _>>()?;
+    let n_events = t.next_usize()?;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        events.push(TaskEvent {
+            task: sea_taskgraph::TaskId::new(t.next_usize()?),
+            iteration: t.next_u32()?,
+            core: sea_arch::CoreId::new(t.next_usize()?),
+            start_s: t.next_f64()?,
+            finish_s: t.next_f64()?,
+        });
+    }
+    let trace = ExecutionTrace {
+        tm_seconds,
+        busy_s,
+        events,
+        iterations,
+    };
+    let n_cores = t.next_usize()?;
+    let mut per_core = Vec::with_capacity(n_cores);
+    for _ in 0..n_cores {
+        per_core.push(CoreFaults {
+            core: sea_arch::CoreId::new(t.next_usize()?),
+            injected: t.next_u64()?,
+            experienced: t.next_u64()?,
+            expected_experienced: t.next_f64()?,
+            r_bits: sea_taskgraph::units::Bits::new(t.next_u64()?),
+            exposure_cycles: t.next_f64()?,
+        });
+    }
+    let total_injected = t.next_u64()?;
+    let total_experienced = t.next_u64()?;
+    let gamma_expected = t.next_f64()?;
+    let n_seu = t.next_usize()?;
+    let mut seu_events = Vec::with_capacity(n_seu);
+    for _ in 0..n_seu {
+        let core = sea_arch::CoreId::new(t.next_usize()?);
+        let time_s = t.next_f64()?;
+        let block = match t.next_tok()? {
+            "-" => None,
+            idx => Some(sea_taskgraph::RegisterBlockId::new(
+                idx.parse()
+                    .map_err(|_| CodecError(format!("bad block index `{idx}`")))?,
+            )),
+        };
+        seu_events.push(SeuEvent {
+            core,
+            time_s,
+            block,
+            experienced: t.next_bool()?,
+        });
+    }
+    let faults = FaultReport {
+        per_core,
+        total_injected,
+        total_experienced,
+        gamma_expected,
+        events: seu_events,
+    };
+    let analytic = codec::decode_evaluation(t)?;
+    Ok(SimReport {
+        trace,
+        faults,
+        analytic,
+    })
+}
+
+fn decode_payload(kind: &str, body: &str, unit: &Unit) -> Result<UnitPayload, CodecError> {
+    match kind {
+        "design" => {
+            let arch = unit.optimizer_config().arch;
+            Ok(UnitPayload::Design(Box::new(codec::decode_outcome(
+                body, &arch,
+            )?)))
+        }
+        "infeasible" => {
+            let mut t = Tokens::new(body);
+            let payload = UnitPayload::Infeasible {
+                best_tm_seconds: t.next_f64()?,
+                deadline_s: t.next_f64()?,
+            };
+            t.finish()?;
+            Ok(payload)
+        }
+        "too-few-tasks" => {
+            let mut t = Tokens::new(body);
+            let payload = UnitPayload::TooFewTasks {
+                tasks: t.next_usize()?,
+                cores: t.next_usize()?,
+            };
+            t.finish()?;
+            Ok(payload)
+        }
+        "sweep" => {
+            let mut t = Tokens::new(body);
+            let n = t.next_usize()?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                points.push(SweepPoint {
+                    mapping: codec::decode_mapping(&mut t, unit.cores)?,
+                    evaluation: codec::decode_evaluation(&mut t)?,
+                });
+            }
+            t.finish()?;
+            Ok(UnitPayload::Sweep(points))
+        }
+        "simulate" => {
+            let mut t = Tokens::new(body);
+            let report = decode_sim(&mut t)?;
+            t.finish()?;
+            Ok(UnitPayload::Sim(Box::new(report)))
+        }
+        other => Err(CodecError(format!("unknown payload kind `{other}`"))),
+    }
+}
+
+fn checksum(prefix: &str) -> ContentHash {
+    let mut h = ContentHasher::new();
+    h.write(prefix.as_bytes());
+    h.finish()
+}
+
+fn encode_entry(result: &UnitResult, hash: ContentHash) -> String {
+    let mut s = format!("sea-unit-cache {CACHE_VERSION} {}\n", hash.to_hex());
+    s.push_str("record ");
+    s.push_str(&json_record(&result.record));
+    s.push('\n');
+    s.push_str("payload ");
+    s.push_str(payload_kind(&result.payload));
+    s.push('\n');
+    s.push_str(&encode_payload(&result.payload));
+    s.push('\n');
+    let sum = checksum(&s);
+    s.push_str("end ");
+    s.push_str(&sum.to_hex());
+    s.push('\n');
+    s
+}
+
+fn take_line<'a>(rest: &mut &'a str) -> Option<&'a str> {
+    let pos = rest.find('\n')?;
+    let line = &rest[..pos];
+    *rest = &rest[pos + 1..];
+    Some(line)
+}
+
+fn decode_entry(source: &str, unit: &Unit, hash: ContentHash) -> Result<UnitResult, String> {
+    let end_pos = source.rfind("\nend ").ok_or("no checksum line")?;
+    let prefix = &source[..=end_pos];
+    let stored = source[end_pos + 5..].trim();
+    let stored = ContentHash::parse_hex(stored).ok_or("malformed checksum")?;
+    if stored != checksum(prefix) {
+        return Err("checksum mismatch (truncated or corrupted entry)".into());
+    }
+    let mut rest = prefix;
+    let magic = take_line(&mut rest).ok_or("missing magic line")?;
+    let mut parts = magic.split_whitespace();
+    if parts.next() != Some("sea-unit-cache") {
+        return Err("not a cache entry".into());
+    }
+    if parts.next() != Some(CACHE_VERSION.to_string().as_str()) {
+        return Err("unsupported cache version".into());
+    }
+    let entry_hash = parts
+        .next()
+        .and_then(ContentHash::parse_hex)
+        .ok_or("malformed entry hash")?;
+    if entry_hash != hash {
+        return Err("entry hash does not match its key".into());
+    }
+    let record_line = take_line(&mut rest).ok_or("missing record line")?;
+    let record_json = record_line
+        .strip_prefix("record ")
+        .ok_or("malformed record line")?;
+    let mut record = parse_record_json(record_json)?;
+    let payload_line = take_line(&mut rest).ok_or("missing payload line")?;
+    let kind = payload_line
+        .strip_prefix("payload ")
+        .ok_or("malformed payload line")?;
+    let payload = decode_payload(kind, rest, unit).map_err(|e| e.to_string())?;
+    // Index and scenario are presentation, not content: the entry may have
+    // been written by a different campaign whose enumeration placed this
+    // unit elsewhere.
+    record.index = unit.index;
+    record.scenario = unit.scenario.clone();
+    Ok(UnitResult {
+        unit: unit.clone(),
+        payload,
+        record,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{run_unit, AppRef, BudgetSpec, UnitKind};
+    use sea_opt::SelectionPolicy;
+    use sea_taskgraph::AppSpec;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_cache() -> (PathBuf, Cache) {
+        let dir = std::env::temp_dir().join(format!(
+            "sea-cache-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let cache = Cache::open(&dir).unwrap();
+        (dir, cache)
+    }
+
+    fn unit(kind: UnitKind, seed: u64) -> Unit {
+        Unit {
+            index: 3,
+            scenario: "cache-test".into(),
+            kind,
+            app: AppRef::Spec(AppSpec::Fig8),
+            cores: 3,
+            levels: 3,
+            budget: BudgetSpec::Fast,
+            selection: SelectionPolicy::default(),
+            seed,
+        }
+    }
+
+    fn assert_results_equal(a: &UnitResult, b: &UnitResult) {
+        assert_eq!(json_record(&a.record), json_record(&b.record));
+        match (&a.payload, &b.payload) {
+            (UnitPayload::Design(x), UnitPayload::Design(y)) => {
+                assert_eq!(
+                    sea_opt::codec::encode_outcome(x),
+                    sea_opt::codec::encode_outcome(y)
+                );
+            }
+            (UnitPayload::Sweep(x), UnitPayload::Sweep(y)) => {
+                assert_eq!(x.len(), y.len());
+                for (p, q) in x.iter().zip(y) {
+                    assert_eq!(p.mapping, q.mapping);
+                    assert_eq!(p.evaluation, q.evaluation);
+                }
+            }
+            (UnitPayload::Sim(x), UnitPayload::Sim(y)) => {
+                assert_eq!(x.trace, y.trace);
+                assert_eq!(x.faults, y.faults);
+                assert_eq!(x.analytic, y.analytic);
+            }
+            (
+                UnitPayload::Infeasible {
+                    best_tm_seconds: a1,
+                    deadline_s: a2,
+                },
+                UnitPayload::Infeasible {
+                    best_tm_seconds: b1,
+                    deadline_s: b2,
+                },
+            ) => {
+                assert_eq!(a1.to_bits(), b1.to_bits());
+                assert_eq!(a2.to_bits(), b2.to_bits());
+            }
+            (
+                UnitPayload::TooFewTasks {
+                    tasks: a1,
+                    cores: a2,
+                },
+                UnitPayload::TooFewTasks {
+                    tasks: b1,
+                    cores: b2,
+                },
+            ) => {
+                assert_eq!((a1, a2), (b1, b2));
+            }
+            (x, y) => panic!("payload kinds differ: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn design_sweep_and_simulate_entries_round_trip() {
+        let (dir, cache) = temp_cache();
+        let kinds = vec![
+            // fig8 at 3 cores is deadline-infeasible under the paper
+            // calibration → exercises the `infeasible` payload.
+            unit(UnitKind::Optimize, 0x5EA),
+            // mpeg2 at 4 cores is feasible → full `design` payload.
+            {
+                let mut u = unit(UnitKind::Optimize, 0x5EA);
+                u.app = AppRef::Spec(AppSpec::Mpeg2);
+                u.cores = 4;
+                u
+            },
+            // 8 cores for fig8's 6 tasks → `too-few-tasks` payload.
+            {
+                let mut u = unit(UnitKind::Optimize, 0x5EA);
+                u.cores = 8;
+                u
+            },
+            unit(UnitKind::Sweep { count: 8, scale: 1 }, 42),
+            {
+                let mut u = unit(
+                    UnitKind::Simulate {
+                        scaling: vec![2, 2, 3, 2],
+                        groups: vec![vec![0, 1, 2, 3, 4, 5], vec![6, 7], vec![8], vec![9, 10]],
+                        ser: sea_arch::ser::PAPER_SER,
+                    },
+                    13,
+                );
+                u.app = AppRef::Spec(AppSpec::Mpeg2);
+                u.cores = 4;
+                u
+            },
+        ];
+        for u in kinds {
+            let fresh = run_unit(&u).unwrap();
+            assert!(cache.load(&u).is_none(), "cold cache misses");
+            cache.store(&fresh).unwrap();
+            let restored = cache.load(&u).expect("warm cache hits");
+            assert_results_equal(&fresh, &restored);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn restored_records_take_the_live_units_presentation_fields() {
+        let (dir, cache) = temp_cache();
+        let u = unit(UnitKind::Optimize, 7);
+        cache.store(&run_unit(&u).unwrap()).unwrap();
+        let mut elsewhere = u.clone();
+        elsewhere.index = 42;
+        elsewhere.scenario = "another-campaign".into();
+        let restored = cache.load(&elsewhere).expect("same content hash");
+        assert_eq!(restored.record.index, 42);
+        assert_eq!(restored.record.scenario, "another-campaign");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupted_and_truncated_entries_are_misses_not_crashes() {
+        let (dir, cache) = temp_cache();
+        let u = unit(UnitKind::Optimize, 9);
+        cache.store(&run_unit(&u).unwrap()).unwrap();
+        let path = cache.entry_path(unit_hash(&u));
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // Truncation (simulated torn write without the atomic rename).
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(cache.load(&u).is_none(), "truncated entry is a miss");
+
+        // Single-byte corruption in the payload body.
+        let mut corrupt = good.clone().into_bytes();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] = corrupt[mid].wrapping_add(1);
+        std::fs::write(&path, corrupt).unwrap();
+        assert!(cache.load(&u).is_none(), "corrupted entry is a miss");
+
+        // Recompute-and-store heals the entry.
+        cache.store(&run_unit(&u).unwrap()).unwrap();
+        assert!(cache.load(&u).is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn entries_do_not_cross_unit_identities() {
+        let (dir, cache) = temp_cache();
+        let a = unit(UnitKind::Optimize, 1);
+        let b = unit(UnitKind::Optimize, 2); // different seed → different hash
+        cache.store(&run_unit(&a).unwrap()).unwrap();
+        assert!(cache.load(&b).is_none());
+        // Renaming a's entry to b's key is detected by the embedded hash.
+        std::fs::copy(
+            cache.entry_path(unit_hash(&a)),
+            cache.entry_path(unit_hash(&b)),
+        )
+        .unwrap();
+        assert!(cache.load(&b).is_none(), "embedded hash check rejects");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resolve_without_flag_or_env_is_none() {
+        // `resolve(None)` with SEA_CACHE unset must not touch the
+        // filesystem at all.
+        let saved = std::env::var(CACHE_ENV).ok();
+        std::env::remove_var(CACHE_ENV);
+        assert!(Cache::resolve(None).unwrap().is_none());
+        // `--cache ""` (an unset shell variable) must not root a cache
+        // at the current working directory.
+        assert!(
+            Cache::resolve(Some("")).unwrap().is_none(),
+            "empty flag = unset"
+        );
+        std::env::set_var(CACHE_ENV, "");
+        assert!(Cache::resolve(None).unwrap().is_none(), "empty = unset");
+        match saved {
+            Some(v) => std::env::set_var(CACHE_ENV, v),
+            None => std::env::remove_var(CACHE_ENV),
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Stable 128-bit content identity for campaigns and units.
+//!
+//! The resumable-journal and result-cache layers both need one primitive:
+//! a hash of *what a unit computes* that is stable across processes,
+//! compiler versions and struct layouts. Rust's `#[derive(Hash)]` +
+//! `DefaultHasher` guarantees none of that, so this module hand-rolls a
+//! 128-bit FNV-1a over an explicit canonical byte encoding — every field
+//! that influences a unit's result (application content, core count, DVS
+//! levels, budget, selection policy, seed, job kind) is written
+//! length-prefixed and tagged, and nothing else is.
+//!
+//! Two deliberate exclusions define the identity:
+//!
+//! * `Unit::index` and `Unit::scenario` are *presentation* — two units
+//!   differing only in enumeration position or scenario label compute the
+//!   same numbers, so they share a hash (which is exactly what lets
+//!   overlapping campaigns share cache entries).
+//! * The worker count never enters (results are job-count invariant).
+//!
+//! [`units_hash`] folds the per-unit hashes in enumeration order into the
+//! campaign-level *spec hash* a journal header records: resuming is legal
+//! exactly when the stored and recomputed spec hashes agree.
+
+use std::fmt;
+
+use sea_opt::SelectionPolicy;
+use sea_taskgraph::Application;
+
+use crate::unit::{AppRef, Unit, UnitKind};
+use crate::Campaign;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit stable content hash, rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+impl ContentHash {
+    /// The 32-digit lowercase hex form (what journals and cache file
+    /// names store).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the 32-digit hex form.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for anything that is not exactly 32 hex digits.
+    #[must_use]
+    pub fn parse_hex(s: &str) -> Option<Self> {
+        // Strictly 32 hex digits: from_str_radix alone would also accept
+        // a leading `+`.
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(ContentHash)
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a-128 over a canonical byte stream.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorbs a `u32` as little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to `u64` (stable across pointer widths).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` as its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// Finishes the stream.
+    #[must_use]
+    pub fn finish(&self) -> ContentHash {
+        ContentHash(self.state)
+    }
+}
+
+/// Encoding version — bump on any canonical-encoding change so stale
+/// journals/caches are refused/missed instead of silently misread.
+const ENCODING_VERSION: u8 = 1;
+
+fn write_selection(h: &mut ContentHasher, s: SelectionPolicy) {
+    match s {
+        SelectionPolicy::PowerGammaProduct => h.write_u8(0),
+        SelectionPolicy::PowerFirst { tolerance } => {
+            h.write_u8(1);
+            h.write_f64(tolerance);
+        }
+        SelectionPolicy::Weighted { w_power } => {
+            h.write_u8(2);
+            h.write_f64(w_power);
+        }
+        SelectionPolicy::GammaFirst => h.write_u8(3),
+    }
+}
+
+fn write_kind(h: &mut ContentHasher, kind: &UnitKind) {
+    match kind {
+        UnitKind::Optimize => h.write_u8(0),
+        UnitKind::Baseline(objective) => {
+            h.write_u8(1);
+            h.write_str(objective.label());
+        }
+        UnitKind::Sweep { count, scale } => {
+            h.write_u8(2);
+            h.write_usize(*count);
+            h.write_u8(*scale);
+        }
+        UnitKind::Simulate {
+            scaling,
+            groups,
+            ser,
+        } => {
+            h.write_u8(3);
+            h.write_usize(scaling.len());
+            h.write(scaling);
+            h.write_usize(groups.len());
+            for group in groups {
+                h.write_usize(group.len());
+                for &t in group {
+                    h.write_usize(t);
+                }
+            }
+            h.write_f64(*ser);
+        }
+    }
+}
+
+/// Canonical encoding of a full application: name, execution mode,
+/// deadline, every task's computation cost, every edge, and the complete
+/// register-sharing model. Two [`AppRef::Inline`] workloads hash equal iff
+/// they describe the same computation.
+fn write_application(h: &mut ContentHasher, app: &Application) {
+    h.write_str(app.name());
+    h.write_u32(app.mode().iterations());
+    h.write_f64(app.deadline_s());
+    let g = app.graph();
+    h.write_usize(g.len());
+    for task in g.tasks() {
+        h.write_str(task.name());
+        h.write_u64(task.computation().as_u64());
+    }
+    h.write_usize(g.edges().len());
+    for e in g.edges() {
+        h.write_usize(e.src.index());
+        h.write_usize(e.dst.index());
+        h.write_u64(e.comm.as_u64());
+    }
+    let m = app.registers();
+    h.write_usize(m.blocks().len());
+    for block in m.blocks() {
+        h.write_str(block.name());
+        h.write_u64(block.bits().as_u64());
+    }
+    h.write_usize(m.n_tasks());
+    for t in 0..m.n_tasks() {
+        let blocks = m.task_blocks(sea_taskgraph::TaskId::new(t));
+        h.write_usize(blocks.len());
+        for b in blocks {
+            h.write_usize(b.index());
+        }
+    }
+}
+
+fn write_app_ref(h: &mut ContentHasher, app: &AppRef) {
+    match app {
+        // Spec apps hash by their canonical string — cheap, and the
+        // grammar round-trips (`random:40` normalizes to `random:40:7`).
+        AppRef::Spec(spec) => {
+            h.write_u8(0);
+            h.write_str(&spec.to_string());
+        }
+        AppRef::Inline(app) => {
+            h.write_u8(1);
+            write_application(h, app);
+        }
+    }
+}
+
+/// The stable content hash of one unit: everything its result depends on
+/// (kind, application, cores, levels, budget, selection, seed) and
+/// nothing it doesn't (index, scenario label, worker counts).
+#[must_use]
+pub fn unit_hash(unit: &Unit) -> ContentHash {
+    let mut h = ContentHasher::new();
+    h.write_u8(ENCODING_VERSION);
+    write_kind(&mut h, &unit.kind);
+    write_app_ref(&mut h, &unit.app);
+    h.write_usize(unit.cores);
+    h.write_usize(unit.levels);
+    h.write_str(unit.budget.keyword());
+    write_selection(&mut h, unit.selection);
+    h.write_u64(unit.seed);
+    h.finish()
+}
+
+/// The campaign-level *spec hash*: the fold of every unit's content hash
+/// in enumeration order. Two unit lists share a spec hash exactly when
+/// they are the same work in the same order — the compatibility rule for
+/// resuming a journal.
+#[must_use]
+pub fn units_hash(units: &[Unit]) -> ContentHash {
+    let mut h = ContentHasher::new();
+    h.write_u8(ENCODING_VERSION);
+    h.write_usize(units.len());
+    for unit in units {
+        h.write(&unit_hash(unit).0.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// The content hash of a parsed campaign: its name plus the spec hash of
+/// its expansion.
+#[must_use]
+pub fn campaign_hash(campaign: &Campaign) -> ContentHash {
+    let mut h = ContentHasher::new();
+    h.write_u8(ENCODING_VERSION);
+    h.write_str(&campaign.name);
+    h.write(&units_hash(&campaign.expand()).0.to_le_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_campaign;
+    use crate::unit::BudgetSpec;
+    use sea_taskgraph::AppSpec;
+    use std::sync::Arc;
+
+    fn base_unit() -> Unit {
+        Unit {
+            index: 0,
+            scenario: "s".into(),
+            kind: UnitKind::Optimize,
+            app: AppRef::Spec(AppSpec::Mpeg2),
+            cores: 4,
+            levels: 3,
+            budget: BudgetSpec::Fast,
+            selection: SelectionPolicy::default(),
+            seed: 0x5EA,
+        }
+    }
+
+    #[test]
+    fn fnv_vector_is_correct() {
+        // FNV-1a 128 of the empty string is the offset basis.
+        assert_eq!(ContentHasher::new().finish().0, FNV_OFFSET);
+        // Known vector: fnv1a-128("a") (offset ^ 'a', then * prime).
+        let mut h = ContentHasher::new();
+        h.write(b"a");
+        assert_eq!(
+            h.finish().to_hex(),
+            format!(
+                "{:032x}",
+                (FNV_OFFSET ^ u128::from(b'a')).wrapping_mul(FNV_PRIME)
+            )
+        );
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let h = unit_hash(&base_unit());
+        assert_eq!(ContentHash::parse_hex(&h.to_hex()), Some(h));
+        assert_eq!(h.to_hex().len(), 32);
+        assert!(ContentHash::parse_hex("xyz").is_none());
+        assert!(ContentHash::parse_hex(&"0".repeat(31)).is_none());
+        // 32 chars but not 32 hex digits.
+        assert!(ContentHash::parse_hex("+0000000000000000000000000000001f").is_none());
+    }
+
+    #[test]
+    fn index_and_scenario_do_not_change_the_hash() {
+        let a = base_unit();
+        let mut b = base_unit();
+        b.index = 99;
+        b.scenario = "other".into();
+        assert_eq!(unit_hash(&a), unit_hash(&b));
+    }
+
+    #[test]
+    fn every_content_field_changes_the_hash() {
+        let base = unit_hash(&base_unit());
+        let mutations: Vec<Unit> = vec![
+            {
+                let mut u = base_unit();
+                u.cores = 5;
+                u
+            },
+            {
+                let mut u = base_unit();
+                u.levels = 2;
+                u
+            },
+            {
+                let mut u = base_unit();
+                u.budget = BudgetSpec::Smoke;
+                u
+            },
+            {
+                let mut u = base_unit();
+                u.seed = 0x5EB;
+                u
+            },
+            {
+                let mut u = base_unit();
+                u.selection = SelectionPolicy::GammaFirst;
+                u
+            },
+            {
+                let mut u = base_unit();
+                u.app = AppRef::Spec(AppSpec::Fig8);
+                u
+            },
+            {
+                let mut u = base_unit();
+                u.kind = UnitKind::Sweep {
+                    count: 120,
+                    scale: 1,
+                };
+                u
+            },
+        ];
+        let mut seen = vec![base];
+        for m in &mutations {
+            let h = unit_hash(m);
+            assert!(!seen.contains(&h), "collision for {m:?}");
+            seen.push(h);
+        }
+    }
+
+    #[test]
+    fn inline_apps_hash_by_content_not_identity() {
+        let a = Arc::new(AppSpec::Mpeg2.build().unwrap());
+        let b = Arc::new(AppSpec::Mpeg2.build().unwrap());
+        let mut ua = base_unit();
+        ua.app = AppRef::Inline(a);
+        let mut ub = base_unit();
+        ub.app = AppRef::Inline(b);
+        assert_eq!(unit_hash(&ua), unit_hash(&ub));
+        let c = Arc::new(AppSpec::Fig8.build().unwrap());
+        let mut uc = base_unit();
+        uc.app = AppRef::Inline(c);
+        assert_ne!(unit_hash(&ua), unit_hash(&uc));
+    }
+
+    #[test]
+    fn spec_hash_depends_on_order_and_count() {
+        let campaign = parse_campaign(
+            "name = \"h\"\n[scenario]\nkind = \"optimize\"\napps = \"mpeg2, fig8\"\ncores = \"4\"\n",
+        )
+        .unwrap();
+        let units = campaign.expand();
+        assert_eq!(units.len(), 2);
+        let forward = units_hash(&units);
+        let mut reversed = units.clone();
+        reversed.swap(0, 1);
+        // Same content set, different enumeration order: different runs.
+        assert_ne!(forward, units_hash(&reversed));
+        assert_ne!(forward, units_hash(&units[..1]));
+        assert_eq!(forward, units_hash(&campaign.expand()));
+        assert_eq!(campaign_hash(&campaign), campaign_hash(&campaign));
+    }
+}

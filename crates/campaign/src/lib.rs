@@ -37,12 +37,18 @@
 //! assert_eq!(results[0].record.status, "ok");
 //! ```
 
+pub mod cache;
+pub mod hash;
+pub mod journal;
 pub mod pool;
 pub mod sink;
 pub mod spec;
 pub mod unit;
 
-pub use pool::run_units;
+pub use cache::{Cache, CACHE_ENV};
+pub use hash::{campaign_hash, unit_hash, units_hash, ContentHash, ContentHasher};
+pub use journal::{open_journal, parse_journal, Journal, JournalPlan, JournalWriter};
+pub use pool::{run_units, run_units_configured, RunConfig, RunOutcome, UnitOutcome};
 pub use sink::{
     csv_report, human_report, json_record, jsonl_report, CsvSink, HumanSink, JsonlSink, NullSink,
     Sink,
@@ -73,6 +79,9 @@ pub enum CampaignError {
     Opt(OptError),
     /// A simulate unit failed.
     Sim(SimError),
+    /// A resume journal could not be created, read, appended or trusted
+    /// (spec-hash mismatch, version skew, mid-file corruption).
+    Journal(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -82,6 +91,7 @@ impl fmt::Display for CampaignError {
             CampaignError::App(e) => write!(f, "application spec error: {e}"),
             CampaignError::Opt(e) => write!(f, "optimization error: {e}"),
             CampaignError::Sim(e) => write!(f, "simulation error: {e}"),
+            CampaignError::Journal(msg) => write!(f, "campaign journal error: {msg}"),
         }
     }
 }
@@ -89,7 +99,7 @@ impl fmt::Display for CampaignError {
 impl Error for CampaignError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CampaignError::Spec(_) => None,
+            CampaignError::Spec(_) | CampaignError::Journal(_) => None,
             CampaignError::App(e) => Some(e),
             CampaignError::Opt(e) => Some(e),
             CampaignError::Sim(e) => Some(e),

@@ -9,13 +9,343 @@
 //! identical for any worker count. Units are pure functions of their own
 //! fields ([`crate::unit`]), which is the whole guarantee: scheduling can
 //! only change wall-clock and the interleaving of progress lines.
+//!
+//! [`run_units_configured`] layers the persistence machinery on top:
+//!
+//! * **Journal prefills** ([`RunConfig::prefilled`]) — units restored
+//!   from a `--resume` journal are never re-executed (unless the caller
+//!   [`RunConfig::need_payloads`] and the cache cannot supply the typed
+//!   payload); only the missing indices reach the workers.
+//! * **Result cache** ([`RunConfig::cache`]) — workers consult the
+//!   content-addressed cache *before* evaluating and publish fresh
+//!   results back to it. A cache hit counts as a completion (it streams
+//!   to the sink and lands in the journal); a prefilled unit does not
+//!   (it already completed in a previous process).
+//! * **Write-ahead journal** ([`RunConfig::journal`]) — the
+//!   single-threaded collector durably appends each newly completed
+//!   record before the final report exists, so a killed campaign loses
+//!   at most its in-flight units.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+use crate::cache::Cache;
+use crate::hash::unit_hash;
+use crate::journal::JournalWriter;
 use crate::sink::Sink;
-use crate::unit::{run_unit_with_jobs, Unit, UnitResult};
+use crate::unit::{run_unit_with_jobs, Unit, UnitRecord, UnitResult};
 use crate::CampaignError;
+
+/// How one unit of a configured run completed.
+#[derive(Debug)]
+pub enum UnitOutcome {
+    /// Executed this run (or restored from the cache with its full typed
+    /// payload).
+    Full(UnitResult),
+    /// Restored record-only from a resume journal — the numbers are
+    /// final, the typed payload was not rebuilt.
+    Restored(UnitRecord),
+}
+
+impl UnitOutcome {
+    /// The flat record, whichever way the unit completed.
+    #[must_use]
+    pub fn record(&self) -> &UnitRecord {
+        match self {
+            UnitOutcome::Full(r) => &r.record,
+            UnitOutcome::Restored(r) => r,
+        }
+    }
+
+    /// The full result, when the payload exists.
+    #[must_use]
+    pub fn result(&self) -> Option<&UnitResult> {
+        match self {
+            UnitOutcome::Full(r) => Some(r),
+            UnitOutcome::Restored(_) => None,
+        }
+    }
+}
+
+/// The outcome of a configured run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Per-unit outcomes in enumeration order.
+    pub units: Vec<UnitOutcome>,
+    /// Units actually evaluated by this process.
+    pub executed: usize,
+    /// Units restored from the result cache.
+    pub cache_hits: usize,
+    /// Units restored from the resume journal without re-execution.
+    pub resumed: usize,
+}
+
+impl RunOutcome {
+    /// The flat records in enumeration order (what the sinks render).
+    #[must_use]
+    pub fn records(&self) -> Vec<UnitRecord> {
+        self.units.iter().map(|u| u.record().clone()).collect()
+    }
+
+    /// Unwraps every unit into a full result; `None` if any unit was
+    /// restored record-only (callers that need payloads must run with
+    /// [`RunConfig::need_payloads`]).
+    #[must_use]
+    pub fn into_results(self) -> Option<Vec<UnitResult>> {
+        self.units
+            .into_iter()
+            .map(|u| match u {
+                UnitOutcome::Full(r) => Some(r),
+                UnitOutcome::Restored(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Execution options for [`run_units_configured`].
+pub struct RunConfig<'a> {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Content-addressed result cache, consulted before evaluating and
+    /// published to (best-effort) after.
+    pub cache: Option<&'a Cache>,
+    /// Records restored from a resume journal, by enumeration index.
+    /// Empty = nothing prefilled. Must be empty or `units.len()` long.
+    pub prefilled: Vec<Option<UnitRecord>>,
+    /// When true (the experiment harnesses), a prefilled record alone
+    /// cannot satisfy a unit: the pool restores the typed payload from
+    /// the cache or re-executes.
+    pub need_payloads: bool,
+    /// Write-ahead journal appender; each newly completed unit is durably
+    /// recorded in completion order.
+    pub journal: Option<&'a mut JournalWriter>,
+}
+
+impl<'a> RunConfig<'a> {
+    /// Plain run: no cache, no journal, nothing prefilled.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        RunConfig {
+            jobs,
+            cache: None,
+            prefilled: Vec::new(),
+            need_payloads: false,
+            journal: None,
+        }
+    }
+}
+
+/// What a worker hands the collector for one unit.
+struct Done {
+    index: usize,
+    result: Result<UnitResult, CampaignError>,
+    from_cache: bool,
+}
+
+/// Runs one unit the configured way: cache probe, then execution plus
+/// best-effort cache publication. `index` is the enumeration position
+/// (authoritative for slotting, independent of `unit.index`).
+fn produce(index: usize, unit: &Unit, cache: Option<&Cache>, inner_jobs: usize) -> Done {
+    if let Some(cache) = cache {
+        if let Some(result) = cache.load(unit) {
+            return Done {
+                index,
+                result: Ok(result),
+                from_cache: true,
+            };
+        }
+    }
+    let result = run_unit_with_jobs(unit, inner_jobs);
+    if let (Some(cache), Ok(r)) = (cache, &result) {
+        // Best-effort: a full disk must not fail the campaign.
+        let _ = cache.store(r);
+    }
+    Done {
+        index,
+        result,
+        from_cache: false,
+    }
+}
+
+/// Executes `units` under the full persistence configuration, streaming
+/// completions to `sink`.
+///
+/// Outcomes are in enumeration order, so every report rendered from them
+/// is byte-identical for any worker count, any cache state and any
+/// resume point. The sink's [`Sink::begin`] and
+/// [`Sink::unit_completed`] observe only units that complete *in this
+/// process* (fresh executions and cache hits — so a resumed run's
+/// progress counts to its own total, not the campaign's), in completion
+/// order; [`Sink::finish`] always observes every record in enumeration
+/// order.
+///
+/// # Errors
+///
+/// Propagates the first (by enumeration index) hard unit error after all
+/// workers have drained, and journal-append failures immediately —
+/// infeasible units are results, not errors.
+///
+/// # Panics
+///
+/// Panics if `prefilled` is non-empty but not `units.len()` long.
+pub fn run_units_configured(
+    units: &[Unit],
+    config: RunConfig<'_>,
+    sink: &mut dyn Sink,
+) -> Result<RunOutcome, CampaignError> {
+    let RunConfig {
+        jobs,
+        cache,
+        mut prefilled,
+        need_payloads,
+        mut journal,
+    } = config;
+    if prefilled.is_empty() {
+        prefilled = (0..units.len()).map(|_| None).collect();
+    }
+    assert_eq!(
+        prefilled.len(),
+        units.len(),
+        "prefilled slots must match the unit list"
+    );
+
+    let mut slots: Vec<Option<UnitOutcome>> = (0..units.len()).map(|_| None).collect();
+    let mut errors: Vec<Option<CampaignError>> = (0..units.len()).map(|_| None).collect();
+    let mut resumed = 0usize;
+
+    // Which indices still need a worker. A prefilled unit re-enters the
+    // work list only when the caller needs payloads (the cache may still
+    // satisfy it without re-execution); `journaled` remembers that its
+    // record is already durable.
+    let mut pending: Vec<usize> = Vec::with_capacity(units.len());
+    let mut journaled: Vec<bool> = (0..units.len()).map(|_| false).collect();
+    for (i, slot) in prefilled.into_iter().enumerate() {
+        match slot {
+            Some(record) if !need_payloads => {
+                resumed += 1;
+                slots[i] = Some(UnitOutcome::Restored(record));
+            }
+            Some(_) => {
+                resumed += 1;
+                journaled[i] = true;
+                pending.push(i);
+            }
+            None => pending.push(i),
+        }
+    }
+
+    // The progress stream counts what *this process* will complete —
+    // on a resume, "[3/3]" (not a never-reached "[3/10]") is what tells
+    // an observer the run finished rather than aborted. The final report
+    // still covers every unit.
+    sink.begin(pending.len());
+
+    let requested = jobs.max(1);
+    let jobs = requested.min(pending.len().max(1));
+    // Narrow campaigns must not strand capacity: when there are fewer
+    // pending units than requested workers, the surplus is handed down to
+    // each unit's own scaling enumeration (whose outcome is job-count
+    // invariant), so a one-unit campaign on a 16-way host still uses the
+    // machine.
+    let inner_jobs = (requested / pending.len().max(1)).max(1);
+
+    let mut executed = 0usize;
+    let mut cache_hits = 0usize;
+    let mut journal_error: Option<CampaignError> = None;
+
+    {
+        // Collector body shared by the sequential and parallel paths.
+        let mut collect = |done: Done,
+                           slots: &mut Vec<Option<UnitOutcome>>,
+                           errors: &mut Vec<Option<CampaignError>>|
+         -> Result<(), ()> {
+            let Done {
+                index,
+                result,
+                from_cache,
+            } = done;
+            if from_cache {
+                cache_hits += 1;
+            } else {
+                executed += 1;
+            }
+            match result {
+                Ok(r) => {
+                    sink.unit_completed(&r.record);
+                    if let (Some(journal), false) = (journal.as_deref_mut(), journaled[index]) {
+                        if let Err(e) = journal.append(index, unit_hash(&r.unit), &r.record) {
+                            journal_error = Some(CampaignError::Journal(format!(
+                                "cannot append unit {index} to the journal: {e} — \
+                                 aborting so the write-ahead guarantee is not silently lost"
+                            )));
+                            return Err(());
+                        }
+                    }
+                    slots[index] = Some(UnitOutcome::Full(r));
+                }
+                Err(e) => {
+                    errors[index] = Some(e);
+                }
+            }
+            Ok(())
+        };
+
+        if jobs <= 1 {
+            for &i in &pending {
+                let done = produce(i, &units[i], cache, inner_jobs);
+                if collect(done, &mut slots, &mut errors).is_err() {
+                    break;
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let pending_ref = &pending;
+            std::thread::scope(|s| {
+                let (tx, rx) = mpsc::channel();
+                for _ in 0..jobs {
+                    let tx = tx.clone();
+                    let next = &next;
+                    s.spawn(move || loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending_ref.get(k) else {
+                            break;
+                        };
+                        if tx.send(produce(i, &units[i], cache, inner_jobs)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for done in rx {
+                    if collect(done, &mut slots, &mut errors).is_err() {
+                        // Dropping the receiver makes the workers' next
+                        // send fail, winding the pool down.
+                        break;
+                    }
+                }
+            });
+        }
+    }
+
+    if let Some(e) = journal_error {
+        return Err(e);
+    }
+    if let Some(e) = errors.into_iter().flatten().next() {
+        return Err(e);
+    }
+    let units_out: Vec<UnitOutcome> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every unit reports exactly once"))
+        .collect();
+    let records: Vec<UnitRecord> = units_out.iter().map(|u| u.record().clone()).collect();
+    sink.finish(&records);
+    Ok(RunOutcome {
+        units: units_out,
+        executed,
+        cache_hits,
+        resumed,
+    })
+}
 
 /// Executes `units` on `jobs` workers, streaming completions to `sink`.
 ///
@@ -33,63 +363,10 @@ pub fn run_units(
     jobs: usize,
     sink: &mut dyn Sink,
 ) -> Result<Vec<UnitResult>, CampaignError> {
-    sink.begin(units.len());
-    let requested = jobs.max(1);
-    let jobs = requested.min(units.len().max(1));
-    // Narrow campaigns must not strand capacity: when there are fewer
-    // units than requested workers, the surplus is handed down to each
-    // unit's own scaling enumeration (whose outcome is job-count
-    // invariant), so a one-unit campaign on a 16-way host still uses the
-    // machine.
-    let inner_jobs = (requested / units.len().max(1)).max(1);
-    let mut slots: Vec<Option<Result<UnitResult, CampaignError>>> =
-        (0..units.len()).map(|_| None).collect();
-
-    if jobs == 1 {
-        for (i, unit) in units.iter().enumerate() {
-            let result = run_unit_with_jobs(unit, inner_jobs);
-            if let Ok(r) = &result {
-                sink.unit_completed(&r.record);
-            }
-            slots[i] = Some(result);
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            let (tx, rx) = mpsc::channel();
-            for _ in 0..jobs {
-                let tx = tx.clone();
-                let next = &next;
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= units.len() {
-                        break;
-                    }
-                    if tx
-                        .send((i, run_unit_with_jobs(&units[i], inner_jobs)))
-                        .is_err()
-                    {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            for (i, result) in rx {
-                if let Ok(r) = &result {
-                    sink.unit_completed(&r.record);
-                }
-                slots[i] = Some(result);
-            }
-        });
-    }
-
-    let results = slots
-        .into_iter()
-        .map(|slot| slot.expect("every unit reports exactly once"))
-        .collect::<Result<Vec<_>, _>>()?;
-    let records: Vec<_> = results.iter().map(|r| r.record.clone()).collect();
-    sink.finish(&records);
-    Ok(results)
+    let outcome = run_units_configured(units, RunConfig::new(jobs), sink)?;
+    Ok(outcome
+        .into_results()
+        .expect("a plain run has no record-only restorations"))
 }
 
 #[cfg(test)]
@@ -169,5 +446,31 @@ count = 15
         assert_eq!(streamed, (0..units.len()).collect::<Vec<_>>());
         // The final report is always in enumeration order.
         assert_eq!(sink.finished, (0..units.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefilled_units_are_not_reexecuted_and_reports_match() {
+        let units = parse_campaign(SMALL).unwrap().expand();
+        let full = run_units(&units, 2, &mut NullSink).unwrap();
+        let records: Vec<UnitRecord> = full.iter().map(|r| r.record.clone()).collect();
+
+        // Prefill the first half as a resume journal would.
+        let half = units.len() / 2;
+        let mut config = RunConfig::new(2);
+        config.prefilled = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i < half).then(|| r.clone()))
+            .collect();
+        let outcome = run_units_configured(&units, config, &mut NullSink).unwrap();
+        assert_eq!(outcome.resumed, half);
+        assert_eq!(outcome.executed, units.len() - half);
+        let resumed_records = outcome.records();
+        for (a, b) in records.iter().zip(&resumed_records) {
+            assert_eq!(crate::sink::json_record(a), crate::sink::json_record(b));
+        }
+        // Record-only restorations carry no payload.
+        assert!(outcome.units[0].result().is_none());
+        assert!(outcome.units[half].result().is_some());
     }
 }

@@ -12,6 +12,11 @@
 //! The report renderers ([`human_report`], [`csv_report`],
 //! [`jsonl_report`]) are pure functions of the record list, usable
 //! without a sink.
+//!
+//! Progress streams are **flushed after every record**: a campaign killed
+//! mid-run leaves at most the in-flight unit unwritten, so a progress
+//! JSONL stream (or the write-ahead journal built on the same records,
+//! [`crate::journal`]) is always a parseable prefix.
 
 use std::fmt::Write as _;
 use std::io::Write;
@@ -81,6 +86,7 @@ impl<P: Write, F: Write> Sink for HumanSink<P, F> {
         self.total = total;
         self.done = 0;
         let _ = writeln!(self.progress, "campaign: {total} units");
+        let _ = self.progress.flush();
     }
 
     fn unit_completed(&mut self, record: &UnitRecord) {
@@ -96,6 +102,7 @@ impl<P: Write, F: Write> Sink for HumanSink<P, F> {
             record.cores,
             record.status
         );
+        let _ = self.progress.flush();
     }
 
     fn finish(&mut self, records: &[UnitRecord]) {
@@ -130,10 +137,12 @@ impl<P: Write, F: Write> CsvSink<P, F> {
 impl<P: Write, F: Write> Sink for CsvSink<P, F> {
     fn begin(&mut self, _total: usize) {
         let _ = writeln!(self.progress, "{CSV_HEADER}");
+        let _ = self.progress.flush();
     }
 
     fn unit_completed(&mut self, record: &UnitRecord) {
         let _ = writeln!(self.progress, "{}", csv_row(record));
+        let _ = self.progress.flush();
     }
 
     fn finish(&mut self, records: &[UnitRecord]) {
@@ -169,6 +178,7 @@ impl<P: Write, F: Write> JsonlSink<P, F> {
 impl<P: Write, F: Write> Sink for JsonlSink<P, F> {
     fn unit_completed(&mut self, record: &UnitRecord) {
         let _ = writeln!(self.progress, "{}", json_record(record));
+        let _ = self.progress.flush();
     }
 
     fn finish(&mut self, records: &[UnitRecord]) {
@@ -235,7 +245,7 @@ pub fn csv_report(records: &[UnitRecord]) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -475,6 +485,50 @@ mod tests {
         sink.unit_completed(&record());
         sink.finish(&[record()]);
         assert!(sink.take_io_error().is_none());
+    }
+
+    /// A clonable handle to a shared byte buffer — stands in for a
+    /// terminal/file that another process could observe mid-run.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn progress_is_flushed_per_record_even_through_a_bufwriter() {
+        // Regression: progress used to sit in an interposed BufWriter
+        // until the campaign ended, so a killed run lost every progress
+        // line. Each unit_completed must flush through to the observer.
+        let observed = SharedBuf::default();
+        let mut sink = JsonlSink::new(
+            std::io::BufWriter::with_capacity(1 << 20, observed.clone()),
+            Vec::new(),
+        );
+        sink.begin(3);
+        sink.unit_completed(&record());
+        let after_one = observed.0.lock().unwrap().clone();
+        assert_eq!(
+            String::from_utf8(after_one).unwrap().lines().count(),
+            1,
+            "first record visible before the campaign ends"
+        );
+        sink.unit_completed(&record());
+        let after_two = String::from_utf8(observed.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(after_two.lines().count(), 2);
+        // Every line of the mid-run stream is complete, parseable JSONL.
+        for line in after_two.lines() {
+            assert!(
+                crate::journal::parse_record_json(line).is_ok(),
+                "mid-run prefix line parses: {line}"
+            );
+        }
     }
 
     #[test]

@@ -40,12 +40,14 @@
 //! ```
 
 pub mod clock;
+pub mod codec;
 pub mod driver;
 pub mod initial;
 pub mod optimized;
 pub mod scaling;
 
 pub use clock::{Clock, StepClock, WallClock};
+pub use codec::{decode_outcome, encode_outcome, CodecError};
 pub use driver::{
     default_jobs, DesignOptimizer, DesignPoint, OptimizationOutcome, OptimizerConfig,
     ScalingOutcome, SelectionPolicy, SCALING_CHUNK,

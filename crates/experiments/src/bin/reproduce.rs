@@ -2,7 +2,8 @@
 //! campaign.
 //!
 //! ```text
-//! cargo run --release -p sea-experiments --bin reproduce [smoke|paper] [--jobs N] [--quiet]
+//! cargo run --release -p sea-experiments --bin reproduce \
+//!     [smoke|paper] [--jobs N] [--quiet] [--cache <dir>] [--resume <journal>]
 //! ```
 //!
 //! The harnesses define their work as campaign unit lists
@@ -13,11 +14,20 @@
 //! them. Progress streams to stderr as units complete; the assembled
 //! reports print to stdout in the usual order. `--jobs N` pins the worker
 //! count; the reports are bitwise identical for every value.
+//!
+//! `--cache <dir>` (or `SEA_CACHE`) consults the content-addressed unit
+//! cache before evaluating anything: a warm second run evaluates **zero**
+//! units and prints byte-identical stdout. `--resume <journal>`
+//! write-ahead journals completed units; on restart, journaled units are
+//! restored from the cache when one is configured (without a cache their
+//! typed payloads must be recomputed — pair the flags for crash
+//! recovery). Timing and cache statistics go to stderr so stdout stays
+//! comparable across runs.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use sea_campaign::{Sink, UnitRecord};
+use sea_campaign::{open_journal, Cache, RunConfig, Sink, UnitRecord};
 use sea_experiments::ablations::{
     exposure_ablation, mc_from_results, mc_table, mc_units, reference_design, seed_ablation,
     ser_sensitivity,
@@ -57,16 +67,39 @@ impl Sink for StderrProgress {
     }
 }
 
+/// The value of `args[at]`'s flag, refusing a missing value or one that
+/// is itself a flag (`--cache --quiet` must not create a `./--quiet`
+/// cache directory and silently drop the quiet switch).
+fn flag_value(args: &[String], at: usize, flag: &str, what: &str) -> String {
+    match args.get(at + 1) {
+        Some(v) if !v.starts_with("--") => v.clone(),
+        _ => {
+            eprintln!("error: {flag} needs {what}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = EffortProfile::Smoke;
     let mut quiet = false;
+    let mut cache_flag: Option<String> = None;
+    let mut resume_flag: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "paper" => profile = EffortProfile::Paper,
             "smoke" => profile = EffortProfile::Smoke,
             "--quiet" => quiet = true,
+            "--cache" => {
+                cache_flag = Some(flag_value(&args, i, "--cache", "a directory"));
+                i += 1;
+            }
+            "--resume" => {
+                resume_flag = Some(flag_value(&args, i, "--resume", "a journal path"));
+                i += 1;
+            }
             "--jobs" => {
                 let jobs = args
                     .get(i + 1)
@@ -82,7 +115,10 @@ fn main() {
                 i += 1;
             }
             other => {
-                eprintln!("error: unknown argument `{other}` (smoke|paper [--jobs N] [--quiet])");
+                eprintln!(
+                    "error: unknown argument `{other}` \
+                     (smoke|paper [--jobs N] [--quiet] [--cache <dir>] [--resume <journal>])"
+                );
                 std::process::exit(2);
             }
         }
@@ -138,8 +174,37 @@ fn main() {
         done: 0,
         enabled: !quiet,
     };
-    let results =
-        campaigns::run_with(&units, sea_opt::default_jobs(), &mut progress).expect("campaign run");
+    let cache = Cache::resolve(cache_flag.as_deref()).unwrap_or_else(|e| {
+        eprintln!("error: cannot open the result cache: {e}");
+        std::process::exit(2);
+    });
+    let mut plan = resume_flag.as_ref().map(|path| {
+        open_journal(std::path::Path::new(path), "reproduce", &units).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    });
+    let mut config = RunConfig::new(sea_opt::default_jobs());
+    config.cache = cache.as_ref();
+    if let Some(plan) = &mut plan {
+        if !quiet && plan.resumed > 0 {
+            eprintln!(
+                "resume: {} of {} units journaled",
+                plan.resumed,
+                units.len()
+            );
+        }
+        config.prefilled = std::mem::take(&mut plan.prefilled);
+        config.journal = Some(&mut plan.writer);
+    }
+    let (results, stats) =
+        campaigns::run_configured(&units, config, &mut progress).expect("campaign run");
+    if !quiet && (cache.is_some() || plan.is_some()) {
+        eprintln!(
+            "units: {} evaluated, {} cache hit(s), {} journaled",
+            stats.executed, stats.cache_hits, stats.resumed
+        );
+    }
 
     // Table II + Fig. 9.
     let t2 = table2::from_results(&results[ranges[0].clone()]).expect("Table II");
@@ -215,5 +280,7 @@ fn main() {
     let mc = mc_from_results(&mc_designs, &results[ranges[4].clone()]);
     println!("{}", mc_table(&mc).to_ascii());
 
-    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+    // Stderr, not stdout: stdout must be byte-identical across runs (the
+    // warm-cache acceptance check `cmp`s it), and wall time never is.
+    eprintln!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
 }

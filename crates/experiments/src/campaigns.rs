@@ -14,7 +14,9 @@
 
 use std::ops::Range;
 
-use sea_campaign::{run_units, CampaignError, NullSink, Sink, Unit, UnitResult};
+use sea_campaign::{
+    run_units, run_units_configured, CampaignError, NullSink, RunConfig, Sink, Unit, UnitResult,
+};
 
 /// Runs a unit list on the engine's default worker count (`SEA_JOBS`, else
 /// available parallelism) without streaming output.
@@ -37,6 +39,44 @@ pub fn run_with(
     sink: &mut dyn Sink,
 ) -> Result<Vec<UnitResult>, CampaignError> {
     run_units(units, jobs, sink)
+}
+
+/// Execution counters of a configured (cache/journal-aware) run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Units actually evaluated by this process.
+    pub executed: usize,
+    /// Units restored from the result cache.
+    pub cache_hits: usize,
+    /// Units the resume journal already covered.
+    pub resumed: usize,
+}
+
+/// Runs a unit list under a full [`RunConfig`] (cache, resume journal),
+/// forcing payload restoration so every result carries its typed payload
+/// — what the `from_results` assemblers need. With a warm cache this
+/// evaluates zero units while returning results bit-identical to a cold
+/// run.
+///
+/// # Errors
+///
+/// Propagates hard unit errors and journal-append failures.
+pub fn run_configured(
+    units: &[Unit],
+    mut config: RunConfig<'_>,
+    sink: &mut dyn Sink,
+) -> Result<(Vec<UnitResult>, RunStats), CampaignError> {
+    config.need_payloads = true;
+    let outcome = run_units_configured(units, config, sink)?;
+    let stats = RunStats {
+        executed: outcome.executed,
+        cache_hits: outcome.cache_hits,
+        resumed: outcome.resumed,
+    };
+    let results = outcome
+        .into_results()
+        .expect("need_payloads guarantees full results");
+    Ok((results, stats))
 }
 
 /// Concatenates per-driver unit lists into one flat, reindexed list,

@@ -1,0 +1,30 @@
+//! `proptest::option` — strategies for optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+/// Strategy returned by [`of`]: yields `None` about a quarter of the
+/// time (matching real proptest's default `Some` probability bias
+/// towards populated values), otherwise `Some` of the inner strategy.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64().is_multiple_of(4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Wraps a strategy to produce `Option`s of its values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

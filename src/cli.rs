@@ -72,6 +72,13 @@ pub struct CampaignArgs {
     /// Overrides the campaign's budget (including per-scenario
     /// overrides).
     pub budget: Option<BudgetSpec>,
+    /// Write-ahead journal path (`--resume`): created when absent,
+    /// resumed when present — completed units are restored, only the
+    /// missing ones run.
+    pub resume: Option<String>,
+    /// Content-addressed result-cache directory (`--cache`; falls back
+    /// to the `SEA_CACHE` environment variable when omitted).
+    pub cache_dir: Option<String>,
 }
 
 /// `--format` values for campaign reports.
@@ -246,6 +253,7 @@ USAGE:
   sea-dse campaign  --spec <file> | --builtin <name> | --list-builtin
                     [--jobs <N>] [--format human|csv|jsonl]
                     [--budget fast|smoke|paper|thorough]
+                    [--resume <journal>] [--cache <dir>]
   sea-dse help
 
 APP SPECS: mpeg2 | fig8 | random:<tasks>[:<seed>]
@@ -265,6 +273,15 @@ CAMPAIGNS: declarative multi-scenario runs (see README \"Campaigns\"):
            experiment-harness budget (20k); `optimize --budget paper` is
            the thorough 60k budget — use `campaign --budget thorough` to
            match the latter.
+RESUME:    --resume <journal> write-ahead journals every completed unit
+           (fsync'd per record). Re-running with the same spec and journal
+           restores completed units and runs only the missing ones; the
+           final report is byte-identical to an uninterrupted run. A
+           journal written for a different campaign is refused.
+CACHE:     --cache <dir> (or the SEA_CACHE env var) keeps a
+           content-addressed result cache keyed by each unit's stable
+           hash; warm re-runs and overlapping campaigns skip evaluation.
+           Without either, no cache I/O happens at all.
 ";
 
 /// Parses a full argument vector (without the program name).
@@ -522,7 +539,15 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
     // Campaign output is flag-selected and consumed by scripts, so a
     // misspelled flag must fail loudly instead of silently falling back
     // to a default format/budget.
-    let value_flags = ["--spec", "--builtin", "--jobs", "--format", "--budget"];
+    let value_flags = [
+        "--spec",
+        "--builtin",
+        "--jobs",
+        "--format",
+        "--budget",
+        "--resume",
+        "--cache",
+    ];
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -532,7 +557,7 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
             i += 1;
         } else {
             return Err(CliError(format!(
-                "unknown campaign flag `{arg}` (--spec|--builtin|--list-builtin|--jobs|--format|--budget)"
+                "unknown campaign flag `{arg}` (--spec|--builtin|--list-builtin|--jobs|--format|--budget|--resume|--cache)"
             )));
         }
     }
@@ -575,6 +600,13 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
             ))
         })?),
     };
+    let resume = get_flag(args, "--resume")?;
+    let cache_dir = get_flag(args, "--cache")?;
+    if list_builtin && (resume.is_some() || cache_dir.is_some()) {
+        return Err(CliError(
+            "--resume/--cache make no sense with --list-builtin".into(),
+        ));
+    }
     Ok(CampaignArgs {
         spec_path,
         builtin,
@@ -582,6 +614,8 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
         jobs,
         format,
         budget,
+        resume,
+        cache_dir,
     })
 }
 
@@ -855,6 +889,31 @@ mod tests {
             panic!("wrong command")
         };
         assert!(c.list_builtin);
+    }
+
+    #[test]
+    fn parses_campaign_resume_and_cache_flags() {
+        let Command::Campaign(c) = parse(&argv(
+            "campaign --builtin quickstart --resume run.jsonl --cache /tmp/sea-cache",
+        ))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.resume.as_deref(), Some("run.jsonl"));
+        assert_eq!(c.cache_dir.as_deref(), Some("/tmp/sea-cache"));
+
+        let Command::Campaign(c) = parse(&argv("campaign --builtin quickstart")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.resume, None);
+        assert_eq!(c.cache_dir, None);
+
+        // Duplicates and valueless forms are rejected like other flags.
+        assert!(parse(&argv("campaign --builtin q --resume a --resume b")).is_err());
+        assert!(parse(&argv("campaign --builtin q --cache")).is_err());
+        // Listing builtins does not take persistence flags.
+        assert!(parse(&argv("campaign --list-builtin --resume a")).is_err());
+        assert!(parse(&argv("campaign --list-builtin --cache d")).is_err());
     }
 
     #[test]

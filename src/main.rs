@@ -5,7 +5,9 @@ use std::process::ExitCode;
 
 use sea_dse::arch::{Architecture, ScalingVector, SerModel};
 use sea_dse::baselines::{BaselineOptimizer, Objective};
-use sea_dse::campaign::{run_units, CsvSink, HumanSink, JsonlSink, Sink};
+use sea_dse::campaign::{
+    open_journal, run_units_configured, Cache, CsvSink, HumanSink, JsonlSink, RunConfig, Sink,
+};
 use sea_dse::cli::{
     self, BaselineObjective, CampaignArgs, Command, DesignArgs, OptimizeArgs, OutputFormat,
     PolicySpec,
@@ -263,14 +265,47 @@ fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
         units.len(),
         jobs
     );
+    // Persistence layers: the content-addressed result cache (opt-in via
+    // --cache or SEA_CACHE; zero filesystem writes otherwise) and the
+    // write-ahead journal behind --resume.
+    let cache = Cache::resolve(c.cache_dir.as_deref())
+        .map_err(|e| format!("cannot open the result cache: {e}"))?;
+    let mut plan = match &c.resume {
+        Some(path) => {
+            let plan = open_journal(std::path::Path::new(path), &campaign.name, &units)
+                .map_err(|e| e.to_string())?;
+            if plan.resumed > 0 {
+                eprintln!(
+                    "resume: {} of {} units restored from `{path}`",
+                    plan.resumed,
+                    units.len()
+                );
+            }
+            Some(plan)
+        }
+        None => None,
+    };
     // Progress streams to stderr in completion order; the final report
-    // goes to stdout in enumeration order (byte-identical for any --jobs).
+    // goes to stdout in enumeration order (byte-identical for any --jobs,
+    // any cache state and any resume point).
     let mut sink: Box<dyn Sink> = match c.format {
         OutputFormat::Human => Box::new(HumanSink::new(std::io::stderr(), std::io::stdout())),
         OutputFormat::Csv => Box::new(CsvSink::new(std::io::stderr(), std::io::stdout())),
         OutputFormat::Jsonl => Box::new(JsonlSink::new(std::io::stderr(), std::io::stdout())),
     };
-    run_units(&units, jobs, sink.as_mut()).map_err(|e| e.to_string())?;
+    let mut config = RunConfig::new(jobs);
+    config.cache = cache.as_ref();
+    if let Some(plan) = &mut plan {
+        config.prefilled = std::mem::take(&mut plan.prefilled);
+        config.journal = Some(&mut plan.writer);
+    }
+    let outcome = run_units_configured(&units, config, sink.as_mut()).map_err(|e| e.to_string())?;
+    if cache.is_some() {
+        eprintln!(
+            "cache: {} hit(s), {} evaluated",
+            outcome.cache_hits, outcome.executed
+        );
+    }
     // A truncated final report (full disk, closed pipe) must not exit 0.
     if let Some(e) = sink.take_io_error() {
         return Err(format!("writing the campaign report failed: {e}"));

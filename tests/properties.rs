@@ -3,13 +3,19 @@
 use proptest::prelude::*;
 
 use sea_dse::arch::{Architecture, CoreId, LevelSet, ScalingVector, SerModel};
+use sea_dse::campaign::{
+    json_record, parse_campaign, unit_hash, units_hash, AppRef, BudgetSpec, Unit, UnitKind,
+    UnitRecord,
+};
 use sea_dse::opt::ScalingIter;
+use sea_dse::opt::SelectionPolicy;
 use sea_dse::sched::metrics::EvalContext;
 use sea_dse::sched::Mapping;
 use sea_dse::taskgraph::generator::RandomGraphConfig;
 use sea_dse::taskgraph::graph::TaskGraphBuilder;
 use sea_dse::taskgraph::registers::RegisterModelBuilder;
 use sea_dse::taskgraph::units::{Bits, Cycles};
+use sea_dse::taskgraph::AppSpec;
 use sea_dse::taskgraph::{Application, ExecutionMode, TaskId};
 
 /// Builds a random layered DAG application directly from proptest inputs.
@@ -161,6 +167,155 @@ proptest! {
         prop_assert!(l1.lambda(v - dv) > l1.lambda(v));
     }
 
+    /// Unit hashes are injective over near-identical units: flipping any
+    /// single content field produces a distinct hash, while presentation
+    /// fields (index, scenario) never matter.
+    #[test]
+    fn unit_hash_separates_every_content_field(
+        cores in 2usize..6,
+        levels in 2usize..5,
+        seed in any::<u64>(),
+        budget_pick in 0usize..4,
+        index in any::<usize>(),
+    ) {
+        let budgets = [
+            BudgetSpec::Fast,
+            BudgetSpec::Smoke,
+            BudgetSpec::Paper,
+            BudgetSpec::Thorough,
+        ];
+        let base = Unit {
+            index,
+            scenario: "prop".into(),
+            kind: UnitKind::Optimize,
+            app: AppRef::Spec(AppSpec::Mpeg2),
+            cores,
+            levels,
+            budget: budgets[budget_pick],
+            selection: SelectionPolicy::PowerGammaProduct,
+            seed,
+        };
+        let h0 = unit_hash(&base);
+
+        // Presentation fields are hash-transparent.
+        let mut relabeled = base.clone();
+        relabeled.index = index.wrapping_add(17);
+        relabeled.scenario = "other".into();
+        prop_assert_eq!(h0, unit_hash(&relabeled));
+
+        // One-field flips: every variant hashes apart from the base and
+        // from each other.
+        let variants: Vec<Unit> = vec![
+            { let mut u = base.clone(); u.cores += 1; u },
+            { let mut u = base.clone(); u.levels = if levels == 4 { 2 } else { levels + 1 }; u },
+            { let mut u = base.clone(); u.seed = seed.wrapping_add(1); u },
+            { let mut u = base.clone(); u.budget = budgets[(budget_pick + 1) % 4]; u },
+            { let mut u = base.clone(); u.selection = SelectionPolicy::GammaFirst; u },
+            { let mut u = base.clone(); u.app = AppRef::Spec(AppSpec::Fig8); u },
+            { let mut u = base.clone(); u.app = AppRef::Spec(AppSpec::Random { tasks: 20, seed }); u },
+            { let mut u = base.clone(); u.kind = UnitKind::Sweep { count: 100, scale: 1 }; u },
+            { let mut u = base.clone(); u.kind = UnitKind::Sweep { count: 100, scale: 2 }; u },
+        ];
+        let mut seen = vec![h0];
+        for v in &variants {
+            let h = unit_hash(v);
+            prop_assert!(!seen.contains(&h), "hash collision for {:?}", v);
+            seen.push(h);
+        }
+    }
+
+    /// Spec parse → expand → hash is a pure function of the source text:
+    /// re-parsing randomized grammar inputs reproduces the identical unit
+    /// list hash, and every unit hash is stable under re-hashing.
+    #[test]
+    fn spec_parse_expand_hash_is_deterministic(
+        base_seed in any::<u64>(),
+        lo in 2usize..4,
+        span in 0usize..3,
+        app_pick in 0usize..3,
+        budget_pick in 0usize..4,
+        explicit_seeds in proptest::collection::vec(any::<u64>(), 0..3),
+        kind_pick in 0usize..3,
+    ) {
+        let apps = ["mpeg2", "fig8", "mpeg2, random:15:9"][app_pick];
+        let budget = ["fast", "smoke", "paper", "thorough"][budget_pick];
+        let kind = ["optimize", "baseline", "sweep"][kind_pick];
+        let mut scenario = format!("[scenario]\nkind = \"{kind}\"\napps = \"{apps}\"\ncores = \"{lo}-{}\"\n", lo + span);
+        if kind == "baseline" {
+            scenario.push_str("objectives = \"tm,tmr\"\n");
+        }
+        if kind == "sweep" {
+            scenario.push_str("count = 7\nscales = \"1,2\"\n");
+        }
+        if !explicit_seeds.is_empty() {
+            let list: Vec<String> = explicit_seeds.iter().map(u64::to_string).collect();
+            scenario.push_str(&format!("seeds = \"{}\"\n", list.join(",")));
+        }
+        let source = format!("name = \"prop\"\nbudget = \"{budget}\"\nseed = {base_seed}\n{scenario}");
+
+        let a = parse_campaign(&source).expect("generated spec parses").expand();
+        let b = parse_campaign(&source).expect("generated spec parses").expand();
+        prop_assert!(!a.is_empty());
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(units_hash(&a), units_hash(&b));
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(unit_hash(x), unit_hash(y));
+            prop_assert_eq!(unit_hash(x), unit_hash(x), "re-hash is stable");
+        }
+    }
+
+    /// Journal records survive a serialize → parse → serialize round trip
+    /// byte-identically, for adversarial strings and float values.
+    #[test]
+    fn journal_records_round_trip_byte_identical(
+        index in any::<usize>(),
+        scenario_bytes in proptest::collection::vec(0u8..128, 0..12),
+        cores in 1usize..9,
+        levels in 2usize..5,
+        seed in any::<u64>(),
+        status_pick in 0usize..3,
+        power in proptest::option::of(-1.0e12f64..1.0e12),
+        gamma_mant in proptest::option::of(1u64..u64::MAX),
+        evaluations in proptest::option::of(any::<usize>()),
+        mapping in proptest::option::of(proptest::collection::vec(0u8..128, 0..16)),
+        seus in proptest::option::of(any::<u64>()),
+    ) {
+        let to_string = |bytes: &[u8]| -> String {
+            bytes
+                .iter()
+                .map(|&b| char::from(b))
+                .filter(|c| *c != '\u{0}')
+                .collect()
+        };
+        // Drive odd-but-finite float bit patterns through the gamma slot.
+        let gamma = gamma_mant.map(|bits| {
+            let v = f64::from_bits(bits);
+            if v.is_finite() { v } else { f64::from_bits(bits >> 12) }
+        });
+        let record = UnitRecord {
+            index,
+            scenario: to_string(&scenario_bytes),
+            kind: "optimize".into(),
+            app: "mpeg2".into(),
+            cores,
+            levels,
+            seed,
+            status: ["ok", "infeasible", "too-few-tasks"][status_pick],
+            power_mw: power,
+            gamma,
+            tm_seconds: None,
+            r_kbits: Some(0.1 + cores as f64),
+            evaluations,
+            scaling: None,
+            mapping: mapping.as_deref().map(to_string),
+            experienced_seus: seus,
+        };
+        let line = json_record(&record);
+        let parsed = sea_dse::campaign::journal::parse_record_json(&line)
+            .unwrap_or_else(|e| panic!("parse failed: {e} for {line}"));
+        prop_assert_eq!(json_record(&parsed), line);
+    }
+
     /// Pipelined makespan is bounded below by the busiest core's total
     /// work and above by fully serial execution.
     #[test]
@@ -218,4 +373,64 @@ proptest! {
         // the pipeline must do no worse than that plus one fill pass.
         prop_assert!(sched.makespan_s() <= serial * f64::from(iterations) + serial + 1e-9);
     }
+}
+
+/// Golden hex fixtures: unit and spec hashes must be *stable across
+/// process runs and builds* — journals and cache entries written by one
+/// binary must be readable by the next. A failure here means the
+/// canonical encoding changed; if that change is intentional, bump the
+/// encoding version in `crates/campaign/src/hash.rs` so stale artifacts
+/// are refused, and regenerate these constants.
+#[test]
+fn content_hashes_match_golden_fixtures() {
+    let optimize = Unit {
+        index: 0,
+        scenario: "golden".into(),
+        kind: UnitKind::Optimize,
+        app: AppRef::Spec(AppSpec::Mpeg2),
+        cores: 4,
+        levels: 3,
+        budget: BudgetSpec::Smoke,
+        selection: SelectionPolicy::PowerGammaProduct,
+        seed: 6_204_766,
+    };
+    assert_eq!(
+        unit_hash(&optimize).to_hex(),
+        "22d4fb4c6f31dfb1d916dfda56396258"
+    );
+
+    let mut simulate = optimize.clone();
+    simulate.kind = UnitKind::Simulate {
+        scaling: vec![2, 2, 3, 2],
+        groups: vec![vec![0, 1, 2, 3, 4, 5], vec![6, 7], vec![8], vec![9, 10]],
+        ser: sea_dse::arch::ser::PAPER_SER,
+    };
+    simulate.seed = 13;
+    assert_eq!(
+        unit_hash(&simulate).to_hex(),
+        "8502b406178617751a6f4484d345ec5d"
+    );
+
+    // Inline applications hash by *content*, pinned independently of the
+    // spec-string form.
+    let mut inline = optimize.clone();
+    inline.app = AppRef::Inline(std::sync::Arc::new(AppSpec::Mpeg2.build().unwrap()));
+    assert_eq!(
+        unit_hash(&inline).to_hex(),
+        "235421e82db72a776df1c8eec0f3391c"
+    );
+
+    // The quickstart builtin's spec hash — the value a resume journal
+    // header stores for `sea-dse campaign --builtin quickstart`.
+    let quickstart = parse_campaign(
+        sea_dse::experiments::campaigns::builtin("quickstart")
+            .expect("builtin exists")
+            .source,
+    )
+    .expect("builtin parses")
+    .expand();
+    assert_eq!(
+        units_hash(&quickstart).to_hex(),
+        "592cb1dd547d8e2657787e7c5d35cf65"
+    );
 }
