@@ -12,7 +12,7 @@
 //! temporary name and atomically renamed — concurrent writers (parallel
 //! workers, overlapping campaigns) can only ever race to publish
 //! identical bytes. Each entry carries the unit's flat
-//! [`UnitRecord`](crate::unit::UnitRecord) (as
+//! [`UnitRecord`] (as
 //! the exact JSON the sinks emit) plus a bitwise-exact encoding of the
 //! full typed payload ([`sea_opt::codec`] for designs, local codecs for
 //! sweep/simulate), and ends with a content checksum. A truncated or
@@ -21,6 +21,7 @@
 //! never crashes a campaign and never poisons a report.
 
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 use sea_baselines::sweep::SweepPoint;
 use sea_opt::codec::{self, CodecError, Tokens};
@@ -30,7 +31,7 @@ use sea_sim::{ExecutionTrace, FaultReport, SeuEvent, SimReport, TaskEvent};
 use crate::hash::{unit_hash, ContentHash, ContentHasher};
 use crate::journal::parse_record_json;
 use crate::sink::json_record;
-use crate::unit::{Unit, UnitPayload, UnitResult};
+use crate::unit::{Unit, UnitPayload, UnitRecord, UnitResult};
 
 /// Environment variable naming the cache directory when `--cache` is not
 /// given.
@@ -123,6 +124,189 @@ impl Cache {
         std::fs::write(&tmp, body)?;
         std::fs::rename(&tmp, self.entry_path(hash))
     }
+
+    /// Surveys every `<hash>.unit` entry in the cache directory: size,
+    /// modification time and structural health (magic, version, embedded
+    /// hash vs. file name, checksum, record line — everything except the
+    /// typed payload, which needs the owning unit to decode). Entries are
+    /// returned sorted by file name so reports are deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures; per-entry read failures are
+    /// reported as [`EntryHealth::Corrupt`], not errors.
+    pub fn survey(&self) -> std::io::Result<Vec<EntrySurvey>> {
+        let mut entries: Vec<EntrySurvey> = self
+            .scan()?
+            .into_iter()
+            .map(|raw| {
+                // A file whose name is not a unit hash can never be a
+                // cache hit (lookups derive paths from hashes), so it is
+                // unhealthy no matter what it contains.
+                let health = if raw.hash.is_none() {
+                    EntryHealth::Corrupt("file name is not a 32-hex-digit unit hash".into())
+                } else {
+                    match std::fs::read_to_string(&raw.path) {
+                        Ok(source) => match validate_entry(&source, raw.hash) {
+                            Ok(kind) => EntryHealth::Ok {
+                                kind: kind.to_string(),
+                            },
+                            Err(e) => EntryHealth::Corrupt(e),
+                        },
+                        Err(e) => EntryHealth::Corrupt(format!("unreadable: {e}")),
+                    }
+                };
+                EntrySurvey {
+                    path: raw.path,
+                    hash: raw.hash,
+                    bytes: raw.bytes,
+                    modified: raw.modified,
+                    health,
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(entries)
+    }
+
+    /// Metadata-only entry listing (no contents read) — what pruning
+    /// needs; [`Cache::survey`] layers content validation on top.
+    fn scan(&self) -> std::io::Result<Vec<RawEntry>> {
+        let mut entries = Vec::new();
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            let path = dirent.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(stem) = name.strip_suffix(".unit") else {
+                continue; // temp files, strays — not entries
+            };
+            let hash = ContentHash::parse_hex(stem);
+            let (bytes, modified) = match dirent.metadata() {
+                Ok(m) => (m.len(), m.modified().ok()),
+                Err(_) => (0, None),
+            };
+            entries.push(RawEntry {
+                path,
+                hash,
+                bytes,
+                modified,
+            });
+        }
+        Ok(entries)
+    }
+
+    /// Prunes entries by age and/or total size: first every entry older
+    /// than `max_age` is deleted, then the oldest remaining entries go
+    /// until the directory total is at most `max_bytes`. With neither
+    /// limit this deletes nothing (and reports what is there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures. Per-entry delete failures are
+    /// skipped (another process may have pruned concurrently).
+    pub fn prune(
+        &self,
+        max_age: Option<Duration>,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<PruneOutcome> {
+        let now = SystemTime::now();
+        // Metadata only: pruning by age/size must not read (let alone
+        // checksum) every entry's contents.
+        let mut entries = self.scan()?;
+        // Oldest first; entries without a readable mtime sort oldest so
+        // they are reclaimed before anything with a known age.
+        entries.sort_by_key(|e| e.modified);
+        let mut outcome = PruneOutcome {
+            scanned: entries.len(),
+            deleted: 0,
+            freed_bytes: 0,
+            kept: 0,
+            kept_bytes: 0,
+        };
+        let mut kept: Vec<&RawEntry> = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            let age = entry
+                .modified
+                .and_then(|m| now.duration_since(m).ok())
+                .unwrap_or(Duration::MAX);
+            let expired = max_age.is_some_and(|limit| age > limit);
+            if expired && std::fs::remove_file(&entry.path).is_ok() {
+                outcome.deleted += 1;
+                outcome.freed_bytes += entry.bytes;
+            } else {
+                kept.push(entry);
+            }
+        }
+        if let Some(limit) = max_bytes {
+            let mut total: u64 = kept.iter().map(|e| e.bytes).sum();
+            let mut survivors = Vec::with_capacity(kept.len());
+            for entry in kept {
+                if total > limit && std::fs::remove_file(&entry.path).is_ok() {
+                    total -= entry.bytes;
+                    outcome.deleted += 1;
+                    outcome.freed_bytes += entry.bytes;
+                } else {
+                    survivors.push(entry);
+                }
+            }
+            kept = survivors;
+        }
+        outcome.kept = kept.len();
+        outcome.kept_bytes = kept.iter().map(|e| e.bytes).sum();
+        Ok(outcome)
+    }
+}
+
+/// One entry's file metadata (no contents read).
+struct RawEntry {
+    path: PathBuf,
+    hash: Option<ContentHash>,
+    bytes: u64,
+    modified: Option<SystemTime>,
+}
+
+/// One surveyed cache entry ([`Cache::survey`]).
+#[derive(Debug, Clone)]
+pub struct EntrySurvey {
+    /// Entry file path.
+    pub path: PathBuf,
+    /// Unit hash parsed from the file name (`None` for a malformed name).
+    pub hash: Option<ContentHash>,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Modification time, when the filesystem reports one.
+    pub modified: Option<SystemTime>,
+    /// Structural health.
+    pub health: EntryHealth,
+}
+
+/// Structural health of one cache entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryHealth {
+    /// Magic, version, embedded hash and checksum all check out.
+    Ok {
+        /// The payload kind recorded in the entry.
+        kind: String,
+    },
+    /// The entry would be treated as a miss (the reason why).
+    Corrupt(String),
+}
+
+/// What [`Cache::prune`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneOutcome {
+    /// Entries present before pruning.
+    pub scanned: usize,
+    /// Entries deleted.
+    pub deleted: usize,
+    /// Bytes reclaimed.
+    pub freed_bytes: u64,
+    /// Entries remaining.
+    pub kept: usize,
+    /// Bytes remaining.
+    pub kept_bytes: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -359,7 +543,17 @@ fn take_line<'a>(rest: &mut &'a str) -> Option<&'a str> {
     Some(line)
 }
 
-fn decode_entry(source: &str, unit: &Unit, hash: ContentHash) -> Result<UnitResult, String> {
+/// The structurally validated pieces of one entry, payload still encoded.
+struct EntryParts<'a> {
+    record: UnitRecord,
+    kind: &'a str,
+    body: &'a str,
+}
+
+/// Validates everything except the typed payload: checksum, magic line,
+/// format version, embedded hash (against `expected` when given) and the
+/// record line.
+fn parse_entry(source: &str, expected: Option<ContentHash>) -> Result<EntryParts<'_>, String> {
     let end_pos = source.rfind("\nend ").ok_or("no checksum line")?;
     let prefix = &source[..=end_pos];
     let stored = source[end_pos + 5..].trim();
@@ -380,19 +574,46 @@ fn decode_entry(source: &str, unit: &Unit, hash: ContentHash) -> Result<UnitResu
         .next()
         .and_then(ContentHash::parse_hex)
         .ok_or("malformed entry hash")?;
-    if entry_hash != hash {
+    if expected.is_some_and(|h| h != entry_hash) {
         return Err("entry hash does not match its key".into());
     }
     let record_line = take_line(&mut rest).ok_or("missing record line")?;
     let record_json = record_line
         .strip_prefix("record ")
         .ok_or("malformed record line")?;
-    let mut record = parse_record_json(record_json)?;
+    let record = parse_record_json(record_json)?;
     let payload_line = take_line(&mut rest).ok_or("missing payload line")?;
     let kind = payload_line
         .strip_prefix("payload ")
         .ok_or("malformed payload line")?;
-    let payload = decode_payload(kind, rest, unit).map_err(|e| e.to_string())?;
+    Ok(EntryParts {
+        record,
+        kind,
+        body: rest,
+    })
+}
+
+/// Structural validation of one entry source without decoding the typed
+/// payload (which needs the owning unit): checksum, magic, version,
+/// embedded hash (against `expected` when given), record line and a known
+/// payload kind. Returns the payload kind — what `sea-dse cache verify`
+/// and the survey run.
+///
+/// # Errors
+///
+/// A human-readable reason the entry would be treated as a cache miss.
+pub fn validate_entry(source: &str, expected: Option<ContentHash>) -> Result<&str, String> {
+    let parts = parse_entry(source, expected)?;
+    match parts.kind {
+        "design" | "infeasible" | "too-few-tasks" | "sweep" | "simulate" => Ok(parts.kind),
+        other => Err(format!("unknown payload kind `{other}`")),
+    }
+}
+
+fn decode_entry(source: &str, unit: &Unit, hash: ContentHash) -> Result<UnitResult, String> {
+    let parts = parse_entry(source, Some(hash))?;
+    let mut record = parts.record;
+    let payload = decode_payload(parts.kind, parts.body, unit).map_err(|e| e.to_string())?;
     // Index and scenario are presentation, not content: the entry may have
     // been written by a different campaign whose enumeration placed this
     // unit elsewhere.
@@ -403,6 +624,28 @@ fn decode_entry(source: &str, unit: &Unit, hash: ContentHash) -> Result<UnitResu
         payload,
         record,
     })
+}
+
+/// Encodes a completed unit result in the self-describing entry format —
+/// record JSON, typed payload ([`sea_opt::codec`] and the local codecs)
+/// and content checksum. This is both the cache's on-disk format and the
+/// exact result payload `sea-dist` workers stream back to a coordinator.
+#[must_use]
+pub fn encode_result(result: &UnitResult) -> String {
+    encode_entry(result, unit_hash(&result.unit))
+}
+
+/// Decodes an [`encode_result`] stream against the unit it must belong
+/// to: the embedded hash has to equal `unit_hash(unit)` and the checksum
+/// has to hold, so a coordinator can verify a worker's bytes against the
+/// unit it dispatched. Presentation fields (index, scenario) are taken
+/// from the live `unit`.
+///
+/// # Errors
+///
+/// A human-readable reason the stream cannot be trusted.
+pub fn decode_result(source: &str, unit: &Unit) -> Result<UnitResult, String> {
+    decode_entry(source, unit, unit_hash(unit))
 }
 
 #[cfg(test)]
@@ -587,6 +830,92 @@ mod tests {
         )
         .unwrap();
         assert!(cache.load(&b).is_none(), "embedded hash check rejects");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn result_codec_round_trips_and_rejects_the_wrong_unit() {
+        let u = unit(UnitKind::Optimize, 21);
+        let fresh = run_unit(&u).unwrap();
+        let encoded = encode_result(&fresh);
+        let back = decode_result(&encoded, &u).expect("round trip");
+        assert_results_equal(&fresh, &back);
+        // Stable golden form: re-encoding is byte-identical.
+        assert_eq!(encoded, encode_result(&back));
+        // A different unit (different hash) must refuse the stream.
+        let other = unit(UnitKind::Optimize, 22);
+        assert!(decode_result(&encoded, &other).is_err());
+        // Structural validation accepts it without knowing the unit.
+        assert_eq!(validate_entry(&encoded, None), Ok("infeasible"));
+        assert!(validate_entry(&encoded[..encoded.len() / 2], None).is_err());
+    }
+
+    #[test]
+    fn survey_reports_health_and_prune_reclaims_entries() {
+        let (dir, cache) = temp_cache();
+        assert!(cache.survey().unwrap().is_empty());
+        let a = unit(UnitKind::Optimize, 31);
+        let b = unit(UnitKind::Optimize, 32);
+        cache.store(&run_unit(&a).unwrap()).unwrap();
+        cache.store(&run_unit(&b).unwrap()).unwrap();
+        // A stray temp file is not an entry.
+        std::fs::write(dir.join(".stray.tmp"), "junk").unwrap();
+        // A mis-named `.unit` file can never be a cache hit: it must be
+        // flagged corrupt, not reported healthy.
+        let good_bytes = std::fs::read(cache.entry_path(unit_hash(&a))).unwrap();
+        std::fs::write(dir.join("junk.unit"), &good_bytes).unwrap();
+        let survey = cache.survey().unwrap();
+        assert_eq!(survey.len(), 3);
+        assert!(survey
+            .iter()
+            .any(|e| e.hash.is_none() && matches!(e.health, EntryHealth::Corrupt(_))));
+        std::fs::remove_file(dir.join("junk.unit")).unwrap();
+
+        let survey = cache.survey().unwrap();
+        assert_eq!(survey.len(), 2);
+        for entry in &survey {
+            assert!(entry.hash.is_some());
+            assert!(entry.bytes > 0);
+            assert!(
+                matches!(&entry.health, EntryHealth::Ok { kind } if kind == "infeasible"),
+                "{:?}",
+                entry.health
+            );
+        }
+
+        // Corrupt one entry: survey flags it, load treats it as a miss.
+        let victim = cache.entry_path(unit_hash(&a));
+        let good = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &good[..good.len() - 10]).unwrap();
+        let survey = cache.survey().unwrap();
+        assert_eq!(
+            survey
+                .iter()
+                .filter(|e| matches!(e.health, EntryHealth::Corrupt(_)))
+                .count(),
+            1
+        );
+
+        // No limits: prune deletes nothing.
+        let noop = cache.prune(None, None).unwrap();
+        assert_eq!((noop.scanned, noop.deleted), (2, 0));
+        // A zero-byte budget reclaims everything.
+        let all = cache.prune(None, Some(0)).unwrap();
+        assert_eq!(all.deleted, 2);
+        assert_eq!(all.kept, 0);
+        assert!(all.freed_bytes > 0);
+        assert!(cache.survey().unwrap().is_empty());
+        // Age-based pruning: everything here is younger than an hour.
+        cache.store(&run_unit(&b).unwrap()).unwrap();
+        let aged = cache
+            .prune(Some(std::time::Duration::from_secs(3600)), None)
+            .unwrap();
+        assert_eq!((aged.deleted, aged.kept), (0, 1));
+        // ... and a zero age deletes it.
+        let aged = cache
+            .prune(Some(std::time::Duration::from_secs(0)), None)
+            .unwrap();
+        assert_eq!(aged.deleted, 1);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -45,10 +45,16 @@ pub mod sink;
 pub mod spec;
 pub mod unit;
 
-pub use cache::{Cache, CACHE_ENV};
+pub use cache::{
+    decode_result, encode_result, validate_entry, Cache, EntryHealth, EntrySurvey, PruneOutcome,
+    CACHE_ENV,
+};
 pub use hash::{campaign_hash, unit_hash, units_hash, ContentHash, ContentHasher};
 pub use journal::{open_journal, parse_journal, Journal, JournalPlan, JournalWriter};
-pub use pool::{run_units, run_units_configured, RunConfig, RunOutcome, UnitOutcome};
+pub use pool::{
+    produce_unit, run_units, run_units_configured, Completion, RunConfig, RunOutcome, RunState,
+    UnitOutcome,
+};
 pub use sink::{
     csv_report, human_report, json_record, jsonl_report, CsvSink, HumanSink, JsonlSink, NullSink,
     Sink,
@@ -82,6 +88,10 @@ pub enum CampaignError {
     /// A resume journal could not be created, read, appended or trusted
     /// (spec-hash mismatch, version skew, mid-file corruption).
     Journal(String),
+    /// A distributed-execution transport failed (connection, handshake,
+    /// frame or wire-codec error). The campaign crate owns the error
+    /// vocabulary; the transports themselves live in `sea-dist`.
+    Transport(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -92,6 +102,7 @@ impl fmt::Display for CampaignError {
             CampaignError::Opt(e) => write!(f, "optimization error: {e}"),
             CampaignError::Sim(e) => write!(f, "simulation error: {e}"),
             CampaignError::Journal(msg) => write!(f, "campaign journal error: {msg}"),
+            CampaignError::Transport(msg) => write!(f, "campaign transport error: {msg}"),
         }
     }
 }
@@ -99,7 +110,9 @@ impl fmt::Display for CampaignError {
 impl Error for CampaignError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CampaignError::Spec(_) | CampaignError::Journal(_) => None,
+            CampaignError::Spec(_) | CampaignError::Journal(_) | CampaignError::Transport(_) => {
+                None
+            }
             CampaignError::App(e) => Some(e),
             CampaignError::Opt(e) => Some(e),
             CampaignError::Sim(e) => Some(e),

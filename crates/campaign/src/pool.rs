@@ -135,20 +135,35 @@ impl<'a> RunConfig<'a> {
     }
 }
 
-/// What a worker hands the collector for one unit.
-struct Done {
-    index: usize,
-    result: Result<UnitResult, CampaignError>,
-    from_cache: bool,
+/// One unit's completion, as produced by [`produce_unit`] (or restored
+/// from a cache/network transport) and consumed by [`RunState::complete`].
+#[derive(Debug)]
+pub struct Completion {
+    /// Enumeration position (authoritative for slotting, independent of
+    /// `unit.index`).
+    pub index: usize,
+    /// The result, or the hard error that produced none.
+    pub result: Result<UnitResult, CampaignError>,
+    /// Whether the result was restored from the result cache rather than
+    /// evaluated.
+    pub from_cache: bool,
 }
 
 /// Runs one unit the configured way: cache probe, then execution plus
 /// best-effort cache publication. `index` is the enumeration position
-/// (authoritative for slotting, independent of `unit.index`).
-fn produce(index: usize, unit: &Unit, cache: Option<&Cache>, inner_jobs: usize) -> Done {
+/// (authoritative for slotting, independent of `unit.index`). This is the
+/// single evaluation path shared by the thread-pool workers and the
+/// network workers of `sea-dist`.
+#[must_use]
+pub fn produce_unit(
+    index: usize,
+    unit: &Unit,
+    cache: Option<&Cache>,
+    inner_jobs: usize,
+) -> Completion {
     if let Some(cache) = cache {
         if let Some(result) = cache.load(unit) {
-            return Done {
+            return Completion {
                 index,
                 result: Ok(result),
                 from_cache: true,
@@ -160,10 +175,197 @@ fn produce(index: usize, unit: &Unit, cache: Option<&Cache>, inner_jobs: usize) 
         // Best-effort: a full disk must not fail the campaign.
         let _ = cache.store(r);
     }
-    Done {
+    Completion {
         index,
         result,
         from_cache: false,
+    }
+}
+
+/// The unit-source/result-slot state machine shared by every execution
+/// backend: the in-process thread pool ([`run_units_configured`]) and the
+/// TCP dispatcher (`sea-dist`) both *drive* a `RunState` instead of
+/// re-implementing the prefill/cache/journal discipline.
+///
+/// [`RunState::plan`] makes the one decision that must never drift
+/// between backends — "does this unit need evaluation, and where does its
+/// result go" — and [`RunState::complete`] enforces the merge discipline:
+/// results slot by enumeration index, stream to the sink in completion
+/// order, and append to the write-ahead journal exactly once, so the
+/// final report is byte-identical no matter which backend (or how many
+/// workers, threads or machines) produced the completions.
+#[derive(Debug)]
+pub struct RunState<'a> {
+    slots: Vec<Option<UnitOutcome>>,
+    errors: Vec<Option<CampaignError>>,
+    pending: Vec<usize>,
+    journaled: Vec<bool>,
+    journal: Option<&'a mut JournalWriter>,
+    resumed: usize,
+    executed: usize,
+    cache_hits: usize,
+    outstanding: usize,
+    journal_error: Option<CampaignError>,
+}
+
+impl<'a> RunState<'a> {
+    /// Plans a run: decides, per unit, whether it still needs evaluation.
+    ///
+    /// A prefilled (journal-restored) record satisfies its unit unless the
+    /// caller needs typed payloads, in which case the unit re-enters the
+    /// pending list (the cache may still satisfy it without re-execution)
+    /// while `journaled` remembers that its record is already durable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefilled` is non-empty but not `units.len()` long.
+    #[must_use]
+    pub fn plan(
+        units: &[Unit],
+        mut prefilled: Vec<Option<UnitRecord>>,
+        need_payloads: bool,
+        journal: Option<&'a mut JournalWriter>,
+    ) -> Self {
+        if prefilled.is_empty() {
+            prefilled = (0..units.len()).map(|_| None).collect();
+        }
+        assert_eq!(
+            prefilled.len(),
+            units.len(),
+            "prefilled slots must match the unit list"
+        );
+        let mut slots: Vec<Option<UnitOutcome>> = (0..units.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = Vec::with_capacity(units.len());
+        let mut journaled: Vec<bool> = (0..units.len()).map(|_| false).collect();
+        let mut resumed = 0usize;
+        for (i, slot) in prefilled.into_iter().enumerate() {
+            match slot {
+                Some(record) if !need_payloads => {
+                    resumed += 1;
+                    slots[i] = Some(UnitOutcome::Restored(record));
+                }
+                Some(_) => {
+                    resumed += 1;
+                    journaled[i] = true;
+                    pending.push(i);
+                }
+                None => pending.push(i),
+            }
+        }
+        let outstanding = pending.len();
+        RunState {
+            errors: (0..units.len()).map(|_| None).collect(),
+            slots,
+            pending,
+            journaled,
+            journal,
+            resumed,
+            executed: 0,
+            cache_hits: 0,
+            outstanding,
+            journal_error: None,
+        }
+    }
+
+    /// The enumeration indices that still need a completion, in
+    /// enumeration order. This is the work list a backend dispatches.
+    #[must_use]
+    pub fn pending(&self) -> &[usize] {
+        &self.pending
+    }
+
+    /// How many pending units have not completed yet.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Whether `index` already has a completion (a re-queued unit whose
+    /// original worker turned out to be alive produces duplicates; the
+    /// first completion wins).
+    #[must_use]
+    pub fn is_filled(&self, index: usize) -> bool {
+        self.slots[index].is_some() || self.errors[index].is_some()
+    }
+
+    /// Records one completion: streams it to the sink (completion order),
+    /// appends it to the journal (once — prefilled records are already
+    /// durable), and slots it by enumeration index.
+    ///
+    /// Returns `false` when the run must halt because a journal append
+    /// failed (the write-ahead guarantee is gone); the error surfaces from
+    /// [`RunState::finish`]. Hard unit errors do *not* halt — the rest of
+    /// the campaign still runs, and the first error by enumeration index
+    /// is raised at the end. Duplicate completions are ignored.
+    pub fn complete(&mut self, done: Completion, sink: &mut dyn Sink) -> bool {
+        let Completion {
+            index,
+            result,
+            from_cache,
+        } = done;
+        if self.is_filled(index) {
+            return true;
+        }
+        self.outstanding -= 1;
+        if from_cache {
+            self.cache_hits += 1;
+        } else {
+            self.executed += 1;
+        }
+        match result {
+            Ok(r) => {
+                sink.unit_completed(&r.record);
+                if let (Some(journal), false) = (self.journal.as_deref_mut(), self.journaled[index])
+                {
+                    if let Err(e) = journal.append(index, unit_hash(&r.unit), &r.record) {
+                        self.journal_error = Some(CampaignError::Journal(format!(
+                            "cannot append unit {index} to the journal: {e} — \
+                             aborting so the write-ahead guarantee is not silently lost"
+                        )));
+                        return false;
+                    }
+                }
+                self.slots[index] = Some(UnitOutcome::Full(r));
+            }
+            Err(e) => {
+                self.errors[index] = Some(e);
+            }
+        }
+        true
+    }
+
+    /// Finishes the run: raises a journal failure or the first (by
+    /// enumeration index) hard unit error, otherwise renders the final
+    /// report through the sink and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// The stashed journal-append failure, else the first unit error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if completions are still outstanding and no error explains
+    /// the gap — a backend must drain before finishing.
+    pub fn finish(self, sink: &mut dyn Sink) -> Result<RunOutcome, CampaignError> {
+        if let Some(e) = self.journal_error {
+            return Err(e);
+        }
+        if let Some(e) = self.errors.into_iter().flatten().next() {
+            return Err(e);
+        }
+        let units_out: Vec<UnitOutcome> = self
+            .slots
+            .into_iter()
+            .map(|slot| slot.expect("every unit reports exactly once"))
+            .collect();
+        let records: Vec<UnitRecord> = units_out.iter().map(|u| u.record().clone()).collect();
+        sink.finish(&records);
+        Ok(RunOutcome {
+            units: units_out,
+            executed: self.executed,
+            cache_hits: self.cache_hits,
+            resumed: self.resumed,
+        })
     }
 }
 
@@ -196,50 +398,19 @@ pub fn run_units_configured(
     let RunConfig {
         jobs,
         cache,
-        mut prefilled,
+        prefilled,
         need_payloads,
-        mut journal,
+        journal,
     } = config;
-    if prefilled.is_empty() {
-        prefilled = (0..units.len()).map(|_| None).collect();
-    }
-    assert_eq!(
-        prefilled.len(),
-        units.len(),
-        "prefilled slots must match the unit list"
-    );
-
-    let mut slots: Vec<Option<UnitOutcome>> = (0..units.len()).map(|_| None).collect();
-    let mut errors: Vec<Option<CampaignError>> = (0..units.len()).map(|_| None).collect();
-    let mut resumed = 0usize;
-
-    // Which indices still need a worker. A prefilled unit re-enters the
-    // work list only when the caller needs payloads (the cache may still
-    // satisfy it without re-execution); `journaled` remembers that its
-    // record is already durable.
-    let mut pending: Vec<usize> = Vec::with_capacity(units.len());
-    let mut journaled: Vec<bool> = (0..units.len()).map(|_| false).collect();
-    for (i, slot) in prefilled.into_iter().enumerate() {
-        match slot {
-            Some(record) if !need_payloads => {
-                resumed += 1;
-                slots[i] = Some(UnitOutcome::Restored(record));
-            }
-            Some(_) => {
-                resumed += 1;
-                journaled[i] = true;
-                pending.push(i);
-            }
-            None => pending.push(i),
-        }
-    }
+    let mut state = RunState::plan(units, prefilled, need_payloads, journal);
 
     // The progress stream counts what *this process* will complete —
     // on a resume, "[3/3]" (not a never-reached "[3/10]") is what tells
     // an observer the run finished rather than aborted. The final report
     // still covers every unit.
-    sink.begin(pending.len());
+    sink.begin(state.pending().len());
 
+    let pending = state.pending().to_vec();
     let requested = jobs.max(1);
     let jobs = requested.min(pending.len().max(1));
     // Narrow campaigns must not strand capacity: when there are fewer
@@ -249,102 +420,46 @@ pub fn run_units_configured(
     // machine.
     let inner_jobs = (requested / pending.len().max(1)).max(1);
 
-    let mut executed = 0usize;
-    let mut cache_hits = 0usize;
-    let mut journal_error: Option<CampaignError> = None;
-
-    {
-        // Collector body shared by the sequential and parallel paths.
-        let mut collect = |done: Done,
-                           slots: &mut Vec<Option<UnitOutcome>>,
-                           errors: &mut Vec<Option<CampaignError>>|
-         -> Result<(), ()> {
-            let Done {
-                index,
-                result,
-                from_cache,
-            } = done;
-            if from_cache {
-                cache_hits += 1;
-            } else {
-                executed += 1;
+    if jobs <= 1 {
+        for &i in &pending {
+            let done = produce_unit(i, &units[i], cache, inner_jobs);
+            if !state.complete(done, sink) {
+                break;
             }
-            match result {
-                Ok(r) => {
-                    sink.unit_completed(&r.record);
-                    if let (Some(journal), false) = (journal.as_deref_mut(), journaled[index]) {
-                        if let Err(e) = journal.append(index, unit_hash(&r.unit), &r.record) {
-                            journal_error = Some(CampaignError::Journal(format!(
-                                "cannot append unit {index} to the journal: {e} — \
-                                 aborting so the write-ahead guarantee is not silently lost"
-                            )));
-                            return Err(());
-                        }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let pending_ref = &pending;
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = pending_ref.get(k) else {
+                        break;
+                    };
+                    if tx
+                        .send(produce_unit(i, &units[i], cache, inner_jobs))
+                        .is_err()
+                    {
+                        break;
                     }
-                    slots[index] = Some(UnitOutcome::Full(r));
-                }
-                Err(e) => {
-                    errors[index] = Some(e);
-                }
+                });
             }
-            Ok(())
-        };
-
-        if jobs <= 1 {
-            for &i in &pending {
-                let done = produce(i, &units[i], cache, inner_jobs);
-                if collect(done, &mut slots, &mut errors).is_err() {
+            drop(tx);
+            for done in rx {
+                if !state.complete(done, sink) {
+                    // Dropping the receiver makes the workers' next
+                    // send fail, winding the pool down.
                     break;
                 }
             }
-        } else {
-            let next = AtomicUsize::new(0);
-            let pending_ref = &pending;
-            std::thread::scope(|s| {
-                let (tx, rx) = mpsc::channel();
-                for _ in 0..jobs {
-                    let tx = tx.clone();
-                    let next = &next;
-                    s.spawn(move || loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&i) = pending_ref.get(k) else {
-                            break;
-                        };
-                        if tx.send(produce(i, &units[i], cache, inner_jobs)).is_err() {
-                            break;
-                        }
-                    });
-                }
-                drop(tx);
-                for done in rx {
-                    if collect(done, &mut slots, &mut errors).is_err() {
-                        // Dropping the receiver makes the workers' next
-                        // send fail, winding the pool down.
-                        break;
-                    }
-                }
-            });
-        }
+        });
     }
 
-    if let Some(e) = journal_error {
-        return Err(e);
-    }
-    if let Some(e) = errors.into_iter().flatten().next() {
-        return Err(e);
-    }
-    let units_out: Vec<UnitOutcome> = slots
-        .into_iter()
-        .map(|slot| slot.expect("every unit reports exactly once"))
-        .collect();
-    let records: Vec<UnitRecord> = units_out.iter().map(|u| u.record().clone()).collect();
-    sink.finish(&records);
-    Ok(RunOutcome {
-        units: units_out,
-        executed,
-        cache_hits,
-        resumed,
-    })
+    state.finish(sink)
 }
 
 /// Executes `units` on `jobs` workers, streaming completions to `sink`.
@@ -446,6 +561,29 @@ count = 15
         assert_eq!(streamed, (0..units.len()).collect::<Vec<_>>());
         // The final report is always in enumeration order.
         assert_eq!(sink.finished, (0..units.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_state_ignores_duplicate_completions() {
+        // A re-queued unit whose original worker turns out to be alive
+        // (network dispatch) delivers the same index twice; the first
+        // completion must win and the counters must not double.
+        let units = parse_campaign(SMALL).unwrap().expand();
+        let mut state = RunState::plan(&units, Vec::new(), false, None);
+        assert_eq!(state.pending().len(), units.len());
+        assert_eq!(state.outstanding(), units.len());
+        for &i in &units.iter().map(|u| u.index).collect::<Vec<_>>() {
+            let done = produce_unit(i, &units[i], None, 1);
+            assert!(state.complete(done, &mut NullSink));
+            assert!(state.is_filled(i));
+            // The duplicate is dropped on the floor.
+            let dup = produce_unit(i, &units[i], None, 1);
+            assert!(state.complete(dup, &mut NullSink));
+        }
+        assert_eq!(state.outstanding(), 0);
+        let outcome = state.finish(&mut NullSink).unwrap();
+        assert_eq!(outcome.executed, units.len(), "duplicates not counted");
+        assert_eq!(outcome.units.len(), units.len());
     }
 
     #[test]

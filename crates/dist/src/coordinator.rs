@@ -1,0 +1,567 @@
+//! The coordinator: listens on TCP, fans unit work items to connecting
+//! workers, and merges results with the campaign engine's
+//! enumeration-order discipline.
+//!
+//! [`serve_units`] drives the exact same [`RunState`] unit-source /
+//! result-slot machine as the in-process thread pool
+//! ([`sea_campaign::run_units_configured`]), so the two backends cannot
+//! drift: the prefill/cache/journal decision is made once
+//! ([`RunState::plan`]), results slot by enumeration index, the sink
+//! streams completions in completion order, and the final report is
+//! byte-identical to a local `--jobs N` run for any worker count, any
+//! join/leave order and any network interleaving.
+//!
+//! Failure handling:
+//!
+//! * **Disconnect mid-unit** — the worker's in-flight unit is re-queued
+//!   and dispatched to the next available worker; slotting by index makes
+//!   the merge discipline indifferent to who finally computes it. If the
+//!   "dead" worker turns out alive and delivers late, the duplicate is
+//!   ignored ([`RunState::complete`] keeps the first completion).
+//! * **Heartbeat timeout** — workers heartbeat while evaluating; a worker
+//!   holding a unit that stays silent past the configured timeout is
+//!   disconnected and its unit re-queued. Idle workers may be silent
+//!   indefinitely (they hold no work).
+//! * **Result verification** — every result is decoded against the unit
+//!   at its index: the embedded content hash must equal the dispatched
+//!   unit's hash and the entry checksum must hold
+//!   ([`sea_campaign::decode_result`]), so a corrupt or mismatched stream
+//!   re-queues the unit instead of poisoning the report.
+//! * **Cache & journal** — the shared result cache is consulted
+//!   *coordinator-side before dispatch* (a hit completes the unit without
+//!   any network traffic) and published to as verified results arrive;
+//!   the write-ahead journal records completions exactly as the local
+//!   engine does, so `--resume` works across the network boundary.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sea_campaign::{
+    decode_result, unit_hash, CampaignError, Completion, RunConfig, RunOutcome, RunState, Sink,
+    Unit,
+};
+
+use crate::frame::{check_handshake, handshake_line, read_frame, write_frame, Frame, FrameKind};
+use crate::terr;
+use crate::wire;
+
+/// Coordinator configuration.
+pub struct ServeConfig<'a> {
+    /// The persistence configuration the local engine would run with.
+    /// `run.jobs` is not used by the coordinator (workers bring their own
+    /// capacity); `run.cache` is probed before dispatch and published to
+    /// on receipt; `run.prefilled`/`run.journal` resume across the
+    /// network.
+    pub run: RunConfig<'a>,
+    /// How long a worker holding an in-flight unit may stay completely
+    /// silent before it is presumed dead and its unit re-queued. Workers
+    /// heartbeat every ~2 s while evaluating, so this bounds detection
+    /// latency, not unit duration.
+    pub heartbeat_timeout: Duration,
+}
+
+impl<'a> ServeConfig<'a> {
+    /// Wraps a [`RunConfig`] with the default 30 s heartbeat timeout.
+    #[must_use]
+    pub fn new(run: RunConfig<'a>) -> Self {
+        ServeConfig {
+            run,
+            heartbeat_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Events the listener/reader threads feed the dispatch loop.
+enum Event {
+    /// A connection was accepted; the stream is the write half.
+    Connected(u64, TcpStream),
+    /// A frame arrived from a connected peer.
+    Frame(u64, Frame),
+    /// The peer's connection ended (clean close, reset, torn frame).
+    Gone(u64),
+}
+
+/// Per-connection coordinator state.
+struct Peer {
+    stream: TcpStream,
+    /// Handshake completed (Hello received, Welcome sent).
+    greeted: bool,
+    /// Enumeration index this worker is evaluating, if any.
+    in_flight: Option<usize>,
+    /// Last frame of any kind (heartbeats included).
+    last_seen: Instant,
+}
+
+/// Runs a campaign's unit list through TCP workers connecting to
+/// `listener`, streaming completions to `sink`.
+///
+/// Blocks until every unit has a verified result (workers may join and
+/// leave freely; the coordinator waits for capacity rather than failing
+/// when none is connected) or until a journal append fails. Outcomes are
+/// in enumeration order — every report rendered from them is
+/// byte-identical to [`sea_campaign::run_units_configured`] on the same
+/// configuration.
+///
+/// # Errors
+///
+/// Transport setup failures, journal-append failures, and the first (by
+/// enumeration index) hard unit error reported by a worker — after all
+/// other units have completed, exactly like the local engine.
+pub fn serve_units(
+    listener: &TcpListener,
+    units: &[Unit],
+    config: ServeConfig<'_>,
+    sink: &mut dyn Sink,
+) -> Result<RunOutcome, CampaignError> {
+    let ServeConfig {
+        run,
+        heartbeat_timeout,
+    } = config;
+    let RunConfig {
+        jobs: _,
+        cache,
+        prefilled,
+        need_payloads,
+        journal,
+    } = run;
+
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| terr(format!("cannot resolve the coordinator address: {e}")))?;
+    let mut state = RunState::plan(units, prefilled, need_payloads, journal);
+    sink.begin(state.pending().len());
+
+    // Coordinator-side cache probe: a hit completes the unit before any
+    // dispatch, so a warm cache needs zero network traffic (and zero
+    // connected workers).
+    let mut queue: VecDeque<usize> = VecDeque::with_capacity(state.pending().len());
+    let mut halted = false;
+    for &i in &state.pending().to_vec() {
+        let hit = cache.and_then(|c| c.load(&units[i]));
+        match hit {
+            Some(result) => {
+                let done = Completion {
+                    index: i,
+                    result: Ok(result),
+                    from_cache: true,
+                };
+                if !state.complete(done, sink) {
+                    halted = true;
+                    break;
+                }
+            }
+            None => queue.push_back(i),
+        }
+    }
+
+    if state.outstanding() == 0 || halted {
+        return state.finish(sink);
+    }
+
+    let stop = AtomicBool::new(false);
+    // Every *live* connection's stream, registered by the listener thread
+    // before its reader spawns and unregistered by the reader on exit:
+    // the teardown sweep shuts the survivors down so readers blocked in
+    // `read` unblock and the scope can join, while finished connections
+    // release their descriptors immediately (worker churn must not
+    // accumulate dead fds over a long campaign).
+    let accepted: Mutex<HashMap<u64, TcpStream>> = Mutex::new(HashMap::new());
+    let (tx, rx) = mpsc::channel::<Event>();
+
+    std::thread::scope(|s| {
+        let listener_tx = tx.clone();
+        let stop_ref = &stop;
+        let accepted_ref = &accepted;
+        let listener_handle = s.spawn(move || {
+            let tx = listener_tx;
+            let mut next_id = 0u64;
+            loop {
+                let Ok((stream, _addr)) = listener.accept() else {
+                    break;
+                };
+                if stop_ref.load(Ordering::SeqCst) {
+                    break; // the teardown wake-up (or a post-completion join)
+                }
+                let id = next_id;
+                next_id += 1;
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                accepted_ref.lock().unwrap().insert(id, write_half);
+                let Ok(write_half) = stream.try_clone() else {
+                    accepted_ref.lock().unwrap().remove(&id);
+                    continue;
+                };
+                if tx.send(Event::Connected(id, write_half)).is_err() {
+                    break;
+                }
+                let tx = tx.clone();
+                s.spawn(move || {
+                    let mut stream = stream;
+                    loop {
+                        match read_frame(&mut stream) {
+                            Ok(frame) => {
+                                if tx.send(Event::Frame(id, frame)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                let _ = tx.send(Event::Gone(id));
+                                break;
+                            }
+                        }
+                    }
+                    // This connection is finished: release its registry
+                    // entry (and descriptor) now rather than at teardown.
+                    accepted_ref.lock().unwrap().remove(&id);
+                });
+            }
+        });
+
+        let result = dispatch_loop(
+            units,
+            &mut state,
+            sink,
+            cache,
+            &mut queue,
+            &rx,
+            heartbeat_timeout,
+        );
+
+        // Teardown: stop accepting, wake the listener, and shut every
+        // accepted stream down so blocked readers unblock. A listener
+        // bound to the unspecified address (0.0.0.0/[::]) is woken via
+        // loopback — connecting *to* the unspecified address is not
+        // portable.
+        stop.store(true, Ordering::SeqCst);
+        let mut wake_addr = local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake_addr);
+        let _ = listener_handle.join();
+        for stream in accepted.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        drop(tx);
+
+        result?;
+        state.finish(sink)
+    })
+}
+
+/// Sends a frame to a peer; a failed write means the peer is gone.
+fn send(peer: &mut Peer, kind: FrameKind, body: &[u8]) -> bool {
+    write_frame(&mut peer.stream, kind, body).is_ok()
+}
+
+/// Dispatches the next queued unit (skipping ones completed meanwhile) to
+/// `peer`. Returns `false` if the write failed (caller re-queues).
+fn dispatch(
+    units: &[Unit],
+    state: &RunState<'_>,
+    queue: &mut VecDeque<usize>,
+    peer: &mut Peer,
+) -> bool {
+    while let Some(i) = queue.pop_front() {
+        if state.is_filled(i) {
+            continue;
+        }
+        let body = wire::encode_work(i, unit_hash(&units[i]), &units[i]);
+        if send(peer, FrameKind::Work, body.as_bytes()) {
+            peer.in_flight = Some(i);
+            peer.last_seen = Instant::now();
+        } else {
+            queue.push_front(i);
+            return false;
+        }
+        return true;
+    }
+    true
+}
+
+/// The coordinator's event loop: runs until every unit has completed or a
+/// journal append fails.
+#[allow(clippy::too_many_lines)]
+fn dispatch_loop(
+    units: &[Unit],
+    state: &mut RunState<'_>,
+    sink: &mut dyn Sink,
+    cache: Option<&sea_campaign::Cache>,
+    queue: &mut VecDeque<usize>,
+    rx: &mpsc::Receiver<Event>,
+    heartbeat_timeout: Duration,
+) -> Result<(), CampaignError> {
+    let mut peers: HashMap<u64, Peer> = HashMap::new();
+    let tick = heartbeat_timeout
+        .min(Duration::from_secs(1))
+        .max(Duration::from_millis(50));
+
+    // Removes one peer: close its stream and re-queue its in-flight unit.
+    // The single place that forgets a connection, so the re-queue rule
+    // cannot drift between callers.
+    fn remove_peer(
+        peers: &mut HashMap<u64, Peer>,
+        id: u64,
+        state: &RunState<'_>,
+        queue: &mut VecDeque<usize>,
+    ) {
+        if let Some(peer) = peers.remove(&id) {
+            let _ = peer.stream.shutdown(Shutdown::Both);
+            if let Some(i) = peer.in_flight {
+                if !state.is_filled(i) {
+                    queue.push_front(i);
+                }
+            }
+        }
+    }
+
+    // Drops a peer, then feeds idle workers — the re-queued unit may be
+    // the only work left while another worker idles.
+    fn drop_peer(
+        peers: &mut HashMap<u64, Peer>,
+        id: u64,
+        units: &[Unit],
+        state: &RunState<'_>,
+        queue: &mut VecDeque<usize>,
+    ) {
+        remove_peer(peers, id, state, queue);
+        feed_idle(peers, units, state, queue);
+    }
+
+    /// Gives queued work to every greeted, idle peer.
+    fn feed_idle(
+        peers: &mut HashMap<u64, Peer>,
+        units: &[Unit],
+        state: &RunState<'_>,
+        queue: &mut VecDeque<usize>,
+    ) {
+        let mut dead: Vec<u64> = Vec::new();
+        // Deterministic-ish order keeps behavior reproducible in tests;
+        // correctness does not depend on it.
+        let mut ids: Vec<u64> = peers.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if queue.is_empty() {
+                break;
+            }
+            let peer = peers.get_mut(&id).expect("peer present");
+            if peer.greeted && peer.in_flight.is_none() && !dispatch(units, state, queue, peer) {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            remove_peer(peers, id, state, queue);
+        }
+    }
+
+    // The stale sweep must run on schedule even when the event channel is
+    // never idle (a large fleet heartbeats often enough that
+    // `recv_timeout` would practically never time out), so it is clocked
+    // by its own deadline, checked after every loop iteration.
+    let mut last_sweep = Instant::now();
+    while state.outstanding() > 0 {
+        match rx.recv_timeout(tick) {
+            Ok(Event::Connected(id, stream)) => {
+                peers.insert(
+                    id,
+                    Peer {
+                        stream,
+                        greeted: false,
+                        in_flight: None,
+                        last_seen: Instant::now(),
+                    },
+                );
+            }
+            Ok(Event::Frame(id, frame)) => {
+                let Some(peer) = peers.get_mut(&id) else {
+                    continue; // already dropped
+                };
+                peer.last_seen = Instant::now();
+                match (peer.greeted, frame.kind) {
+                    (false, FrameKind::Hello) => match check_handshake(&frame.body) {
+                        Ok(()) => {
+                            peer.greeted = true;
+                            if !send(peer, FrameKind::Welcome, handshake_line().as_bytes())
+                                || !dispatch(units, state, queue, peer)
+                            {
+                                drop_peer(&mut peers, id, units, state, queue);
+                            }
+                        }
+                        Err(reason) => {
+                            let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                            drop_peer(&mut peers, id, units, state, queue);
+                        }
+                    },
+                    (true, FrameKind::Heartbeat) => {}
+                    (true, FrameKind::Result) => {
+                        let accepted = handle_result(units, state, sink, cache, peer, &frame);
+                        match accepted {
+                            ResultDisposition::Accepted => {
+                                if !dispatch(units, state, queue, peer) {
+                                    drop_peer(&mut peers, id, units, state, queue);
+                                }
+                            }
+                            ResultDisposition::Halt => return Ok(()),
+                            ResultDisposition::Corrupt(reason) => {
+                                // Unverifiable bytes: refuse the worker and
+                                // re-queue its unit for someone else.
+                                let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                                drop_peer(&mut peers, id, units, state, queue);
+                            }
+                        }
+                    }
+                    (true, FrameKind::WorkError) => {
+                        match wire::decode_work_error(frame.text().unwrap_or("")) {
+                            Ok((index, message))
+                                if peer.in_flight == Some(index) && index < units.len() =>
+                            {
+                                peer.in_flight = None;
+                                let done = Completion {
+                                    index,
+                                    result: Err(terr(format!(
+                                        "worker reported unit {index} failed: {message}"
+                                    ))),
+                                    from_cache: false,
+                                };
+                                if !state.complete(done, sink) {
+                                    return Ok(());
+                                }
+                                if !dispatch(units, state, queue, peer) {
+                                    drop_peer(&mut peers, id, units, state, queue);
+                                }
+                            }
+                            _ => drop_peer(&mut peers, id, units, state, queue),
+                        }
+                    }
+                    // Anything else is a protocol violation.
+                    _ => {
+                        let _ = send(
+                            peer,
+                            FrameKind::Refuse,
+                            format!("unexpected {:?} frame", frame.kind).as_bytes(),
+                        );
+                        drop_peer(&mut peers, id, units, state, queue);
+                    }
+                }
+            }
+            Ok(Event::Gone(id)) => drop_peer(&mut peers, id, units, state, queue),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The listener thread holds a sender for the lifetime of
+                // the loop; this cannot happen before teardown.
+                return Err(terr("coordinator event channel closed unexpectedly"));
+            }
+        }
+        if last_sweep.elapsed() >= tick {
+            last_sweep = Instant::now();
+            // Presume workers holding work silent past the timeout dead;
+            // idle workers owe no liveness.
+            let now = Instant::now();
+            let stale: Vec<u64> = peers
+                .iter()
+                .filter(|(_, p)| {
+                    p.in_flight.is_some() && now.duration_since(p.last_seen) > heartbeat_timeout
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in stale {
+                drop_peer(&mut peers, id, units, state, queue);
+            }
+        }
+    }
+
+    // Campaign complete: release every worker cleanly.
+    for peer in peers.values_mut() {
+        let _ = send(peer, FrameKind::Shutdown, &[]);
+    }
+    Ok(())
+}
+
+/// What became of one Result frame.
+enum ResultDisposition {
+    /// Verified and slotted (or a late duplicate, ignored).
+    Accepted,
+    /// A journal append failed; the run must halt.
+    Halt,
+    /// The bytes could not be verified against the dispatched unit.
+    Corrupt(String),
+}
+
+fn handle_result(
+    units: &[Unit],
+    state: &mut RunState<'_>,
+    sink: &mut dyn Sink,
+    cache: Option<&sea_campaign::Cache>,
+    peer: &mut Peer,
+    frame: &Frame,
+) -> ResultDisposition {
+    let text = match frame.text() {
+        Ok(t) => t,
+        Err(e) => return ResultDisposition::Corrupt(e.to_string()),
+    };
+    // NOTE: `peer.in_flight` is cleared only once the result verifies.
+    // Every `Corrupt` return leaves it set, so the subsequent
+    // `drop_peer` re-queues the unit — a corrupt stream must cost a
+    // connection, never a unit.
+    let (index, claimed, entry) = match wire::decode_result_body(text) {
+        Ok(parts) => parts,
+        Err(e) => return ResultDisposition::Corrupt(e.to_string()),
+    };
+    if index >= units.len() {
+        return ResultDisposition::Corrupt(format!("result index {index} out of range"));
+    }
+    // A connected worker may only answer the unit it was dispatched — a
+    // result for any other index (replayed frame, buggy or hostile
+    // worker) would otherwise leave the real in-flight unit untracked:
+    // neither queued, nor held, nor filled, hanging the campaign.
+    if peer.in_flight != Some(index) {
+        return ResultDisposition::Corrupt(format!(
+            "result for unit {index} but unit {:?} was dispatched to this worker",
+            peer.in_flight
+        ));
+    }
+    if state.is_filled(index) {
+        // Filled meanwhile (cannot normally happen for a connected peer —
+        // re-queues imply its disconnection — but harmless to tolerate).
+        peer.in_flight = None;
+        return ResultDisposition::Accepted;
+    }
+    let expected = unit_hash(&units[index]);
+    if claimed != expected {
+        return ResultDisposition::Corrupt(format!(
+            "result for unit {index} claims hash {}, dispatched {}",
+            claimed.to_hex(),
+            expected.to_hex()
+        ));
+    }
+    // Full verification: embedded hash + content checksum + payload decode
+    // against the coordinator's own unit.
+    let result = match decode_result(entry, &units[index]) {
+        Ok(r) => r,
+        Err(e) => return ResultDisposition::Corrupt(format!("unverifiable result: {e}")),
+    };
+    peer.in_flight = None;
+    if let Some(cache) = cache {
+        // Best-effort publication, exactly like the local engine's
+        // workers: a full disk must not fail the campaign.
+        let _ = cache.store(&result);
+    }
+    let done = Completion {
+        index,
+        result: Ok(result),
+        from_cache: false,
+    };
+    if state.complete(done, sink) {
+        ResultDisposition::Accepted
+    } else {
+        ResultDisposition::Halt
+    }
+}

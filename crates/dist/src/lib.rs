@@ -1,0 +1,101 @@
+//! Distributed campaign execution over TCP: a coordinator fans unit work
+//! items across any number of connecting workers.
+//!
+//! The campaign layer made every unit location-transparent: a [`Unit`] is
+//! a pure function of its own fields, its identity is a stable content
+//! hash ([`sea_campaign::unit_hash`]), and a completed result has a
+//! bitwise-exact wire encoding ([`sea_campaign::encode_result`], the same
+//! bytes the result cache stores). Scaling out is therefore pure
+//! transport work, and this crate is that transport — hand-rolled on
+//! `std::net::{TcpListener, TcpStream}`, zero external dependencies:
+//!
+//! * [`frame`] — a length-prefixed, versioned frame protocol. Torn
+//!   frames, oversized lengths and garbage bytes are rejected with
+//!   errors, never panics.
+//! * [`wire`] — the canonical unit encoding dispatched to workers
+//!   (including fully inlined applications for harness-built workloads)
+//!   and the work/result frame bodies.
+//! * [`coordinator`] — [`serve_units`] drives
+//!   the same [`sea_campaign::RunState`] unit-source/result-slot machine
+//!   as the in-process thread pool: results slot by enumeration index,
+//!   stream to the sink in completion order, and append to the
+//!   write-ahead journal exactly once — so final reports are
+//!   **byte-identical** to a local `--jobs N` run for any worker count,
+//!   join/leave order or network interleaving. Worker disconnects and
+//!   heartbeat timeouts re-queue in-flight units; `--resume` journals and
+//!   the shared result cache work across the network boundary.
+//! * [`worker`] — [`run_worker`] connects, evaluates
+//!   dispatched units through the exact
+//!   [`sea_campaign::produce_unit`] path the thread-pool workers run
+//!   (cache probe, evaluation, cache publication), and streams results
+//!   back while heartbeating.
+//!
+//! [`run_distributed_local`] wires a localhost coordinator to N
+//! in-process workers — the smoke path `reproduce --distributed` and the
+//! integration tests use.
+//!
+//! [`Unit`]: sea_campaign::Unit
+
+pub mod coordinator;
+pub mod frame;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{serve_units, ServeConfig};
+pub use worker::{run_worker, WorkerConfig, WorkerReport};
+
+use std::net::TcpListener;
+
+use sea_campaign::{CampaignError, RunConfig, RunOutcome, Sink, Unit};
+
+/// Builds the [`CampaignError::Transport`] this crate reports with.
+pub(crate) fn terr(msg: impl Into<String>) -> CampaignError {
+    CampaignError::Transport(msg.into())
+}
+
+/// Runs `units` through a localhost coordinator plus `workers` in-process
+/// TCP workers — the full network path on one machine. The coordinator
+/// owns the persistence configuration (`config.cache` is probed before
+/// dispatch and published to on receipt; `config.prefilled`/`journal`
+/// resume across the network boundary); `config.jobs` is handed to each
+/// worker as its inner job count. The outcome — and every report rendered
+/// from it — is byte-identical to [`sea_campaign::run_units_configured`]
+/// on the same configuration.
+///
+/// # Errors
+///
+/// Propagates coordinator errors: transport failures, journal-append
+/// failures, and the first (by enumeration index) hard unit error.
+pub fn run_distributed_local(
+    units: &[Unit],
+    config: RunConfig<'_>,
+    workers: usize,
+    sink: &mut dyn Sink,
+) -> Result<RunOutcome, CampaignError> {
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| terr(format!("cannot bind a localhost coordinator: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| terr(format!("cannot resolve the coordinator address: {e}")))?;
+    let inner_jobs = config.jobs.max(1);
+    std::thread::scope(|s| {
+        for _ in 0..workers.max(1) {
+            s.spawn(move || {
+                let worker_config = WorkerConfig {
+                    inner_jobs,
+                    ..WorkerConfig::default()
+                };
+                // A worker that loses its connection mid-campaign is the
+                // coordinator's problem (it re-queues); nothing to do here.
+                let _ = run_worker(&addr.to_string(), &worker_config);
+            });
+        }
+        let result = serve_units(&listener, units, ServeConfig::new(config), sink);
+        // A fully-probed (warm-cache or fully-prefilled) campaign returns
+        // without ever accepting: connections then sit in the listen
+        // backlog with workers awaiting a welcome. Closing the listener
+        // resets them so the workers unblock and the scope can join.
+        drop(listener);
+        result
+    })
+}

@@ -1,0 +1,229 @@
+//! The worker: connects to a coordinator, evaluates dispatched units, and
+//! streams results back.
+//!
+//! A worker evaluates through [`sea_campaign::produce_unit`] — the exact
+//! path the in-process thread-pool workers run (optional local cache
+//! probe, evaluation, best-effort cache publication) — so a unit computes
+//! the same bytes no matter which machine runs it. While a unit
+//! evaluates, the connection stays live with periodic
+//! [`FrameKind::Heartbeat`] frames so the coordinator can tell "slow"
+//! from "dead".
+
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use sea_campaign::{encode_result, produce_unit, Cache, CampaignError};
+
+use crate::frame::{
+    check_handshake, handshake_line, read_frame, write_frame, FrameError, FrameKind,
+};
+use crate::terr;
+use crate::wire;
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig<'a> {
+    /// Optional local result cache, probed before evaluating and
+    /// published to after — shares work across campaigns exactly like the
+    /// local engine's `--cache`.
+    pub cache: Option<&'a Cache>,
+    /// Worker threads for each unit's own scaling enumeration (the
+    /// outcome is job-count invariant; this only trades wall-clock).
+    pub inner_jobs: usize,
+    /// How often to heartbeat while evaluating.
+    pub heartbeat_interval: Duration,
+    /// Keep retrying the initial connect for this long (workers often
+    /// start before their coordinator listens).
+    pub connect_retry: Duration,
+    /// Test hook: after this many completed units, drop the connection
+    /// without replying the next time work arrives — simulates a worker
+    /// killed mid-unit.
+    pub abandon_after: Option<usize>,
+}
+
+impl Default for WorkerConfig<'_> {
+    fn default() -> Self {
+        WorkerConfig {
+            cache: None,
+            inner_jobs: 1,
+            heartbeat_interval: Duration::from_secs(2),
+            connect_retry: Duration::from_secs(10),
+            abandon_after: None,
+        }
+    }
+}
+
+/// What a worker did before disconnecting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerReport {
+    /// Units evaluated (or served from the worker's local cache).
+    pub completed: usize,
+    /// Completions served from the worker-side cache.
+    pub cache_hits: usize,
+    /// Whether the worker left deliberately (a clean [`FrameKind::Shutdown`]
+    /// from the coordinator, or the `abandon_after` test hook).
+    pub clean_exit: bool,
+}
+
+fn connect(addr: &str, retry: Duration) -> Result<TcpStream, CampaignError> {
+    let deadline = Instant::now() + retry;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(terr(format!("cannot connect to coordinator {addr}: {e}"))),
+        }
+    }
+}
+
+/// Connects to a coordinator, serves dispatched units until a clean
+/// shutdown, and reports what it did.
+///
+/// # Errors
+///
+/// Connection/handshake failures and a connection lost mid-campaign
+/// (the coordinator re-queues the in-flight unit either way).
+pub fn run_worker(addr: &str, config: &WorkerConfig<'_>) -> Result<WorkerReport, CampaignError> {
+    let mut stream = connect(addr, config.connect_retry)?;
+    write_frame(&mut stream, FrameKind::Hello, handshake_line().as_bytes())
+        .map_err(|e| terr(format!("cannot greet coordinator: {e}")))?;
+    match read_frame(&mut stream) {
+        Ok(frame) if frame.kind == FrameKind::Welcome => {
+            check_handshake(&frame.body).map_err(terr)?;
+        }
+        Ok(frame) if frame.kind == FrameKind::Refuse => {
+            return Err(terr(format!(
+                "coordinator refused the connection: {}",
+                frame.text().map(str::to_owned).unwrap_or_default()
+            )));
+        }
+        Ok(frame) => {
+            return Err(terr(format!(
+                "expected a welcome, got a {:?} frame",
+                frame.kind
+            )));
+        }
+        Err(e) => return Err(terr(format!("handshake failed: {e}"))),
+    }
+
+    let mut report = WorkerReport::default();
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => {
+                return Err(terr("coordinator closed the connection mid-campaign"));
+            }
+            Err(e) => return Err(terr(format!("connection lost: {e}"))),
+        };
+        match frame.kind {
+            FrameKind::Shutdown => {
+                report.clean_exit = true;
+                return Ok(report);
+            }
+            FrameKind::Refuse => {
+                return Err(terr(format!(
+                    "coordinator refused: {}",
+                    frame.text().map(str::to_owned).unwrap_or_default()
+                )));
+            }
+            FrameKind::Work => {
+                if config.abandon_after.is_some_and(|n| report.completed >= n) {
+                    // Test hook: vanish mid-unit, exactly like a killed
+                    // process — no reply, just a dropped connection.
+                    report.clean_exit = true;
+                    return Ok(report);
+                }
+                let (index, _hash, unit) = wire::decode_work(
+                    frame
+                        .text()
+                        .map_err(|e| terr(format!("work frame is not UTF-8: {e}")))?,
+                )
+                .map_err(|e| terr(format!("refusing work item: {e}")))?;
+
+                let done = evaluate_with_heartbeats(
+                    &mut stream,
+                    index,
+                    &unit,
+                    config.cache,
+                    config.inner_jobs,
+                    config.heartbeat_interval,
+                )?;
+                match done.result {
+                    Ok(result) => {
+                        let entry = encode_result(&result);
+                        let body = wire::encode_result_body(
+                            index,
+                            sea_campaign::unit_hash(&result.unit),
+                            &entry,
+                        );
+                        if body.len() > crate::frame::MAX_FRAME_LEN as usize {
+                            // An unshippable result must become a hard
+                            // unit error, not a dead worker — dying here
+                            // would make the coordinator re-queue the
+                            // unit onto the next worker, killing the
+                            // whole fleet one by one and hanging the
+                            // campaign.
+                            let msg = format!(
+                                "result of {} bytes exceeds the {}-byte frame limit",
+                                body.len(),
+                                crate::frame::MAX_FRAME_LEN
+                            );
+                            let body = wire::encode_work_error(index, &msg);
+                            write_frame(&mut stream, FrameKind::WorkError, body.as_bytes())
+                                .map_err(|e| terr(format!("cannot send error report: {e}")))?;
+                            continue;
+                        }
+                        write_frame(&mut stream, FrameKind::Result, body.as_bytes())
+                            .map_err(|e| terr(format!("cannot send result: {e}")))?;
+                        report.completed += 1;
+                        if done.from_cache {
+                            report.cache_hits += 1;
+                        }
+                    }
+                    Err(e) => {
+                        let body = wire::encode_work_error(index, &e.to_string());
+                        write_frame(&mut stream, FrameKind::WorkError, body.as_bytes())
+                            .map_err(|e| terr(format!("cannot send error report: {e}")))?;
+                    }
+                }
+            }
+            other => {
+                return Err(terr(format!("unexpected {other:?} frame from coordinator")));
+            }
+        }
+    }
+}
+
+/// Evaluates one unit on a helper thread while the calling thread keeps
+/// the connection alive with heartbeats.
+fn evaluate_with_heartbeats(
+    stream: &mut TcpStream,
+    index: usize,
+    unit: &sea_campaign::Unit,
+    cache: Option<&Cache>,
+    inner_jobs: usize,
+    heartbeat_interval: Duration,
+) -> Result<sea_campaign::Completion, CampaignError> {
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel();
+        s.spawn(move || {
+            let _ = tx.send(produce_unit(index, unit, cache, inner_jobs.max(1)));
+        });
+        loop {
+            match rx.recv_timeout(heartbeat_interval) {
+                Ok(done) => return Ok(done),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    write_frame(stream, FrameKind::Heartbeat, &[])
+                        .map_err(|e| terr(format!("cannot heartbeat (coordinator gone?): {e}")))?;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(terr("unit evaluation thread died"));
+                }
+            }
+        }
+    })
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p sea-experiments --bin reproduce \
 //!     [smoke|paper] [--jobs N] [--quiet] [--cache <dir>] [--resume <journal>]
+//!     [--distributed [N]]
 //! ```
 //!
 //! The harnesses define their work as campaign unit lists
@@ -23,6 +24,11 @@
 //! typed payloads must be recomputed — pair the flags for crash
 //! recovery). Timing and cache statistics go to stderr so stdout stays
 //! comparable across runs.
+//!
+//! `--distributed [N]` routes the whole campaign through `sea-dist`: a
+//! localhost TCP coordinator plus N (default 2) in-process workers, every
+//! unit travelling the full wire path — the smoke proof that distributed
+//! and in-process execution print byte-identical stdout.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -86,12 +92,25 @@ fn main() {
     let mut quiet = false;
     let mut cache_flag: Option<String> = None;
     let mut resume_flag: Option<String> = None;
+    let mut distributed: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "paper" => profile = EffortProfile::Paper,
             "smoke" => profile = EffortProfile::Smoke,
             "--quiet" => quiet = true,
+            "--distributed" => {
+                // Optional worker count (default 2).
+                distributed = Some(
+                    match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                        Some(n) if n > 0 => {
+                            i += 1;
+                            n
+                        }
+                        _ => 2,
+                    },
+                );
+            }
             "--cache" => {
                 cache_flag = Some(flag_value(&args, i, "--cache", "a directory"));
                 i += 1;
@@ -117,7 +136,8 @@ fn main() {
             other => {
                 eprintln!(
                     "error: unknown argument `{other}` \
-                     (smoke|paper [--jobs N] [--quiet] [--cache <dir>] [--resume <journal>])"
+                     (smoke|paper [--jobs N] [--quiet] [--cache <dir>] [--resume <journal>] \
+                     [--distributed [N]])"
                 );
                 std::process::exit(2);
             }
@@ -197,8 +217,16 @@ fn main() {
         config.prefilled = std::mem::take(&mut plan.prefilled);
         config.journal = Some(&mut plan.writer);
     }
-    let (results, stats) =
-        campaigns::run_configured(&units, config, &mut progress).expect("campaign run");
+    let (results, stats) = match distributed {
+        Some(workers) => {
+            if !quiet {
+                eprintln!("distributed: localhost coordinator + {workers} TCP worker(s)");
+            }
+            campaigns::run_configured_distributed(&units, config, &mut progress, workers)
+                .expect("distributed campaign run")
+        }
+        None => campaigns::run_configured(&units, config, &mut progress).expect("campaign run"),
+    };
     if !quiet && (cache.is_some() || plan.is_some()) {
         eprintln!(
             "units: {} evaluated, {} cache hit(s), {} journaled",

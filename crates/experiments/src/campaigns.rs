@@ -79,6 +79,35 @@ pub fn run_configured(
     Ok((results, stats))
 }
 
+/// [`run_configured`] through a localhost coordinator plus `workers`
+/// in-process TCP workers instead of the thread pool — the `reproduce
+/// --distributed` smoke path. Every unit travels the full network path
+/// (canonical unit encoding out, verified result bytes back), and the
+/// assembled reports are byte-identical to the in-process run.
+///
+/// # Errors
+///
+/// Propagates transport failures, hard unit errors and journal-append
+/// failures.
+pub fn run_configured_distributed(
+    units: &[Unit],
+    mut config: RunConfig<'_>,
+    sink: &mut dyn Sink,
+    workers: usize,
+) -> Result<(Vec<UnitResult>, RunStats), CampaignError> {
+    config.need_payloads = true;
+    let outcome = sea_dist::run_distributed_local(units, config, workers, sink)?;
+    let stats = RunStats {
+        executed: outcome.executed,
+        cache_hits: outcome.cache_hits,
+        resumed: outcome.resumed,
+    };
+    let results = outcome
+        .into_results()
+        .expect("need_payloads guarantees full results");
+    Ok((results, stats))
+}
+
 /// Concatenates per-driver unit lists into one flat, reindexed list,
 /// returning the slice range each driver's results occupy. Feed the merged
 /// list to one pool, then hand `&results[range]` back to each driver's

@@ -16,6 +16,12 @@
 //!                   --policy none|reexec:<coverage>|ckpt:<coverage>:<interval>:<save>
 //! sea-dse campaign  --spec <file> | --builtin <name> | --list-builtin
 //!                   [--jobs N] [--format human|csv|jsonl] [--budget fast|smoke|paper|thorough]
+//! sea-dse serve     --spec <file> | --builtin <name>  --listen <addr:port>
+//!                   [--format ...] [--budget ...] [--resume <journal>]
+//!                   [--cache <dir>] [--timeout <secs>]
+//! sea-dse worker    --connect <addr:port> [--jobs N] [--cache <dir>] [--retry <secs>]
+//! sea-dse cache     stats|verify|prune [--dir <dir>] [--max-age-days D]
+//!                   [--max-size-mib M] [--delete-corrupt]
 //! ```
 //!
 //! Application specs (`mpeg2`, `fig8`, `random:<tasks>[:<seed>]`) parse
@@ -50,8 +56,82 @@ pub enum Command {
     Recovery(RecoveryArgs),
     /// Run (or list) declarative multi-scenario campaigns.
     Campaign(CampaignArgs),
+    /// Coordinate a campaign over TCP: fan units to connecting workers.
+    Serve(ServeArgs),
+    /// Serve a coordinator as a worker: evaluate dispatched units.
+    Worker(WorkerArgs),
+    /// Maintain a result-cache directory (stats, verify, prune).
+    CacheCmd(CacheArgs),
     /// Print usage.
     Help,
+}
+
+/// `serve` command arguments: a campaign source plus the listen address
+/// and the same report/persistence flags as `campaign`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Path to a campaign spec file (`--spec`).
+    pub spec_path: Option<String>,
+    /// Name of a built-in campaign (`--builtin`).
+    pub builtin: Option<String>,
+    /// TCP listen address (`--listen`, e.g. `127.0.0.1:7411`; port 0
+    /// binds an ephemeral port, printed to stderr).
+    pub listen: String,
+    /// Final-report format.
+    pub format: OutputFormat,
+    /// Overrides the campaign's budget.
+    pub budget: Option<BudgetSpec>,
+    /// Write-ahead journal path (`--resume`), exactly as on `campaign`.
+    pub resume: Option<String>,
+    /// Result-cache directory (`--cache`/`SEA_CACHE`), probed
+    /// coordinator-side before dispatch.
+    pub cache_dir: Option<String>,
+    /// Heartbeat timeout in seconds (`--timeout`): a worker holding a
+    /// unit silent this long is presumed dead and its unit re-queued.
+    pub timeout_s: u64,
+}
+
+/// `worker` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerArgs {
+    /// Coordinator address (`--connect`, e.g. `127.0.0.1:7411`).
+    pub connect: String,
+    /// Worker threads for each unit's own scaling enumeration (`--jobs`;
+    /// results are identical for every value).
+    pub jobs: Option<usize>,
+    /// Worker-side result cache (`--cache`/`SEA_CACHE`).
+    pub cache_dir: Option<String>,
+    /// Keep retrying the initial connect for this many seconds
+    /// (`--retry`; workers often start before their coordinator).
+    pub retry_s: u64,
+}
+
+/// `cache` maintenance actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Entry/byte/kind counts.
+    Stats,
+    /// Re-checksum every entry; report (and optionally delete) corrupt
+    /// ones.
+    Verify,
+    /// Delete entries by age and/or total size.
+    Prune,
+}
+
+/// `cache` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheArgs {
+    /// What to do.
+    pub action: CacheAction,
+    /// Cache directory (`--dir`; falls back to `SEA_CACHE`).
+    pub dir: Option<String>,
+    /// `prune`: delete entries older than this many days (`--max-age-days`).
+    pub max_age_days: Option<f64>,
+    /// `prune`: delete oldest entries until at most this many MiB remain
+    /// (`--max-size-mib`).
+    pub max_size_mib: Option<u64>,
+    /// `verify`: delete entries that fail validation (`--delete-corrupt`).
+    pub delete_corrupt: bool,
 }
 
 /// Campaign command arguments.
@@ -254,6 +334,13 @@ USAGE:
                     [--jobs <N>] [--format human|csv|jsonl]
                     [--budget fast|smoke|paper|thorough]
                     [--resume <journal>] [--cache <dir>]
+  sea-dse serve     --spec <file> | --builtin <name>  --listen <addr:port>
+                    [--format ...] [--budget ...] [--resume <journal>]
+                    [--cache <dir>] [--timeout <secs>]
+  sea-dse worker    --connect <addr:port> [--jobs <N>] [--cache <dir>]
+                    [--retry <secs>]
+  sea-dse cache     stats|verify|prune [--dir <dir>] [--max-age-days <D>]
+                    [--max-size-mib <M>] [--delete-corrupt]
   sea-dse help
 
 APP SPECS: mpeg2 | fig8 | random:<tasks>[:<seed>]
@@ -281,7 +368,17 @@ RESUME:    --resume <journal> write-ahead journals every completed unit
 CACHE:     --cache <dir> (or the SEA_CACHE env var) keeps a
            content-addressed result cache keyed by each unit's stable
            hash; warm re-runs and overlapping campaigns skip evaluation.
-           Without either, no cache I/O happens at all.
+           Without either, no cache I/O happens at all. `sea-dse cache`
+           maintains such a directory: stats, checksum verification,
+           pruning by age/size.
+DIST:      `serve` expands a campaign and fans units to TCP workers
+           (`worker --connect`); results are verified against each
+           unit's content hash and merged in enumeration order, so the
+           stdout report is byte-identical to a local `campaign` run for
+           any worker count, join/leave order or mid-run worker kill.
+           --resume and --cache work across the network boundary (the
+           cache is probed coordinator-side before dispatch). See README
+           \"Distributed campaigns\" for the frame-protocol spec.
 ";
 
 /// Parses a full argument vector (without the program name).
@@ -310,6 +407,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "sweep" => Ok(Command::Sweep(parse_sweep(rest)?)),
         "generate" => Ok(Command::Generate(parse_generate(rest)?)),
         "campaign" => Ok(Command::Campaign(parse_campaign_cmd(rest)?)),
+        "serve" => Ok(Command::Serve(parse_serve_cmd(rest)?)),
+        "worker" => Ok(Command::Worker(parse_worker_cmd(rest)?)),
+        "cache" => Ok(Command::CacheCmd(parse_cache_cmd(rest)?)),
         "recovery" => {
             let policy = match get_flag(rest, "--policy")? {
                 Some(p) => parse_policy(&p)?,
@@ -539,28 +639,20 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
     // Campaign output is flag-selected and consumed by scripts, so a
     // misspelled flag must fail loudly instead of silently falling back
     // to a default format/budget.
-    let value_flags = [
-        "--spec",
-        "--builtin",
-        "--jobs",
-        "--format",
-        "--budget",
-        "--resume",
-        "--cache",
-    ];
-    let mut i = 0;
-    while i < args.len() {
-        let arg = args[i].as_str();
-        if value_flags.contains(&arg) {
-            i += 2;
-        } else if arg == "--list-builtin" {
-            i += 1;
-        } else {
-            return Err(CliError(format!(
-                "unknown campaign flag `{arg}` (--spec|--builtin|--list-builtin|--jobs|--format|--budget|--resume|--cache)"
-            )));
-        }
-    }
+    reject_unknown_flags(
+        args,
+        &[
+            "--spec",
+            "--builtin",
+            "--jobs",
+            "--format",
+            "--budget",
+            "--resume",
+            "--cache",
+        ],
+        &["--list-builtin"],
+        "--spec|--builtin|--list-builtin|--jobs|--format|--budget|--resume|--cache",
+    )?;
     let spec_path = get_flag(args, "--spec")?;
     let builtin = get_flag(args, "--builtin")?;
     let list_builtin = has_switch(args, "--list-builtin");
@@ -582,24 +674,8 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
             Some(j)
         }
     };
-    let format = match get_flag(args, "--format")?.as_deref() {
-        None | Some("human") => OutputFormat::Human,
-        Some("csv") => OutputFormat::Csv,
-        Some("jsonl") => OutputFormat::Jsonl,
-        Some(other) => {
-            return Err(CliError(format!(
-                "unknown --format `{other}` (human|csv|jsonl)"
-            )));
-        }
-    };
-    let budget = match get_flag(args, "--budget")? {
-        None => None,
-        Some(b) => Some(BudgetSpec::parse(&b).map_err(|_| {
-            CliError(format!(
-                "unknown --budget `{b}` (fast|smoke|paper|thorough)"
-            ))
-        })?),
-    };
+    let format = parse_format(args)?;
+    let budget = parse_budget_flag(args)?;
     let resume = get_flag(args, "--resume")?;
     let cache_dir = get_flag(args, "--cache")?;
     if list_builtin && (resume.is_some() || cache_dir.is_some()) {
@@ -617,6 +693,211 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
         resume,
         cache_dir,
     })
+}
+
+/// Rejects unknown flags: `args` may only contain the given value flags
+/// (each followed by a value) and switches.
+fn reject_unknown_flags(
+    args: &[String],
+    value_flags: &[&str],
+    switches: &[&str],
+    usage: &str,
+) -> Result<(), CliError> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if value_flags.contains(&arg) {
+            i += 2;
+        } else if switches.contains(&arg) {
+            i += 1;
+        } else {
+            return Err(CliError(format!("unknown flag `{arg}` ({usage})")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_serve_cmd(args: &[String]) -> Result<ServeArgs, CliError> {
+    reject_unknown_flags(
+        args,
+        &[
+            "--spec",
+            "--builtin",
+            "--listen",
+            "--format",
+            "--budget",
+            "--resume",
+            "--cache",
+            "--timeout",
+        ],
+        &[],
+        "--spec|--builtin|--listen|--format|--budget|--resume|--cache|--timeout",
+    )?;
+    let spec_path = get_flag(args, "--spec")?;
+    let builtin = get_flag(args, "--builtin")?;
+    if usize::from(spec_path.is_some()) + usize::from(builtin.is_some()) != 1 {
+        return Err(CliError(
+            "serve needs exactly one of --spec <file>, --builtin <name>".into(),
+        ));
+    }
+    let Some(listen) = get_flag(args, "--listen")? else {
+        return Err(CliError(
+            "serve needs --listen <addr:port> (e.g. 127.0.0.1:7411; port 0 = ephemeral)".into(),
+        ));
+    };
+    let format = parse_format(args)?;
+    let budget = parse_budget_flag(args)?;
+    let timeout_s = match get_flag(args, "--timeout")? {
+        Some(t) => {
+            let t: u64 = parse_num(&t, "timeout seconds")?;
+            // Workers heartbeat every 2 s while evaluating; a timeout at
+            // or below that would kill every healthy worker on its first
+            // unit and live-lock the campaign.
+            if t < 5 {
+                return Err(CliError(
+                    "--timeout must be at least 5 seconds (workers heartbeat every 2 s)".into(),
+                ));
+            }
+            t
+        }
+        None => 30,
+    };
+    Ok(ServeArgs {
+        spec_path,
+        builtin,
+        listen,
+        format,
+        budget,
+        resume: get_flag(args, "--resume")?,
+        cache_dir: get_flag(args, "--cache")?,
+        timeout_s,
+    })
+}
+
+fn parse_worker_cmd(args: &[String]) -> Result<WorkerArgs, CliError> {
+    reject_unknown_flags(
+        args,
+        &["--connect", "--jobs", "--cache", "--retry"],
+        &[],
+        "--connect|--jobs|--cache|--retry",
+    )?;
+    let Some(connect) = get_flag(args, "--connect")? else {
+        return Err(CliError("worker needs --connect <addr:port>".into()));
+    };
+    let jobs = match get_flag(args, "--jobs")? {
+        None => None,
+        Some(j) => {
+            let j: usize = parse_num(&j, "job count")?;
+            if j == 0 {
+                return Err(CliError("--jobs must be at least 1".into()));
+            }
+            Some(j)
+        }
+    };
+    let retry_s = match get_flag(args, "--retry")? {
+        Some(r) => parse_num(&r, "retry seconds")?,
+        None => 10,
+    };
+    Ok(WorkerArgs {
+        connect,
+        jobs,
+        cache_dir: get_flag(args, "--cache")?,
+        retry_s,
+    })
+}
+
+fn parse_cache_cmd(args: &[String]) -> Result<CacheArgs, CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(CliError("cache needs an action: stats|verify|prune".into()));
+    };
+    let action = match action.as_str() {
+        "stats" => CacheAction::Stats,
+        "verify" => CacheAction::Verify,
+        "prune" => CacheAction::Prune,
+        other => {
+            return Err(CliError(format!(
+                "unknown cache action `{other}` (stats|verify|prune)"
+            )))
+        }
+    };
+    reject_unknown_flags(
+        args,
+        &["--dir", "--max-age-days", "--max-size-mib"],
+        &["--delete-corrupt", action_keyword(action)],
+        "--dir|--max-age-days|--max-size-mib|--delete-corrupt",
+    )?;
+    let max_age_days = match get_flag(rest, "--max-age-days")? {
+        Some(d) => {
+            let d: f64 = parse_num(&d, "age in days")?;
+            if !d.is_finite() || d < 0.0 {
+                return Err(CliError("--max-age-days must be non-negative".into()));
+            }
+            Some(d)
+        }
+        None => None,
+    };
+    let max_size_mib = match get_flag(rest, "--max-size-mib")? {
+        Some(m) => Some(parse_num(&m, "size in MiB")?),
+        None => None,
+    };
+    let delete_corrupt = has_switch(rest, "--delete-corrupt");
+    match action {
+        CacheAction::Prune if max_age_days.is_none() && max_size_mib.is_none() => {
+            return Err(CliError(
+                "prune needs --max-age-days <D> and/or --max-size-mib <M>".into(),
+            ));
+        }
+        CacheAction::Stats | CacheAction::Verify
+            if max_age_days.is_some() || max_size_mib.is_some() =>
+        {
+            return Err(CliError(
+                "--max-age-days/--max-size-mib only apply to `cache prune`".into(),
+            ));
+        }
+        CacheAction::Stats | CacheAction::Prune if delete_corrupt => {
+            return Err(CliError(
+                "--delete-corrupt only applies to `cache verify`".into(),
+            ));
+        }
+        _ => {}
+    }
+    Ok(CacheArgs {
+        action,
+        dir: get_flag(rest, "--dir")?,
+        max_age_days,
+        max_size_mib,
+        delete_corrupt,
+    })
+}
+
+fn action_keyword(action: CacheAction) -> &'static str {
+    match action {
+        CacheAction::Stats => "stats",
+        CacheAction::Verify => "verify",
+        CacheAction::Prune => "prune",
+    }
+}
+
+fn parse_format(args: &[String]) -> Result<OutputFormat, CliError> {
+    match get_flag(args, "--format")?.as_deref() {
+        None | Some("human") => Ok(OutputFormat::Human),
+        Some("csv") => Ok(OutputFormat::Csv),
+        Some("jsonl") => Ok(OutputFormat::Jsonl),
+        Some(other) => Err(CliError(format!(
+            "unknown --format `{other}` (human|csv|jsonl)"
+        ))),
+    }
+}
+
+fn parse_budget_flag(args: &[String]) -> Result<Option<BudgetSpec>, CliError> {
+    match get_flag(args, "--budget")? {
+        None => Ok(None),
+        Some(b) => BudgetSpec::parse(&b).map(Some).map_err(|_| {
+            CliError(format!(
+                "unknown --budget `{b}` (fast|smoke|paper|thorough)"
+            ))
+        }),
+    }
 }
 
 fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
@@ -914,6 +1195,105 @@ mod tests {
         // Listing builtins does not take persistence flags.
         assert!(parse(&argv("campaign --list-builtin --resume a")).is_err());
         assert!(parse(&argv("campaign --list-builtin --cache d")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        let Command::Serve(s) = parse(&argv(
+            "serve --builtin quickstart --listen 127.0.0.1:7411 --format jsonl \
+             --budget smoke --resume j.jsonl --cache /tmp/c --timeout 45",
+        ))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(s.builtin.as_deref(), Some("quickstart"));
+        assert_eq!(s.listen, "127.0.0.1:7411");
+        assert_eq!(s.format, OutputFormat::Jsonl);
+        assert_eq!(s.budget, Some(BudgetSpec::Smoke));
+        assert_eq!(s.resume.as_deref(), Some("j.jsonl"));
+        assert_eq!(s.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(s.timeout_s, 45);
+
+        let Command::Serve(s) = parse(&argv("serve --spec a.toml --listen 0.0.0.0:0")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(s.spec_path.as_deref(), Some("a.toml"));
+        assert_eq!(s.timeout_s, 30, "default timeout");
+        assert_eq!(s.format, OutputFormat::Human);
+
+        // Exactly one campaign source, a listen address, sane timeout.
+        assert!(parse(&argv("serve --listen :0")).is_err());
+        assert!(parse(&argv("serve --spec a --builtin b --listen :0")).is_err());
+        assert!(parse(&argv("serve --builtin quickstart")).is_err());
+        assert!(parse(&argv("serve --builtin q --listen :0 --timeout 0")).is_err());
+        // Below the workers' heartbeat interval = every healthy worker
+        // would be presumed dead.
+        assert!(parse(&argv("serve --builtin q --listen :0 --timeout 2")).is_err());
+        assert!(parse(&argv("serve --builtin q --listen :0 --timeout 5")).is_ok());
+        // Misspelled flags fail loudly; campaign-only flags are rejected.
+        assert!(parse(&argv("serve --builtin q --listen :0 --jobs 2")).is_err());
+        assert!(parse(&argv("serve --builtin q --listen :0 --fromat jsonl")).is_err());
+    }
+
+    #[test]
+    fn parses_worker_command() {
+        let Command::Worker(w) = parse(&argv(
+            "worker --connect 10.0.0.5:7411 --jobs 4 --cache /tmp/c --retry 60",
+        ))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(w.connect, "10.0.0.5:7411");
+        assert_eq!(w.jobs, Some(4));
+        assert_eq!(w.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(w.retry_s, 60);
+
+        let Command::Worker(w) = parse(&argv("worker --connect localhost:7411")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(w.jobs, None);
+        assert_eq!(w.retry_s, 10, "default retry budget");
+
+        assert!(parse(&argv("worker")).is_err());
+        assert!(parse(&argv("worker --connect a:1 --jobs 0")).is_err());
+        assert!(parse(&argv("worker --connect a:1 --listen b:2")).is_err());
+    }
+
+    #[test]
+    fn parses_cache_commands() {
+        let Command::CacheCmd(c) = parse(&argv("cache stats --dir /tmp/c")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.action, CacheAction::Stats);
+        assert_eq!(c.dir.as_deref(), Some("/tmp/c"));
+
+        let Command::CacheCmd(c) = parse(&argv("cache verify --delete-corrupt")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.action, CacheAction::Verify);
+        assert!(c.delete_corrupt);
+        assert_eq!(c.dir, None, "falls back to SEA_CACHE at run time");
+
+        let Command::CacheCmd(c) = parse(&argv(
+            "cache prune --dir d --max-age-days 30 --max-size-mib 512",
+        ))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.action, CacheAction::Prune);
+        assert_eq!(c.max_age_days, Some(30.0));
+        assert_eq!(c.max_size_mib, Some(512));
+
+        assert!(parse(&argv("cache")).is_err());
+        assert!(parse(&argv("cache defrag")).is_err());
+        // Prune needs at least one limit; flags are action-specific.
+        assert!(parse(&argv("cache prune --dir d")).is_err());
+        assert!(parse(&argv("cache stats --max-age-days 3")).is_err());
+        assert!(parse(&argv("cache prune --max-age-days -1")).is_err());
+        assert!(parse(&argv("cache verify --max-size-mib 1")).is_err());
+        assert!(parse(&argv("cache stats --delete-corrupt")).is_err());
+        assert!(parse(&argv("cache stats --frobnicate")).is_err());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   experiments Exp:1–Exp:3 and the random-mapping sweep of Fig. 3.
 //! * [`campaign`] — declarative multi-scenario campaigns: spec grammar,
 //!   deterministic cross-scenario worker pool, streaming result sinks.
+//! * [`dist`] — distributed campaigns over TCP: coordinator, workers,
+//!   and the length-prefixed frame protocol between them.
 //! * [`experiments`] — harnesses regenerating every table and figure,
 //!   defined as campaign unit lists.
 //!
@@ -44,6 +46,7 @@ pub mod cli;
 pub use sea_arch as arch;
 pub use sea_baselines as baselines;
 pub use sea_campaign as campaign;
+pub use sea_dist as dist;
 pub use sea_experiments as experiments;
 pub use sea_opt as opt;
 pub use sea_sched as sched;

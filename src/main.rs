@@ -6,11 +6,12 @@ use std::process::ExitCode;
 use sea_dse::arch::{Architecture, ScalingVector, SerModel};
 use sea_dse::baselines::{BaselineOptimizer, Objective};
 use sea_dse::campaign::{
-    open_journal, run_units_configured, Cache, CsvSink, HumanSink, JsonlSink, RunConfig, Sink,
+    open_journal, run_units_configured, Cache, CsvSink, EntryHealth, HumanSink, JsonlSink,
+    RunConfig, Sink,
 };
 use sea_dse::cli::{
-    self, BaselineObjective, CampaignArgs, Command, DesignArgs, OptimizeArgs, OutputFormat,
-    PolicySpec,
+    self, BaselineObjective, CacheAction, CacheArgs, CampaignArgs, Command, DesignArgs,
+    OptimizeArgs, OutputFormat, PolicySpec, ServeArgs, WorkerArgs,
 };
 use sea_dse::experiments::campaigns as builtin_campaigns;
 use sea_dse::opt::{
@@ -172,6 +173,9 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Campaign(c) => run_campaign(&c),
+        Command::Serve(s) => run_serve(&s),
+        Command::Worker(w) => run_worker_cmd(&w),
+        Command::CacheCmd(c) => run_cache_cmd(&c),
         Command::Recovery(r) => {
             let (app, arch, mapping, scaling) = build_design(&r.design)?;
             let ctx = EvalContext::new(&app, &arch).with_ser(SerModel::calibrated(r.design.ser));
@@ -224,15 +228,14 @@ fn run(cmd: Command) -> Result<(), String> {
     }
 }
 
-fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
-    if c.list_builtin {
-        println!("built-in campaigns (sea-dse campaign --builtin <name>):");
-        for b in builtin_campaigns::builtins() {
-            println!("  {:<12} {}", b.name, b.description);
-        }
-        return Ok(());
-    }
-    let source = match (&c.spec_path, &c.builtin) {
+/// Loads and expands a campaign from `--spec`/`--builtin`, applying a
+/// `--budget` override — shared by `campaign` and `serve`.
+fn load_campaign(
+    spec_path: Option<&str>,
+    builtin: Option<&str>,
+    budget: Option<sea_dse::campaign::BudgetSpec>,
+) -> Result<sea_dse::campaign::Campaign, String> {
+    let source = match (spec_path, builtin) {
         (Some(path), _) => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read campaign spec `{path}`: {e}"))?,
         (None, Some(name)) => match builtin_campaigns::builtin(name) {
@@ -251,12 +254,33 @@ fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
         (None, None) => unreachable!("validated at parse time"),
     };
     let mut campaign = sea_dse::campaign::parse_campaign(&source).map_err(|e| e.to_string())?;
-    if let Some(budget) = c.budget {
+    if let Some(budget) = budget {
         campaign.budget = budget;
         for scenario in &mut campaign.scenarios {
             scenario.budget = None;
         }
     }
+    Ok(campaign)
+}
+
+/// The format-selected sink: progress to stderr, final report to stdout.
+fn make_sink(format: OutputFormat) -> Box<dyn Sink> {
+    match format {
+        OutputFormat::Human => Box::new(HumanSink::new(std::io::stderr(), std::io::stdout())),
+        OutputFormat::Csv => Box::new(CsvSink::new(std::io::stderr(), std::io::stdout())),
+        OutputFormat::Jsonl => Box::new(JsonlSink::new(std::io::stderr(), std::io::stdout())),
+    }
+}
+
+fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
+    if c.list_builtin {
+        println!("built-in campaigns (sea-dse campaign --builtin <name>):");
+        for b in builtin_campaigns::builtins() {
+            println!("  {:<12} {}", b.name, b.description);
+        }
+        return Ok(());
+    }
+    let campaign = load_campaign(c.spec_path.as_deref(), c.builtin.as_deref(), c.budget)?;
     let units = campaign.expand();
     let jobs = c.jobs.unwrap_or_else(sea_dse::opt::default_jobs);
     eprintln!(
@@ -288,11 +312,7 @@ fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
     // Progress streams to stderr in completion order; the final report
     // goes to stdout in enumeration order (byte-identical for any --jobs,
     // any cache state and any resume point).
-    let mut sink: Box<dyn Sink> = match c.format {
-        OutputFormat::Human => Box::new(HumanSink::new(std::io::stderr(), std::io::stdout())),
-        OutputFormat::Csv => Box::new(CsvSink::new(std::io::stderr(), std::io::stdout())),
-        OutputFormat::Jsonl => Box::new(JsonlSink::new(std::io::stderr(), std::io::stdout())),
-    };
+    let mut sink = make_sink(c.format);
     let mut config = RunConfig::new(jobs);
     config.cache = cache.as_ref();
     if let Some(plan) = &mut plan {
@@ -311,6 +331,180 @@ fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
         return Err(format!("writing the campaign report failed: {e}"));
     }
     Ok(())
+}
+
+fn run_serve(s: &ServeArgs) -> Result<(), String> {
+    let campaign = load_campaign(s.spec_path.as_deref(), s.builtin.as_deref(), s.budget)?;
+    let units = campaign.expand();
+    let listener = std::net::TcpListener::bind(&s.listen)
+        .map_err(|e| format!("cannot listen on `{}`: {e}", s.listen))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve the listen address: {e}"))?;
+    // The bound address goes to stderr in a fixed format so scripts can
+    // discover an ephemeral port (`--listen 127.0.0.1:0`).
+    eprintln!(
+        "serve `{}`: {} units, listening on {bound}",
+        campaign.name,
+        units.len()
+    );
+    let cache = Cache::resolve(s.cache_dir.as_deref())
+        .map_err(|e| format!("cannot open the result cache: {e}"))?;
+    let mut plan = match &s.resume {
+        Some(path) => {
+            let plan = open_journal(std::path::Path::new(path), &campaign.name, &units)
+                .map_err(|e| e.to_string())?;
+            if plan.resumed > 0 {
+                eprintln!(
+                    "resume: {} of {} units restored from `{path}`",
+                    plan.resumed,
+                    units.len()
+                );
+            }
+            Some(plan)
+        }
+        None => None,
+    };
+    let mut sink = make_sink(s.format);
+    let mut config = RunConfig::new(1);
+    config.cache = cache.as_ref();
+    if let Some(plan) = &mut plan {
+        config.prefilled = std::mem::take(&mut plan.prefilled);
+        config.journal = Some(&mut plan.writer);
+    }
+    let mut serve_config = sea_dse::dist::ServeConfig::new(config);
+    serve_config.heartbeat_timeout = std::time::Duration::from_secs(s.timeout_s);
+    let outcome = sea_dse::dist::serve_units(&listener, &units, serve_config, sink.as_mut())
+        .map_err(|e| e.to_string())?;
+    if cache.is_some() {
+        eprintln!(
+            "cache: {} hit(s), {} dispatched",
+            outcome.cache_hits, outcome.executed
+        );
+    }
+    if let Some(e) = sink.take_io_error() {
+        return Err(format!("writing the campaign report failed: {e}"));
+    }
+    Ok(())
+}
+
+fn run_worker_cmd(w: &WorkerArgs) -> Result<(), String> {
+    let cache = Cache::resolve(w.cache_dir.as_deref())
+        .map_err(|e| format!("cannot open the result cache: {e}"))?;
+    let config = sea_dse::dist::WorkerConfig {
+        cache: cache.as_ref(),
+        inner_jobs: w.jobs.unwrap_or_else(sea_dse::opt::default_jobs),
+        connect_retry: std::time::Duration::from_secs(w.retry_s),
+        ..sea_dse::dist::WorkerConfig::default()
+    };
+    eprintln!("worker: connecting to {}", w.connect);
+    let report = sea_dse::dist::run_worker(&w.connect, &config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "worker: done — {} unit(s) completed ({} from the local cache)",
+        report.completed, report.cache_hits
+    );
+    Ok(())
+}
+
+fn run_cache_cmd(c: &CacheArgs) -> Result<(), String> {
+    // Maintenance is read/destroy-only: never *create* the directory
+    // (Cache::resolve would), or a typo'd --dir silently reports a
+    // perpetually clean empty cache instead of erroring.
+    let dir = c
+        .dir
+        .clone()
+        .filter(|s| !s.is_empty())
+        .or_else(|| {
+            std::env::var(sea_dse::campaign::CACHE_ENV)
+                .ok()
+                .filter(|s| !s.is_empty())
+        })
+        .ok_or_else(|| "no cache directory: pass --dir <dir> or set SEA_CACHE".to_string())?;
+    if !std::path::Path::new(&dir).is_dir() {
+        return Err(format!("cache directory `{dir}` does not exist"));
+    }
+    let cache =
+        Cache::open(&dir).map_err(|e| format!("cannot open cache directory `{dir}`: {e}"))?;
+    match c.action {
+        CacheAction::Stats => {
+            let survey = cache.survey().map_err(|e| e.to_string())?;
+            let total_bytes: u64 = survey.iter().map(|e| e.bytes).sum();
+            let corrupt = survey
+                .iter()
+                .filter(|e| matches!(e.health, EntryHealth::Corrupt(_)))
+                .count();
+            let mut by_kind: std::collections::BTreeMap<&str, usize> =
+                std::collections::BTreeMap::new();
+            for entry in &survey {
+                if let EntryHealth::Ok { kind } = &entry.health {
+                    *by_kind.entry(kind.as_str()).or_default() += 1;
+                }
+            }
+            println!("cache {}", cache.dir().display());
+            println!("entries:  {}", survey.len());
+            println!("bytes:    {total_bytes}");
+            println!("corrupt:  {corrupt}");
+            for (kind, count) in by_kind {
+                println!("  {kind:<14} {count}");
+            }
+            Ok(())
+        }
+        CacheAction::Verify => {
+            let survey = cache.survey().map_err(|e| e.to_string())?;
+            let mut corrupt = 0usize;
+            for entry in &survey {
+                if let EntryHealth::Corrupt(reason) = &entry.health {
+                    corrupt += 1;
+                    println!("CORRUPT {}: {reason}", entry.path.display());
+                    if c.delete_corrupt {
+                        std::fs::remove_file(&entry.path)
+                            .map_err(|e| format!("cannot delete {}: {e}", entry.path.display()))?;
+                    }
+                }
+            }
+            println!(
+                "verified {} entr{}: {} ok, {corrupt} corrupt{}",
+                survey.len(),
+                if survey.len() == 1 { "y" } else { "ies" },
+                survey.len() - corrupt,
+                if c.delete_corrupt && corrupt > 0 {
+                    " (deleted)"
+                } else {
+                    ""
+                }
+            );
+            // Corrupt entries found-but-kept exit nonzero so scripts notice.
+            if corrupt > 0 && !c.delete_corrupt {
+                return Err(format!(
+                    "{corrupt} corrupt entr{} (re-run with --delete-corrupt to remove)",
+                    if corrupt == 1 { "y" } else { "ies" }
+                ));
+            }
+            Ok(())
+        }
+        CacheAction::Prune => {
+            const DAY: f64 = 86_400.0;
+            // Saturate absurd ages instead of letting from_secs_f64 panic
+            // on out-of-range floats — an enormous --max-age-days simply
+            // prunes nothing.
+            let max_age = c.max_age_days.map(|d| {
+                std::time::Duration::try_from_secs_f64(d * DAY).unwrap_or(std::time::Duration::MAX)
+            });
+            let max_bytes = c.max_size_mib.map(|m| m.saturating_mul(1024 * 1024));
+            let outcome = cache.prune(max_age, max_bytes).map_err(|e| e.to_string())?;
+            println!(
+                "pruned {} of {} entr{}: freed {} bytes, {} entr{} ({} bytes) kept",
+                outcome.deleted,
+                outcome.scanned,
+                if outcome.scanned == 1 { "y" } else { "ies" },
+                outcome.freed_bytes,
+                outcome.kept,
+                if outcome.kept == 1 { "y" } else { "ies" },
+                outcome.kept_bytes
+            );
+            Ok(())
+        }
+    }
 }
 
 fn config_of(a: &OptimizeArgs) -> OptimizerConfig {
