@@ -12,9 +12,10 @@
 //! proposed flow's search ([`sea_opt::optimized`]): moves are drawn by
 //! index from the lazy neighbourhood, applied in place and undone via the
 //! inverse move on rejection, and candidates are evaluated through the
-//! scratch-buffer [`Evaluator`] into `Copy` summaries. The budget-parity
-//! contract therefore keeps comparing mapping *objectives*, not allocator
-//! pressure: both flows pay the same per-candidate cost.
+//! delta-based [`IncrementalEvaluator`] into `Copy` summaries (bitwise
+//! identical to the full path — see the README's "Engine internals"). The
+//! budget-parity contract therefore keeps comparing mapping *objectives*,
+//! not allocator pressure: both flows pay the same per-candidate cost.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,7 +26,7 @@ use sea_opt::clock::{Clock, WallClock};
 use sea_opt::optimized::{apply_counted, move_keeps_all_cores, neighbourhood_len_from_counts};
 use sea_opt::{OptError, SearchBudget};
 use sea_sched::metrics::{EvalContext, EvalSummary, MappingEvaluation};
-use sea_sched::{Evaluator, Mapping};
+use sea_sched::{IncrementalEvaluator, Mapping};
 
 use crate::objectives::Objective;
 
@@ -168,10 +169,10 @@ impl SimulatedAnnealing {
         let n_cores = ctx.arch().n_cores();
         let require_all_cores = ctx.app().graph().len() >= n_cores;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut ev = Evaluator::new(ctx.clone());
+        let mut ev = IncrementalEvaluator::new(ctx.clone());
 
         let mut current = balanced_seed(ctx, n_cores);
-        let mut current_summary = ev.evaluate(&current, scaling)?;
+        let mut current_summary = ev.prime(&current, scaling)?;
         let mut current_score = score_of(&current_summary);
         let mut evaluations = 1usize;
 
@@ -215,7 +216,7 @@ impl SimulatedAnnealing {
             }
             consecutive_skips = 0;
             let inverse = apply_counted(&mut current, &mut counts, mv);
-            let summary = ev.evaluate(&current, scaling)?;
+            let summary = ev.evaluate_move(&current, scaling, mv)?;
             evaluations += 1;
             let score = score_of(&summary);
 
@@ -226,6 +227,7 @@ impl SimulatedAnnealing {
                 rng.gen_range(0.0..1.0f64) < (-delta / temperature.max(1e-12)).exp()
             };
             if accept {
+                ev.accept();
                 current_summary = summary;
                 current_score = score;
                 n_moves = neighbourhood_len_from_counts(n_tasks, &counts);
@@ -238,6 +240,7 @@ impl SimulatedAnnealing {
                     best_score = current_score;
                 }
             } else {
+                ev.reject();
                 apply_counted(&mut current, &mut counts, inverse);
             }
             temperature *= self.config.cooling;

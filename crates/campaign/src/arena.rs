@@ -1,0 +1,171 @@
+//! A tiny bump arena for expansion-time temporaries.
+//!
+//! [`Campaign::expand`](crate::Campaign::expand) walks a multi-axis grid
+//! and needs short-lived scratch collections (the per-iteration seed axis)
+//! at every innermost step. Cloning a `Vec` there puts one allocator
+//! round-trip on every grid point of every campaign; the arena instead
+//! bump-allocates into one backing `Vec` whose capacity survives
+//! [`Arena::reset`], so after the first iteration the expansion loop runs
+//! allocation-free.
+//!
+//! The design is deliberately the safe, handle-based flavour: allocation
+//! returns a [`Span`] (a `Copy` index pair), and [`Arena::get`] turns it
+//! back into a slice. No `unsafe`, no lifetime entanglement with the
+//! arena's mutation — the borrow checker only sees plain index accesses.
+
+/// A handle to a slice previously allocated in an [`Arena`].
+///
+/// Spans are plain index pairs: `Copy`, storable in temporaries, and only
+/// meaningful for the arena (and reset epoch) that issued them. Resolving
+/// a span after [`Arena::reset`] is a logic error the arena catches by
+/// range (panicking like an out-of-bounds index) rather than by returning
+/// stale data silently: `reset` truncates the backing storage, so every
+/// pre-reset span points past the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: usize,
+    len: usize,
+}
+
+impl Span {
+    /// Number of elements the span covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the span covers no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A bump allocator over a single backing `Vec<T>`.
+///
+/// See the [module docs](self) for the intended use.
+#[derive(Debug, Clone, Default)]
+pub struct Arena<T> {
+    storage: Vec<T>,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Arena {
+            storage: Vec::new(),
+        }
+    }
+
+    /// An empty arena with room for `capacity` elements before the first
+    /// grow.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Arena {
+            storage: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Copies `items` into the arena, returning a handle to the copy.
+    pub fn alloc_slice(&mut self, items: &[T]) -> Span
+    where
+        T: Clone,
+    {
+        self.alloc_from(items.iter().cloned())
+    }
+
+    /// Collects an iterator into the arena, returning a handle to the run.
+    pub fn alloc_from(&mut self, items: impl IntoIterator<Item = T>) -> Span {
+        let start = self.storage.len();
+        self.storage.extend(items);
+        Span {
+            start,
+            len: self.storage.len() - start,
+        }
+    }
+
+    /// Resolves a span issued by this arena since the last reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `span` outlived a [`reset`](Self::reset) (its range no
+    /// longer lies inside the storage).
+    #[must_use]
+    pub fn get(&self, span: Span) -> &[T] {
+        &self.storage[span.start..span.start + span.len]
+    }
+
+    /// Discards every allocation while keeping the backing capacity, so
+    /// the next fill cycle is allocation-free up to the high-water mark.
+    pub fn reset(&mut self) {
+        self.storage.clear();
+    }
+
+    /// Elements currently allocated.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// True when nothing is currently allocated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// Capacity of the backing storage (survives [`reset`](Self::reset)).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.storage.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_get_round_trip() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_slice(&[1u64, 2, 3]);
+        let b = arena.alloc_from(4..=5);
+        assert_eq!(arena.get(a), &[1, 2, 3]);
+        assert_eq!(arena.get(b), &[4, 5]);
+        assert_eq!(a.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(arena.len(), 5);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_invalidates_spans() {
+        let mut arena = Arena::with_capacity(8);
+        let span = arena.alloc_slice(&[7u64; 8]);
+        let cap = arena.capacity();
+        arena.reset();
+        assert!(arena.is_empty());
+        assert_eq!(arena.capacity(), cap);
+        // A span from before the reset is out of range, not stale data.
+        assert!(std::panic::catch_unwind(|| arena.get(span).len()).is_err());
+    }
+
+    #[test]
+    fn refill_after_reset_does_not_grow() {
+        let mut arena = Arena::new();
+        arena.alloc_slice(&[0u8; 16]);
+        let cap = arena.capacity();
+        for _ in 0..100 {
+            arena.reset();
+            arena.alloc_slice(&[1u8; 16]);
+        }
+        assert_eq!(arena.capacity(), cap);
+    }
+
+    #[test]
+    fn empty_allocations_are_fine() {
+        let mut arena: Arena<u64> = Arena::new();
+        let span = arena.alloc_slice(&[]);
+        assert!(span.is_empty());
+        assert_eq!(arena.get(span), &[] as &[u64]);
+    }
+}

@@ -37,6 +37,7 @@
 //! assert_eq!(results[0].record.status, "ok");
 //! ```
 
+pub mod arena;
 pub mod cache;
 pub mod hash;
 pub mod journal;
@@ -45,6 +46,7 @@ pub mod sink;
 pub mod spec;
 pub mod unit;
 
+pub use arena::{Arena, Span};
 pub use cache::{
     decode_result, encode_result, validate_entry, Cache, EntryHealth, EntrySurvey, PruneOutcome,
     CACHE_ENV,

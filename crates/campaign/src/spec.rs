@@ -34,6 +34,7 @@ use sea_baselines::Objective;
 use sea_opt::SelectionPolicy;
 use sea_taskgraph::AppSpec;
 
+use crate::arena::Arena;
 use crate::unit::{AppRef, BudgetSpec, Unit, UnitKind};
 use crate::CampaignError;
 
@@ -110,6 +111,9 @@ impl Campaign {
     #[must_use]
     pub fn expand(&self) -> Vec<Unit> {
         let mut units = Vec::new();
+        // Scratch for the innermost seed axis; capacity survives resets,
+        // so the grid walk allocates nothing here after the first point.
+        let mut seed_arena: Arena<u64> = Arena::new();
         for scenario in &self.scenarios {
             let budget = scenario.budget.unwrap_or(self.budget);
             let kinds: Vec<UnitKind> = match &scenario.kind {
@@ -139,10 +143,14 @@ impl Campaign {
                     for &levels in &scenario.levels {
                         for &selection in &scenario.selections {
                             for kind in &kinds {
-                                let seeds = scenario.seeds.clone().unwrap_or_else(|| {
-                                    vec![self.base_seed.wrapping_add(units.len() as u64)]
-                                });
-                                for seed in seeds {
+                                seed_arena.reset();
+                                let seeds = match &scenario.seeds {
+                                    Some(s) => seed_arena.alloc_slice(s),
+                                    None => seed_arena.alloc_from(std::iter::once(
+                                        self.base_seed.wrapping_add(units.len() as u64),
+                                    )),
+                                };
+                                for &seed in seed_arena.get(seeds) {
                                     units.push(Unit {
                                         index: units.len(),
                                         scenario: scenario.name.clone(),

@@ -7,7 +7,8 @@
 //! units in any order on any number of workers while the campaign's final
 //! report stays bitwise identical.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use sea_arch::{Architecture, LevelSet, ScalingVector, SerModel};
 use sea_baselines::{BaselineOptimizer, Objective};
@@ -17,7 +18,7 @@ use sea_opt::{
 use sea_sched::metrics::EvalContext;
 use sea_sched::Mapping;
 use sea_sim::{simulate_design, SimConfig, SimReport};
-use sea_taskgraph::{AppSpec, Application};
+use sea_taskgraph::{AppSpec, Application, TaskGraphSoa};
 
 use crate::CampaignError;
 
@@ -131,12 +132,33 @@ impl AppRef {
 
     /// Materializes the application.
     ///
+    /// Spec-built applications are memoized process-wide by spec string, so
+    /// every unit of a campaign grid sharing a workload receives the *same*
+    /// `Arc<Application>`. Beyond skipping rebuilds, the stable pointer is
+    /// what makes [`TaskGraphSoa::shared`]'s pointer-keyed cache effective
+    /// across units: graph-derived arrays (bottom levels, static schedule
+    /// order, CSR adjacency) are computed once per workload per process,
+    /// not once per unit.
+    ///
     /// # Errors
     ///
     /// Propagates [`AppSpec::build`] failures.
     pub fn build(&self) -> Result<Arc<Application>, CampaignError> {
         match self {
-            AppRef::Spec(s) => Ok(Arc::new(s.build().map_err(CampaignError::App)?)),
+            AppRef::Spec(s) => {
+                static CACHE: OnceLock<Mutex<HashMap<String, Arc<Application>>>> = OnceLock::new();
+                let key = s.to_string();
+                let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+                let mut cache = cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(app) = cache.get(&key) {
+                    return Ok(Arc::clone(app));
+                }
+                let app = Arc::new(s.build().map_err(CampaignError::App)?);
+                cache.insert(key, Arc::clone(&app));
+                Ok(app)
+            }
             AppRef::Inline(app) => Ok(Arc::clone(app)),
         }
     }
@@ -428,7 +450,12 @@ pub fn run_unit_with_jobs(unit: &Unit, inner_jobs: usize) -> Result<UnitResult, 
         UnitKind::Optimize => {
             let optimizer = DesignOptimizer::new(unit.optimizer_config().with_jobs(inner_jobs));
             let result = if inner_jobs <= 1 {
-                optimizer.optimize_unit(&app)
+                // Sequential units share the graph's structure-of-arrays
+                // view across the whole campaign (memoized per
+                // `Arc<Application>` identity, which `AppRef::build` keeps
+                // stable per workload).
+                let soa = TaskGraphSoa::shared(&app);
+                optimizer.optimize_unit_with(&app, &soa)
             } else {
                 optimizer.optimize(&app)
             };

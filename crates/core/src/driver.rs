@@ -30,13 +30,14 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use sea_arch::{Architecture, LevelSet, ScalingVector, SerModel};
 use sea_sched::metrics::{EvalContext, ExposurePolicy, MappingEvaluation};
-use sea_sched::{Evaluator, Mapping};
-use sea_taskgraph::Application;
+use sea_sched::{incremental_default, IncrementalEvaluator, Mapping};
+use sea_taskgraph::{Application, TaskGraphSoa};
 
 use crate::clock::WallClock;
 use crate::initial::initial_sea_mapping;
@@ -116,6 +117,13 @@ pub struct OptimizerConfig {
     /// bitwise identical for every value (see the [module docs](self));
     /// defaults to [`default_jobs`].
     pub jobs: usize,
+    /// Whether the annealer evaluates candidates through the delta-based
+    /// incremental path. Outcomes are bitwise identical either way (the
+    /// incremental evaluator is pinned to the full path in debug builds
+    /// and by CI's `incremental-equivalence` job); disabling trades speed
+    /// for the simpler code path. Defaults to
+    /// [`sea_sched::incremental_default`] (`SEA_INCREMENTAL=0` disables).
+    pub incremental: bool,
 }
 
 impl OptimizerConfig {
@@ -134,6 +142,7 @@ impl OptimizerConfig {
             selection: SelectionPolicy::default(),
             seed: 0x5EA,
             jobs: default_jobs(),
+            incremental: incremental_default(),
         }
     }
 
@@ -165,6 +174,14 @@ impl OptimizerConfig {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables or disables delta-based candidate evaluation
+    /// (non-consuming builder); outcomes are identical either way.
+    #[must_use]
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
         self
     }
 }
@@ -270,9 +287,38 @@ impl DesignOptimizer {
         self.optimize_with_jobs(app, 1)
     }
 
+    /// As [`Self::optimize_unit`], but schedules from a caller-supplied
+    /// structure-of-arrays view instead of rebuilding one. Campaign runners
+    /// that optimize the same [`Application`] under many configurations
+    /// obtain the view once via [`TaskGraphSoa::shared`] and amortize the
+    /// graph traversals (bottom levels, static schedule order) across units.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::optimize`].
+    pub fn optimize_unit_with(
+        &self,
+        app: &Application,
+        soa: &Arc<TaskGraphSoa>,
+    ) -> Result<OptimizationOutcome, OptError> {
+        self.optimize_shared(app, soa, 1)
+    }
+
     fn optimize_with_jobs(
         &self,
         app: &Application,
+        jobs: usize,
+    ) -> Result<OptimizationOutcome, OptError> {
+        // Built once per run; every chunk (on every worker) schedules from
+        // this shared read-only view.
+        let soa = Arc::new(TaskGraphSoa::new(app));
+        self.optimize_shared(app, &soa, jobs)
+    }
+
+    fn optimize_shared(
+        &self,
+        app: &Application,
+        soa: &Arc<TaskGraphSoa>,
         jobs: usize,
     ) -> Result<OptimizationOutcome, OptError> {
         let arch = &self.config.arch;
@@ -284,10 +330,10 @@ impl DesignOptimizer {
 
         let chunk_results: Vec<Result<ChunkOutcome, OptError>> = if jobs == 1 {
             (0..n_chunks)
-                .map(|k| self.explore_chunk(app, &scalings, k))
+                .map(|k| self.explore_chunk(app, soa, &scalings, k))
                 .collect()
         } else {
-            self.explore_parallel(app, &scalings, n_chunks, jobs)
+            self.explore_parallel(app, soa, &scalings, n_chunks, jobs)
         };
 
         // Merge in enumeration order; the fold below then reproduces the
@@ -340,6 +386,7 @@ impl DesignOptimizer {
     fn explore_parallel(
         &self,
         app: &Application,
+        soa: &Arc<TaskGraphSoa>,
         scalings: &[ScalingVector],
         n_chunks: usize,
         jobs: usize,
@@ -357,7 +404,7 @@ impl DesignOptimizer {
                     if k >= n_chunks {
                         break;
                     }
-                    let result = self.explore_chunk(app, scalings, k);
+                    let result = self.explore_chunk(app, soa, scalings, k);
                     if tx.send((k, result)).is_err() {
                         break;
                     }
@@ -375,7 +422,8 @@ impl DesignOptimizer {
     }
 
     /// Explores chunk `chunk_index` of the enumeration sequentially with
-    /// one scratch [`Evaluator`]. The continuation warm start — the Γ
+    /// one delta-based [`IncrementalEvaluator`]. The continuation warm
+    /// start — the Γ
     /// landscape changes smoothly between neighbouring scalings, so each
     /// search also considers the previous scaling's winner and starts from
     /// whichever of {greedy SEA seed, previous winner} scores better —
@@ -384,13 +432,15 @@ impl DesignOptimizer {
     fn explore_chunk(
         &self,
         app: &Application,
+        soa: &Arc<TaskGraphSoa>,
         scalings: &[ScalingVector],
         chunk_index: usize,
     ) -> Result<ChunkOutcome, OptError> {
         let ctx = EvalContext::new(app, &self.config.arch)
             .with_ser(self.config.ser)
             .with_exposure(self.config.exposure);
-        let mut ev = Evaluator::new(ctx);
+        let mut ev = IncrementalEvaluator::with_soa(ctx, Arc::clone(soa))
+            .with_enabled(self.config.incremental);
         let mut warm: Option<Mapping> = None;
         let mut outcomes = Vec::with_capacity(SCALING_CHUNK);
         let mut extra_evaluations = 0usize;
@@ -402,11 +452,11 @@ impl DesignOptimizer {
             .take(SCALING_CHUNK)
         {
             let initial = initial_sea_mapping(ev.ctx(), scaling)?;
-            let init_summary = ev.evaluate(&initial, scaling)?;
+            let init_summary = ev.evaluate_fresh(&initial, scaling)?;
             let (start, start_summary) = match &warm {
                 None => (initial, init_summary),
                 Some(w) => {
-                    let warm_summary = ev.evaluate(w, scaling)?;
+                    let warm_summary = ev.evaluate_fresh(w, scaling)?;
                     // The losing start's evaluation is charged here; the
                     // winner's is charged inside the search.
                     extra_evaluations += 1;

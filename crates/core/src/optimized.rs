@@ -34,11 +34,14 @@
 //! move in place and undone via the inverse [`Move`] when rejected
 //! (never by cloning the mapping), moves are drawn by index through
 //! [`Mapping::nth_neighbourhood_move`] (never by materializing a
-//! `Vec<Move>`), evaluation goes through the scratch-buffer
-//! [`Evaluator`], and scores travel as the `Copy` [`EvalSummary`]. Its
-//! decision sequence — RNG draws, acceptance tests, best tracking — is
-//! identical to the original clone-per-candidate implementation, so it
-//! returns the same design for the same seed, just faster.
+//! `Vec<Move>`), evaluation goes through the delta-based
+//! [`IncrementalEvaluator`] (accepting a move commits its cached
+//! schedule; rejecting discards it), and scores travel as the `Copy`
+//! [`EvalSummary`]. Its decision sequence — RNG draws, acceptance tests,
+//! best tracking — is identical to the original clone-per-candidate
+//! implementation, so it returns the same design for the same seed, just
+//! faster; `SEA_INCREMENTAL=0` routes evaluation through the full
+//! scratch path for end-to-end diffing.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,7 +49,7 @@ use serde::{Deserialize, Serialize};
 
 use sea_arch::ScalingVector;
 use sea_sched::metrics::{EvalContext, EvalSummary, MappingEvaluation};
-use sea_sched::{Evaluator, Mapping, Move};
+use sea_sched::{IncrementalEvaluator, Mapping, Move};
 
 use crate::clock::{Clock, WallClock};
 use crate::OptError;
@@ -139,7 +142,7 @@ pub struct SearchOutcome {
 /// Runs the Fig. 7 neighbourhood search from `initial`.
 ///
 /// Convenience wrapper over [`optimized_mapping_scratch`] that builds a
-/// one-shot [`Evaluator`] and uses the real [`WallClock`].
+/// one-shot [`IncrementalEvaluator`] and uses the real [`WallClock`].
 ///
 /// # Errors
 ///
@@ -151,8 +154,8 @@ pub fn optimized_mapping(
     budget: SearchBudget,
     seed: u64,
 ) -> Result<SearchOutcome, OptError> {
-    let mut ev = Evaluator::new(ctx.clone());
-    let initial_summary = ev.evaluate(&initial, scaling)?;
+    let mut ev = IncrementalEvaluator::new(ctx.clone());
+    let initial_summary = ev.evaluate_fresh(&initial, scaling)?;
     optimized_mapping_scratch(
         &mut ev,
         scaling,
@@ -180,7 +183,7 @@ pub fn optimized_mapping_from(
     budget: SearchBudget,
     seed: u64,
 ) -> Result<SearchOutcome, OptError> {
-    let mut ev = Evaluator::new(ctx.clone());
+    let mut ev = IncrementalEvaluator::new(ctx.clone());
     optimized_mapping_scratch(
         &mut ev,
         scaling,
@@ -193,17 +196,18 @@ pub fn optimized_mapping_from(
 }
 
 /// The allocation-free search engine (see the module docs). `ev` supplies
-/// the reusable scratch buffers and is typically shared across the
-/// scalings of one enumeration chunk; `initial_summary` must be
-/// `ev.evaluate(&initial, scaling)` (it is reused, not recomputed, and
-/// counts as the one initial evaluation).
+/// the reusable scratch buffers and committed-schedule cache and is
+/// typically shared across the scalings of one enumeration chunk;
+/// `initial_summary` must be an evaluation of `initial` under `scaling`
+/// (it counts as the one initial evaluation; the priming pass that seeds
+/// the incremental cache is off-budget and bitwise-identical to it).
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors ([`OptError::Sched`]).
 #[allow(clippy::too_many_arguments)]
 pub fn optimized_mapping_scratch(
-    ev: &mut Evaluator<'_>,
+    ev: &mut IncrementalEvaluator<'_>,
     scaling: &ScalingVector,
     initial: Mapping,
     initial_summary: EvalSummary,
@@ -217,6 +221,14 @@ pub fn optimized_mapping_scratch(
     let mut evaluations = 1usize; // the initial evaluation
 
     let mut current = initial;
+    // Seed the incremental cache with the starting design; the primed
+    // summary is bitwise-identical to `initial_summary`, so reusing the
+    // caller's value keeps the decision sequence byte-for-byte stable.
+    let primed = ev.prime(&current, scaling)?;
+    debug_assert!(
+        sea_sched::summaries_bitwise_eq(&primed, &initial_summary),
+        "caller-supplied initial summary diverges from the evaluator: {initial_summary:?} vs {primed:?}"
+    );
     let mut current_summary = initial_summary;
 
     // `best` tracks the incumbent under the search ordering: feasible
@@ -279,7 +291,7 @@ pub fn optimized_mapping_scratch(
         }
         consecutive_skips = 0;
         let inverse = apply_counted(&mut current, &mut counts, mv);
-        let summary = ev.evaluate(&current, scaling)?;
+        let summary = ev.evaluate_move(&current, scaling, mv)?;
         evaluations += 1;
         let score = penalized_gamma(&summary, deadline);
 
@@ -290,6 +302,7 @@ pub fn optimized_mapping_scratch(
             rng.gen_range(0.0..1.0f64) < (-delta / temperature.max(1e-12)).exp()
         };
         if accept {
+            ev.accept();
             current_summary = summary;
             current_score = score;
             n_moves = neighbourhood_len_from_counts(n_tasks, &counts);
@@ -302,6 +315,7 @@ pub fn optimized_mapping_scratch(
                 since_best += 1;
             }
         } else {
+            ev.reject();
             apply_counted(&mut current, &mut counts, inverse);
             if temperature <= cold {
                 since_best += 1;
@@ -515,11 +529,11 @@ mod tests {
         let ctx = EvalContext::new(&app, &arch);
         let s1 = ScalingVector::try_new(vec![2, 2, 3, 2], &arch).unwrap();
         let s2 = ScalingVector::try_new(vec![1, 1, 2, 2], &arch).unwrap();
-        let mut shared = Evaluator::new(ctx.clone());
+        let mut shared = IncrementalEvaluator::new(ctx.clone());
         let clock = WallClock::start();
         let mut run_shared = |s: &ScalingVector, seed| {
             let initial = initial_sea_mapping(&ctx, s).unwrap();
-            let summary = shared.evaluate(&initial, s).unwrap();
+            let summary = shared.evaluate_fresh(&initial, s).unwrap();
             optimized_mapping_scratch(
                 &mut shared,
                 s,
@@ -579,8 +593,8 @@ mod tests {
         };
         let run = || {
             let initial = initial_sea_mapping(&ctx, &s).unwrap();
-            let mut ev = Evaluator::new(ctx.clone());
-            let summary = ev.evaluate(&initial, &s).unwrap();
+            let mut ev = IncrementalEvaluator::new(ctx.clone());
+            let summary = ev.evaluate_fresh(&initial, &s).unwrap();
             let clock = StepClock::new(step);
             optimized_mapping_scratch(&mut ev, &s, initial, summary, budget, 5, &clock).unwrap()
         };

@@ -144,7 +144,9 @@ fn main() {
         }
         i += 1;
     }
-    println!("profile: {profile:?}, jobs: {}\n", sea_opt::default_jobs());
+    // Run metadata goes to stderr (house rule: progress/metadata on stderr,
+    // report on stdout) so the report bytes are identical for every --jobs.
+    eprintln!("profile: {profile:?}, jobs: {}\n", sea_opt::default_jobs());
     let t0 = Instant::now();
 
     // Fig. 3 — mapping study (pure evaluation sweep; runs inline).

@@ -17,10 +17,12 @@
 //! allocating path would. [`Evaluator::evaluate_full`] produces the full
 //! per-core breakdown (off the hot path, e.g. for the returned best design).
 
+use std::sync::Arc;
+
 use sea_arch::power::{dynamic_power_w, watts_to_mw, CoreActivity};
 use sea_arch::ScalingVector;
-use sea_taskgraph::units::{Bits, Cycles};
-use sea_taskgraph::ExecutionMode;
+use sea_taskgraph::units::Bits;
+use sea_taskgraph::{ExecutionMode, TaskGraphSoa};
 
 use crate::mapping::Mapping;
 use crate::metrics::{core_scalars, EvalContext, EvalSummary, MappingEvaluation};
@@ -29,14 +31,16 @@ use crate::SchedError;
 
 /// Reusable evaluation engine for one `(application, architecture)` pair.
 ///
-/// Construction allocates the scratch buffers; every subsequent
-/// [`Evaluator::evaluate`] reuses them. The evaluator is cheap enough to
-/// create per worker thread — each thread of a parallel search owns one.
+/// Construction sizes every scratch buffer from the application and
+/// architecture shapes, so even the **first** [`Evaluator::evaluate`]
+/// performs no heap allocation. The evaluator is cheap enough to create
+/// per worker thread — each thread of a parallel search owns one.
 #[derive(Debug, Clone)]
 pub struct Evaluator<'a> {
     ctx: EvalContext<'a>,
-    /// Downstream critical paths, fixed for the application's graph.
-    bottom_levels: Vec<Cycles>,
+    /// Structure-of-arrays graph view (bottom levels, CSR adjacency and
+    /// the static schedule order), fixed for the application.
+    soa: Arc<TaskGraphSoa>,
     sched: ScheduleScratch,
     /// Register-block occupancy mask, reset per core per evaluation.
     block_mask: Vec<bool>,
@@ -44,17 +48,31 @@ pub struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator around a context, pre-computing the graph's
-    /// bottom levels and sizing the scratch buffers.
+    /// Creates an evaluator around a context, building the graph's
+    /// structure-of-arrays view and sizing the scratch buffers.
     #[must_use]
     pub fn new(ctx: EvalContext<'a>) -> Self {
-        let bottom_levels = ctx.app().graph().bottom_levels();
+        let soa = Arc::new(TaskGraphSoa::new(ctx.app()));
+        Self::with_soa(ctx, soa)
+    }
+
+    /// Creates an evaluator around a pre-built (typically
+    /// [`TaskGraphSoa::shared`]-memoized) graph view, skipping the
+    /// per-evaluator rebuild when many workers share one application.
+    #[must_use]
+    pub fn with_soa(ctx: EvalContext<'a>, soa: Arc<TaskGraphSoa>) -> Self {
+        debug_assert_eq!(
+            soa.len(),
+            ctx.app().graph().len(),
+            "SoA/application mismatch"
+        );
         let n_blocks = ctx.app().registers().blocks().len();
         let n_cores = ctx.arch().n_cores();
+        let sched = ScheduleScratch::with_shapes(soa.len(), n_cores);
         Evaluator {
             ctx,
-            bottom_levels,
-            sched: ScheduleScratch::default(),
+            soa,
+            sched,
             block_mask: vec![false; n_blocks],
             activities: Vec::with_capacity(n_cores),
         }
@@ -64,6 +82,12 @@ impl<'a> Evaluator<'a> {
     #[must_use]
     pub fn ctx(&self) -> &EvalContext<'a> {
         &self.ctx
+    }
+
+    /// The structure-of-arrays graph view this evaluator schedules from.
+    #[must_use]
+    pub fn soa(&self) -> &Arc<TaskGraphSoa> {
+        &self.soa
     }
 
     /// Evaluates a design point into a [`EvalSummary`] without steady-state
@@ -86,15 +110,8 @@ impl<'a> Evaluator<'a> {
 
         let iterations = app.mode().iterations();
         let scale = 1.0 / f64::from(iterations);
-        let fill_makespan = schedule_one_pass_into(
-            app,
-            arch,
-            mapping,
-            scaling,
-            scale,
-            &self.bottom_levels,
-            &mut self.sched,
-        );
+        let fill_makespan =
+            schedule_one_pass_into(arch, mapping, scaling, scale, &self.soa, &mut self.sched);
         // Mirror `list_schedule`'s pipelined adjustment: throughput is
         // bounded by the busiest core, and whole-run busy time scales with
         // the iteration count.

@@ -1,0 +1,1128 @@
+//! Delta evaluation: incremental list scheduling for single-move searches.
+//!
+//! The annealer's hot loop perturbs one accepted mapping by a single
+//! [`Move`] — relocate one task or swap two — evaluates the neighbour, and
+//! accepts or rejects. The full [`Evaluator`] re-schedules every task for
+//! every candidate; [`IncrementalEvaluator`] instead caches the last
+//! *accepted* schedule (per-task placements, per-core lanes and busy
+//! times, per-core register unions) and replays only what a move can
+//! invalidate.
+//!
+//! # What a `Move` may invalidate
+//!
+//! The scheduler visits tasks in the graph's static priority order
+//! ([`TaskGraphSoa::schedule_order`]), which no move can change. A task's
+//! placement depends only on earlier-visited tasks (its predecessors'
+//! finish times and its core's lane state) plus its own core assignment.
+//! Let `p` be the smallest order position among the moved tasks. Every
+//! placement at positions `< p` is therefore *bitwise unchanged*. From
+//! `p` onward the evaluator walks the order tracking the move's *cone of
+//! influence*: a task is re-placed (through the same `place_task`
+//! routine the full pass uses) only if it moved, a predecessor's
+//! placement changed, or its core's timeline diverged — everything else
+//! provably keeps its committed placement bit for bit and is skipped.
+//! Core state is reconstructed lazily the first time a re-placement
+//! lands on a core: the lane is the committed lane filtered to
+//! earlier-visited clean tasks (insertion never reorders surviving
+//! entries) and busy is the committed partial-sum snapshot at `p` plus
+//! the clean durations re-added in visit order — the same additions, in
+//! the same order, the full pass performs. Per-core register unions
+//! depend only on the mapping; because block bits are integers, each
+//! union is maintained as block-occupancy counts updated *in place* by
+//! the moved tasks' count transitions (reverted on reject). Per-core
+//! SER rates (`λ`, an `exp` of the operating voltage) depend only on
+//! the scaling, which is fixed across one anneal, and are cached at
+//! [`IncrementalEvaluator::prime`].
+//!
+//! # Fallback rule
+//!
+//! When `p` falls in the first `1/8` of the order ([`fallback_cutoff`]),
+//! the suffix replay covers nearly the whole schedule and the bookkeeping
+//! stops paying; the evaluator recomputes from position 0 instead (still
+//! reusing cached `λ` and unaffected register unions). Both paths execute
+//! identical float operations on identical inputs, so the fallback is a
+//! pure performance decision — results are bitwise identical either way.
+//!
+//! # Determinism cross-check
+//!
+//! Debug builds re-evaluate every candidate through the full
+//! [`Evaluator`] and `debug_assert!` bitwise equality of the summaries,
+//! so any drift between the paths fails the test suite immediately. The
+//! `SEA_INCREMENTAL=0` environment escape hatch
+//! ([`incremental_default`]) routes every call through the full path in
+//! release builds too, which CI uses to diff end-to-end reports.
+
+use std::sync::Arc;
+
+use sea_arch::power::watts_to_mw;
+use sea_arch::{CoreId, ScalingVector, VoltageLevel};
+use sea_taskgraph::units::Bits;
+use sea_taskgraph::{ExecutionMode, RegisterModel, TaskGraphSoa, TaskId};
+
+use crate::evaluator::Evaluator;
+use crate::mapping::{Mapping, Move};
+use crate::metrics::{core_scalars_cached, EvalContext, EvalSummary, MappingEvaluation};
+use crate::schedule::{check_shapes, place_task, ScheduledTask};
+use crate::SchedError;
+
+/// Numerator of the largest suffix fraction worth replaying.
+const FALLBACK_NUM: usize = 7;
+/// Denominator of the largest suffix fraction worth replaying.
+const FALLBACK_DEN: usize = 8;
+
+/// The smallest order position for which a move is evaluated
+/// incrementally: positions below the cutoff would replay more than
+/// `7/8` of the schedule, so the evaluator recomputes from position 0
+/// instead. Exposed so tests can target the boundary exactly.
+#[must_use]
+pub fn fallback_cutoff(n: usize) -> usize {
+    n - n * FALLBACK_NUM / FALLBACK_DEN
+}
+
+/// The process-wide default for incremental evaluation: enabled unless
+/// the `SEA_INCREMENTAL` environment variable is set to `0`.
+#[must_use]
+pub fn incremental_default() -> bool {
+    std::env::var("SEA_INCREMENTAL").map_or(true, |v| v.trim() != "0")
+}
+
+/// True when every field of two summaries is bit-for-bit identical
+/// (`f64` fields compared through `to_bits`, so `-0.0 != 0.0` and NaNs
+/// compare by payload — stricter than `PartialEq`).
+#[must_use]
+pub fn summaries_bitwise_eq(a: &EvalSummary, b: &EvalSummary) -> bool {
+    a.tm_seconds.to_bits() == b.tm_seconds.to_bits()
+        && a.tm_nominal_cycles.to_bits() == b.tm_nominal_cycles.to_bits()
+        && a.meets_deadline == b.meets_deadline
+        && a.power_mw.to_bits() == b.power_mw.to_bits()
+        && a.gamma.to_bits() == b.gamma.to_bits()
+        && a.r_total == b.r_total
+}
+
+/// Counters describing how candidates were evaluated (observability for
+/// benches and the fallback-boundary tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Full evaluations that (re)established the committed cache.
+    pub primes: u64,
+    /// Moves evaluated by suffix replay.
+    pub incremental: u64,
+    /// Moves recomputed from position 0 (blast radius over the
+    /// threshold, or no committed cache for the active scaling).
+    pub fallback: u64,
+    /// Calls delegated verbatim to the full evaluator because
+    /// incremental evaluation is disabled.
+    pub bypassed: u64,
+    /// Tasks actually re-placed across all suffix replays (the cone of
+    /// influence), versus `replay_window`: suffix tasks *visited*. Their
+    /// ratio is the fraction of the replay window the cone covers.
+    pub replayed_tasks: u64,
+    /// Total suffix lengths (visit-order positions from the first moved
+    /// task to the end) across all suffix replays.
+    pub replay_window: u64,
+}
+
+/// One complete cached schedule: everything needed to reconstruct any
+/// prefix of the static visit order without re-placing a task.
+#[derive(Debug, Clone, Default)]
+struct ScheduleCache {
+    /// Per-task finish seconds, indexed by task id.
+    finish: Vec<f64>,
+    /// Per-task duration seconds (computation + inbound comm), indexed
+    /// by task id. Busy times are re-accumulated from these in visit
+    /// order; `finish - start` would round differently.
+    dur: Vec<f64>,
+    /// The mapping this schedule was computed for.
+    core: Vec<CoreId>,
+    /// Per-core busy seconds (fill pass).
+    busy: Vec<f64>,
+    /// Per-core timelines, sorted by start time.
+    lanes: Vec<Vec<ScheduledTask>>,
+}
+
+impl ScheduleCache {
+    fn with_shapes(n_tasks: usize, n_cores: usize) -> Self {
+        ScheduleCache {
+            finish: Vec::with_capacity(n_tasks),
+            dur: Vec::with_capacity(n_tasks),
+            core: Vec::with_capacity(n_tasks),
+            busy: Vec::with_capacity(n_cores),
+            lanes: (0..n_cores).map(|_| Vec::with_capacity(n_tasks)).collect(),
+        }
+    }
+}
+
+/// A full [`Evaluator`] plus the committed-schedule cache that makes
+/// single-move candidates cheap.
+///
+/// The protocol mirrors the annealer's apply/undo loop:
+///
+/// 1. [`IncrementalEvaluator::prime`] evaluates the current design fully
+///    and commits it as the cache base (once per scaling).
+/// 2. [`IncrementalEvaluator::evaluate_move`] evaluates `current + move`
+///    into a candidate buffer without touching the committed base.
+/// 3. [`IncrementalEvaluator::accept`] promotes the candidate to the new
+///    base (two buffer swaps); [`IncrementalEvaluator::reject`] simply
+///    discards it.
+///
+/// When disabled (`SEA_INCREMENTAL=0` or
+/// [`IncrementalEvaluator::with_enabled`]), every call delegates to the
+/// wrapped full evaluator and `accept`/`reject` are no-ops, so callers
+/// keep a single code path.
+#[derive(Debug, Clone)]
+pub struct IncrementalEvaluator<'a> {
+    full: Evaluator<'a>,
+    enabled: bool,
+    /// True when `committed` holds the schedule of the last accepted
+    /// mapping under the cached scaling constants.
+    primed: bool,
+    /// True when `candidate` holds a just-evaluated move.
+    candidate_valid: bool,
+    /// Scaling coefficients the cached constants below were derived from.
+    scaling: Vec<u8>,
+    /// Per-core effective frequency under the cached scaling.
+    freq: Vec<f64>,
+    /// Per-core operating point under the cached scaling.
+    levels: Vec<VoltageLevel>,
+    /// Per-core SER rate `λ(vdd)` — caches the `exp` per scaling.
+    lambdas: Vec<f64>,
+    /// Cost scale for one fill pass (1 / iterations).
+    scale: f64,
+    /// Nominal (level-1) frequency — architecture constant.
+    nominal_f: f64,
+    /// Switched-capacitance load — architecture constant.
+    c_load: f64,
+    /// Register-block count — application constant.
+    n_blocks: usize,
+    /// Per-core register-block union for the counts state below.
+    r_bits: Vec<Bits>,
+    /// `n_cores × n_blocks` row-major occupancy counts: how many tasks on
+    /// each core use each register block. Bits are integers, so a move's
+    /// effect on `r_bits` reduces to count transitions (`1 → 0` removes a
+    /// block's bits, `0 → 1` adds them) — no per-core union rescan.
+    /// Maintained *in place* (the matrix can dwarf the schedule, so a
+    /// copy per candidate would dominate): evaluating a move shifts the
+    /// moved tasks' blocks, rejecting shifts them back, accepting keeps
+    /// them. `pending_shift` tracks which of the two states the matrix
+    /// is in.
+    block_counts: Vec<u32>,
+    /// The move whose block shift is currently applied to `block_counts`
+    /// without having been accepted yet; reverted on reject (or before
+    /// the next candidate, whichever comes first).
+    pending_shift: Option<Move>,
+    committed: ScheduleCache,
+    candidate: ScheduleCache,
+    /// Prefix snapshots of the *committed* schedule, `(n + 1) × n_cores`
+    /// row-major: row `i` is the per-core busy vector before the task at
+    /// order position `i` was placed (row 0 all zeros, row `n` final). A
+    /// replay from position `p` starts from a `memcpy` of row `p` instead
+    /// of re-accumulating `p` durations.
+    busy_at: Vec<f64>,
+    /// Prefix maxima of the committed finish times in visit order:
+    /// `fill_at[i]` is the fold of the first `i` placements' finishes
+    /// (seeded 0.0). Exact because `f64::max` over the positive finish
+    /// values is order-insensitive bit for bit, so the full pass's fold
+    /// over all `n` finishes equals `max(fill_at[p], suffix maxima)`.
+    fill_at: Vec<f64>,
+    /// Per-task dirty flags for the cone-of-influence replay: a task is
+    /// dirty when its placement may differ from the committed one (it
+    /// moved, its core's timeline diverged, or a predecessor's placement
+    /// changed). Non-dirty suffix tasks are *skipped* — their committed
+    /// placements are provably bitwise identical.
+    dirty_task: Vec<bool>,
+    /// Per-core flag: the core's timeline diverged from the committed
+    /// schedule (a moved task left/joined it, or a dirty task was
+    /// re-placed on it), so every later task on it must be re-placed.
+    dirty_cores: Vec<bool>,
+    /// Per-core flag: the candidate lane buffer has been materialized
+    /// for the current candidate. Clean cores skip materialization and
+    /// keep their committed lane (patched up on accept).
+    lane_done: Vec<bool>,
+    /// Scratch: per-core busy excluding dirty tasks, maintained in visit
+    /// order as the replay loop skips clean tasks (seeded from the
+    /// `busy_at` row at the replay start). Materializing a core reads
+    /// its clean busy in O(1) — the partial sums equal a re-accumulation
+    /// of the same durations in the same order, so they are exact.
+    clean_busy: Vec<f64>,
+    /// Order position the last candidate was replayed from.
+    cand_from_pos: usize,
+    stats: IncrementalStats,
+}
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Creates an incremental evaluator around a context, building the
+    /// graph view and pre-sizing every buffer. Enabled per
+    /// [`incremental_default`].
+    #[must_use]
+    pub fn new(ctx: EvalContext<'a>) -> Self {
+        let soa = Arc::new(TaskGraphSoa::new(ctx.app()));
+        Self::with_soa(ctx, soa)
+    }
+
+    /// Creates an incremental evaluator around a pre-built (typically
+    /// [`TaskGraphSoa::shared`]-memoized) graph view.
+    #[must_use]
+    pub fn with_soa(ctx: EvalContext<'a>, soa: Arc<TaskGraphSoa>) -> Self {
+        let n = soa.len();
+        let n_cores = ctx.arch().n_cores();
+        let n_blocks = ctx.app().registers().blocks().len();
+        let nominal_f = ctx.arch().levels().level(1).f_hz;
+        let c_load = ctx.arch().c_load_farads();
+        let full = Evaluator::with_soa(ctx, soa);
+        IncrementalEvaluator {
+            full,
+            enabled: incremental_default(),
+            primed: false,
+            candidate_valid: false,
+            scaling: Vec::with_capacity(n_cores),
+            freq: Vec::with_capacity(n_cores),
+            levels: Vec::with_capacity(n_cores),
+            lambdas: Vec::with_capacity(n_cores),
+            scale: 1.0,
+            nominal_f,
+            c_load,
+            n_blocks,
+            r_bits: vec![Bits::ZERO; n_cores],
+            block_counts: vec![0; n_cores * n_blocks],
+            pending_shift: None,
+            committed: ScheduleCache::with_shapes(n, n_cores),
+            candidate: ScheduleCache::with_shapes(n, n_cores),
+            busy_at: vec![0.0; (n + 1) * n_cores],
+            fill_at: vec![0.0; n + 1],
+            dirty_task: vec![false; n],
+            dirty_cores: vec![false; n_cores],
+            lane_done: vec![false; n_cores],
+            clean_busy: vec![0.0; n_cores],
+            cand_from_pos: 0,
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// Overrides whether moves are evaluated incrementally; disabling
+    /// routes every call through the full evaluator.
+    #[must_use]
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self.primed = false;
+        self.candidate_valid = false;
+        self
+    }
+
+    /// Whether moves are evaluated incrementally.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The wrapped evaluation context.
+    #[must_use]
+    pub fn ctx(&self) -> &EvalContext<'a> {
+        self.full.ctx()
+    }
+
+    /// The structure-of-arrays graph view.
+    #[must_use]
+    pub fn soa(&self) -> &Arc<TaskGraphSoa> {
+        self.full.soa()
+    }
+
+    /// How candidates have been evaluated so far.
+    #[must_use]
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Evaluates a design point through the full evaluator without
+    /// touching the committed cache (for warm-start comparisons and
+    /// other off-loop evaluations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError::ShapeMismatch`] for inconsistent shapes.
+    pub fn evaluate_fresh(
+        &mut self,
+        mapping: &Mapping,
+        scaling: &ScalingVector,
+    ) -> Result<EvalSummary, SchedError> {
+        self.full.evaluate(mapping, scaling)
+    }
+
+    /// Full evaluation with the per-core breakdown (off the hot loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError::ShapeMismatch`] for inconsistent shapes.
+    pub fn evaluate_full(
+        &self,
+        mapping: &Mapping,
+        scaling: &ScalingVector,
+    ) -> Result<MappingEvaluation, SchedError> {
+        self.full.evaluate_full(mapping, scaling)
+    }
+
+    /// Fully evaluates `mapping` under `scaling`, commits the schedule
+    /// as the incremental base and caches the per-scaling constants
+    /// (frequencies, operating points, SER rates). Call once per
+    /// scaling before a run of [`IncrementalEvaluator::evaluate_move`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError::ShapeMismatch`] for inconsistent shapes.
+    pub fn prime(
+        &mut self,
+        mapping: &Mapping,
+        scaling: &ScalingVector,
+    ) -> Result<EvalSummary, SchedError> {
+        if !self.enabled {
+            self.stats.bypassed += 1;
+            return self.full.evaluate(mapping, scaling);
+        }
+        check_shapes(self.ctx().app(), self.ctx().arch(), mapping, scaling)?;
+        self.load_scaling(scaling);
+        let summary = self.compute_candidate(mapping, 0, None);
+        self.candidate.summary_commit_guard();
+        std::mem::swap(&mut self.committed, &mut self.candidate);
+        self.commit_candidate();
+        self.primed = true;
+        self.candidate_valid = false;
+        self.stats.primes += 1;
+        Ok(summary)
+    }
+
+    /// Evaluates `mapping` (= the committed mapping with `mv` applied)
+    /// into the candidate buffer: a suffix replay from the moved tasks'
+    /// first order position, or a threshold fallback from position 0.
+    /// Follow with [`IncrementalEvaluator::accept`] or
+    /// [`IncrementalEvaluator::reject`].
+    ///
+    /// Without a committed base for the active scaling the candidate is
+    /// computed fully (and may still be accepted); callers need not
+    /// track priming themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedError::ShapeMismatch`] for inconsistent shapes.
+    pub fn evaluate_move(
+        &mut self,
+        mapping: &Mapping,
+        scaling: &ScalingVector,
+        mv: Move,
+    ) -> Result<EvalSummary, SchedError> {
+        if !self.enabled {
+            self.stats.bypassed += 1;
+            return self.full.evaluate(mapping, scaling);
+        }
+        let summary = if self.primed && self.scaling == scaling.coefficients() {
+            debug_assert_eq!(mapping.n_tasks(), self.soa().len());
+            let n = self.soa().len();
+            let p = match mv {
+                Move::Relocate { task, .. } => self.soa().position(task),
+                Move::Swap { a, b } => self.soa().position(a).min(self.soa().position(b)),
+            };
+            let from_pos = if p < fallback_cutoff(n) {
+                self.stats.fallback += 1;
+                0
+            } else {
+                self.stats.incremental += 1;
+                p
+            };
+            self.compute_candidate(mapping, from_pos, Some(mv))
+        } else {
+            check_shapes(self.ctx().app(), self.ctx().arch(), mapping, scaling)?;
+            self.load_scaling(scaling);
+            self.stats.fallback += 1;
+            self.compute_candidate(mapping, 0, None)
+        };
+        self.candidate_valid = true;
+        #[cfg(debug_assertions)]
+        {
+            let reference = self.full.evaluate(mapping, scaling)?;
+            debug_assert!(
+                summaries_bitwise_eq(&summary, &reference),
+                "incremental evaluation diverged from the full path for {mv}:\n  incremental: {summary:?}\n  full:        {reference:?}"
+            );
+        }
+        Ok(summary)
+    }
+
+    /// Promotes the last evaluated candidate to the committed base (the
+    /// caller accepted the move). No-op when disabled or when nothing
+    /// was evaluated since the last accept/reject.
+    pub fn accept(&mut self) {
+        if self.enabled && self.candidate_valid {
+            // The candidate's block shift (if any) now describes the
+            // committed mapping — keep it.
+            self.pending_shift = None;
+            std::mem::swap(&mut self.committed, &mut self.candidate);
+            self.commit_candidate();
+            self.primed = true;
+        }
+        self.candidate_valid = false;
+    }
+
+    /// Finalizes a just-promoted candidate (called right after the
+    /// committed/candidate buffer swap). Clean cores were never
+    /// materialized into the accepted buffer — their lanes are bitwise
+    /// unchanged, so the valid copy is pulled back from the other buffer
+    /// (which held the previous committed schedule). The busy/fill
+    /// prefix snapshots are then rebuilt for the replayed tail from the
+    /// accepted durations and finishes: the same additions, in the same
+    /// visit order, that placement performed. Rejects pay none of this.
+    fn commit_candidate(&mut self) {
+        let Self {
+            full,
+            committed,
+            candidate,
+            busy_at,
+            fill_at,
+            lane_done,
+            cand_from_pos,
+            ..
+        } = self;
+        let n_cores = committed.busy.len();
+        for ((done, accepted), previous) in lane_done
+            .iter()
+            .zip(committed.lanes.iter_mut())
+            .zip(candidate.lanes.iter_mut())
+        {
+            if !*done {
+                std::mem::swap(accepted, previous);
+            }
+        }
+        let order = full.soa().schedule_order();
+        for q in *cand_from_pos..order.len() {
+            let ti = order[q].index();
+            let ci = committed.core[ti].index();
+            busy_at.copy_within(q * n_cores..(q + 1) * n_cores, (q + 1) * n_cores);
+            busy_at[(q + 1) * n_cores + ci] += committed.dur[ti];
+            fill_at[q + 1] = fill_at[q].max(committed.finish[ti]);
+        }
+        #[cfg(debug_assertions)]
+        for (ci, &b) in committed.busy.iter().enumerate() {
+            debug_assert_eq!(
+                busy_at[order.len() * n_cores + ci].to_bits(),
+                b.to_bits(),
+                "rebuilt busy snapshot diverged on core {ci}"
+            );
+        }
+    }
+
+    /// Discards the last evaluated candidate (the caller rejected the
+    /// move and undid it); the committed base stays authoritative. The
+    /// candidate's block shift is reverted, restoring the occupancy
+    /// counts to the committed mapping's.
+    pub fn reject(&mut self) {
+        if let Some(mv) = self.pending_shift.take() {
+            shift_move(
+                self.full.ctx().app().registers(),
+                self.n_blocks,
+                &mut self.block_counts,
+                &mut self.r_bits,
+                &self.committed.core,
+                mv,
+                true,
+            );
+        }
+        self.candidate_valid = false;
+    }
+
+    /// Caches the per-scaling constants: effective frequencies,
+    /// operating points and SER rates per core, and the fill-pass cost
+    /// scale. Invalidates the committed base.
+    fn load_scaling(&mut self, scaling: &ScalingVector) {
+        let Self {
+            full,
+            scaling: cached,
+            freq,
+            levels,
+            lambdas,
+            scale,
+            primed,
+            ..
+        } = self;
+        let ctx = full.ctx();
+        let arch = ctx.arch();
+        let ser = *ctx.ser();
+        cached.clear();
+        cached.extend_from_slice(scaling.coefficients());
+        freq.clear();
+        freq.extend(arch.cores().map(|c| arch.effective_frequency(c, scaling)));
+        levels.clear();
+        lambdas.clear();
+        for core in arch.cores() {
+            let level = arch.operating_point(core, scaling);
+            levels.push(level);
+            lambdas.push(ser.lambda(level.vdd));
+        }
+        *scale = 1.0 / f64::from(ctx.app().mode().iterations());
+        *primed = false;
+    }
+
+    /// Evaluates `mapping` into the candidate buffer, replaying the
+    /// visit order from `from_pos` on prefix state reconstructed from
+    /// the committed cache. `delta` is the move separating `mapping`
+    /// from the committed base; with it, the suffix replay is restricted
+    /// to the move's cone of influence (dirty tasks/cores) and register
+    /// unions are updated by occupancy-count transitions instead of
+    /// per-core rescans (`None` recomputes everything from scratch).
+    /// Shares [`place_task`] with the full pass and accumulates in the
+    /// same order, so the result is bitwise identical to a full
+    /// evaluation of `mapping`.
+    #[allow(clippy::too_many_lines)]
+    fn compute_candidate(
+        &mut self,
+        mapping: &Mapping,
+        from_pos: usize,
+        delta: Option<Move>,
+    ) -> EvalSummary {
+        let Self {
+            full,
+            committed,
+            candidate,
+            freq,
+            scale,
+            levels,
+            lambdas,
+            nominal_f,
+            c_load,
+            n_blocks,
+            r_bits,
+            block_counts,
+            pending_shift,
+            busy_at,
+            fill_at,
+            dirty_task,
+            dirty_cores,
+            lane_done,
+            clean_busy,
+            cand_from_pos,
+            stats,
+            ..
+        } = self;
+        let n_blocks = *n_blocks;
+        *cand_from_pos = from_pos;
+        let soa: &TaskGraphSoa = full.soa();
+        let ctx = full.ctx();
+        let app = ctx.app();
+        let arch = ctx.arch();
+        let registers = app.registers();
+        let exposure = ctx.exposure();
+        let n = soa.len();
+        let n_cores = arch.n_cores();
+        let order = soa.schedule_order();
+
+        // A shift left in place by a candidate that was never accepted or
+        // rejected (protocol misuse) would corrupt the counts — undo it
+        // so every path starts from the committed mapping's state.
+        if let Some(prev) = pending_shift.take() {
+            shift_move(
+                registers,
+                n_blocks,
+                block_counts,
+                r_bits,
+                &committed.core,
+                prev,
+                true,
+            );
+        }
+
+        candidate.lanes.resize_with(n_cores, Vec::new);
+        let mut fill = fill_at[from_pos];
+        if from_pos == 0 {
+            // Full replay: every task re-placed, every lane rebuilt.
+            lane_done.fill(true);
+            candidate.busy.clear();
+            candidate.busy.resize(n_cores, 0.0f64);
+            candidate.finish.clear();
+            candidate.finish.resize(n, f64::NAN);
+            candidate.dur.clear();
+            candidate.dur.resize(n, 0.0f64);
+            for lane in candidate.lanes.iter_mut() {
+                lane.clear();
+            }
+            for &t in order {
+                let placed = place_task(
+                    soa,
+                    mapping,
+                    freq,
+                    *scale,
+                    t,
+                    &mut candidate.finish,
+                    &mut candidate.busy,
+                    &mut candidate.lanes,
+                );
+                candidate.dur[t.index()] = placed.dur_s;
+                fill = fill.max(candidate.finish[t.index()]);
+            }
+        } else {
+            // Cone-of-influence replay. A suffix task's placement can
+            // differ from the committed one only if the task moved, its
+            // core's timeline diverged (a moved task left/joined it, or
+            // a dirty task was re-placed on it), or a predecessor's
+            // placement changed — everything else is bitwise unchanged
+            // and simply kept. The visit order is topological, so each
+            // task's predecessors are classified before it.
+            let mv = delta.expect("suffix replay requires the separating move");
+            dirty_task.fill(false);
+            dirty_cores.fill(false);
+            lane_done.fill(false);
+            match mv {
+                Move::Relocate { task, to } => {
+                    dirty_task[task.index()] = true;
+                    dirty_cores[committed.core[task.index()].index()] = true;
+                    dirty_cores[to.index()] = true;
+                }
+                Move::Swap { a, b } => {
+                    dirty_task[a.index()] = true;
+                    dirty_task[b.index()] = true;
+                    dirty_cores[committed.core[a.index()].index()] = true;
+                    dirty_cores[committed.core[b.index()].index()] = true;
+                }
+            }
+            // Prefix placements (and skipped suffix placements) are the
+            // committed ones; replayed tasks overwrite their slots.
+            candidate.finish.clear();
+            candidate.finish.extend_from_slice(&committed.finish);
+            candidate.dur.clear();
+            candidate.dur.extend_from_slice(&committed.dur);
+            candidate.busy.clear();
+            candidate.busy.extend_from_slice(&committed.busy);
+            let row = from_pos * n_cores;
+            clean_busy.copy_from_slice(&busy_at[row..row + n_cores]);
+            stats.replay_window += (n - from_pos) as u64;
+            for (q, &t) in order.iter().enumerate().skip(from_pos) {
+                let ti = t.index();
+                let c = mapping.core_of(t);
+                let ci = c.index();
+                let mut dirty = dirty_task[ti] || dirty_cores[ci];
+                if !dirty {
+                    for &(p, _) in soa.predecessors(t) {
+                        if dirty_task[p as usize] {
+                            dirty = true;
+                            break;
+                        }
+                    }
+                }
+                if dirty {
+                    stats.replayed_tasks += 1;
+                    dirty_task[ti] = true;
+                    dirty_cores[ci] = true;
+                    if !lane_done[ci] {
+                        materialize_lane(
+                            soa,
+                            committed,
+                            dirty_task,
+                            q,
+                            ci,
+                            clean_busy[ci],
+                            &mut candidate.lanes[ci],
+                            &mut candidate.busy[ci],
+                        );
+                        lane_done[ci] = true;
+                    }
+                    let placed = place_task(
+                        soa,
+                        mapping,
+                        freq,
+                        *scale,
+                        t,
+                        &mut candidate.finish,
+                        &mut candidate.busy,
+                        &mut candidate.lanes,
+                    );
+                    candidate.dur[ti] = placed.dur_s;
+                } else {
+                    // Skipped: keep accumulating the core's clean busy in
+                    // visit order (a dirty core receives no clean tasks,
+                    // so its value freezes exactly at materialization).
+                    clean_busy[ci] += candidate.dur[ti];
+                }
+                fill = fill.max(candidate.finish[ti]);
+            }
+            // A dirty core that received no placement (e.g. the move's
+            // source core emptied of suffix tasks) still needs its lane
+            // and busy reconstructed without the departed tasks.
+            for ci in 0..n_cores {
+                if dirty_cores[ci] && !lane_done[ci] {
+                    materialize_lane(
+                        soa,
+                        committed,
+                        dirty_task,
+                        n,
+                        ci,
+                        clean_busy[ci],
+                        &mut candidate.lanes[ci],
+                        &mut candidate.busy[ci],
+                    );
+                    lane_done[ci] = true;
+                }
+            }
+        }
+        // The core array is the committed one patched by the move (exact:
+        // core ids are discrete); without a delta it is rebuilt.
+        candidate.core.clear();
+        match delta {
+            Some(Move::Relocate { task, to }) => {
+                candidate.core.extend_from_slice(&committed.core);
+                candidate.core[task.index()] = to;
+            }
+            Some(Move::Swap { a, b }) => {
+                candidate.core.extend_from_slice(&committed.core);
+                candidate.core.swap(a.index(), b.index());
+            }
+            None => candidate
+                .core
+                .extend((0..n).map(|t| mapping.core_of(TaskId::new(t)))),
+        }
+
+        // `fill` equals the full pass's fold over all `n` finishes:
+        // prefix finishes are bitwise unchanged, their maximum is the
+        // `fill_at` snapshot, and `f64::max` over the (strictly positive)
+        // finish values is order-insensitive bit for bit.
+        let (tm, iter_mult) = match app.mode() {
+            ExecutionMode::Batch => (fill, 1.0),
+            ExecutionMode::Pipelined { iterations } => {
+                let period = candidate.busy.iter().fold(0.0f64, |acc, &b| acc.max(b));
+                (
+                    fill + period * f64::from(iterations - 1),
+                    f64::from(iterations),
+                )
+            }
+        };
+
+        // Register unions: a pure function of the mapping per core. Bits
+        // are integers, so each core's union is the (order-insensitive)
+        // sum of the bits of its occupied blocks, and a move only shifts
+        // occupancy counts for the moved tasks' blocks — applied in place
+        // (undone on reject) rather than copied per candidate.
+        match delta {
+            None => {
+                block_counts.fill(0);
+                for t in 0..n {
+                    let t = TaskId::new(t);
+                    let base = mapping.core_of(t).index() * n_blocks;
+                    for &b in registers.task_blocks(t) {
+                        block_counts[base + b.index()] += 1;
+                    }
+                }
+                for c in 0..n_cores {
+                    let row = &block_counts[c * n_blocks..(c + 1) * n_blocks];
+                    let mut r = Bits::ZERO;
+                    for (blk, &count) in registers.blocks().iter().zip(row) {
+                        if count > 0 {
+                            r += blk.bits();
+                        }
+                    }
+                    r_bits[c] = r;
+                }
+            }
+            Some(mv) => {
+                shift_move(
+                    registers,
+                    n_blocks,
+                    block_counts,
+                    r_bits,
+                    &committed.core,
+                    mv,
+                    false,
+                );
+                *pending_shift = Some(mv);
+            }
+        }
+
+        // Same accumulation order as the full paths (core order), with
+        // the per-scaling λ cache supplying the rates. The power sum
+        // reproduces `dynamic_power_w` term by term (left fold from 0.0
+        // in core order), fused here to skip the activity staging pass.
+        let mut gamma = 0.0f64;
+        let mut r_total = Bits::ZERO;
+        let mut power_acc = 0.0f64;
+        for i in 0..n_cores {
+            let level = levels[i];
+            let busy = candidate.busy[i] * iter_mult;
+            let r = r_bits[i];
+            let s = core_scalars_cached(level, lambdas[i], busy, tm, r, exposure);
+            gamma += s.gamma;
+            r_total += r;
+            power_acc += s.alpha * level.f_hz * level.vdd * level.vdd;
+        }
+
+        let power_mw = watts_to_mw(power_acc * *c_load);
+        EvalSummary {
+            tm_seconds: tm,
+            tm_nominal_cycles: tm * *nominal_f,
+            meets_deadline: tm <= app.deadline_s(),
+            power_mw,
+            gamma,
+            r_total,
+        }
+    }
+}
+
+/// Applies (or, with `revert`, exactly undoes) the occupancy-count
+/// transitions of `mv` against the committed core assignment: each moved
+/// task's blocks shift between its committed core and its destination.
+fn shift_move(
+    registers: &RegisterModel,
+    n_blocks: usize,
+    counts: &mut [u32],
+    r_bits: &mut [Bits],
+    committed_core: &[CoreId],
+    mv: Move,
+    revert: bool,
+) {
+    let mut shift = |task: TaskId, from: CoreId, to: CoreId| {
+        if revert {
+            shift_blocks(registers, n_blocks, counts, r_bits, task, to, from);
+        } else {
+            shift_blocks(registers, n_blocks, counts, r_bits, task, from, to);
+        }
+    };
+    match mv {
+        Move::Relocate { task, to } => shift(task, committed_core[task.index()], to),
+        Move::Swap { a, b } => {
+            let ca = committed_core[a.index()];
+            let cb = committed_core[b.index()];
+            shift(a, ca, cb);
+            shift(b, cb, ca);
+        }
+    }
+}
+
+/// Moves one task's register blocks from core `from` to core `to` in the
+/// occupancy-count matrix, adjusting the two cores' unions on `1 → 0` /
+/// `0 → 1` transitions. Exact because block bits are integers: the union
+/// is the sum of the occupied blocks' bits in any order.
+fn shift_blocks(
+    registers: &RegisterModel,
+    n_blocks: usize,
+    counts: &mut [u32],
+    r_bits: &mut [Bits],
+    task: TaskId,
+    from: CoreId,
+    to: CoreId,
+) {
+    for &b in registers.task_blocks(task) {
+        let bits = registers.block(b).bits();
+        let f = from.index() * n_blocks + b.index();
+        counts[f] -= 1;
+        if counts[f] == 0 {
+            r_bits[from.index()] = r_bits[from.index()] - bits;
+        }
+        let t = to.index() * n_blocks + b.index();
+        counts[t] += 1;
+        if counts[t] == 1 {
+            r_bits[to.index()] = r_bits[to.index()] + bits;
+        }
+    }
+}
+
+/// Reconstructs core `ci`'s lane and busy time as they stand just before
+/// visit step `q`, excluding dirty tasks (they are re-placed, or left the
+/// core entirely). The lane is the committed lane filtered to
+/// earlier-visited clean tasks — insertion never reorders surviving
+/// entries, so the filter preserves start order. `clean_busy` is the
+/// caller's visit-order partial sum of the core's clean durations (see
+/// [`IncrementalEvaluator::clean_busy`]'s field docs).
+#[allow(clippy::too_many_arguments)]
+fn materialize_lane(
+    soa: &TaskGraphSoa,
+    committed: &ScheduleCache,
+    dirty_task: &[bool],
+    q: usize,
+    ci: usize,
+    clean_busy: f64,
+    lane: &mut Vec<ScheduledTask>,
+    busy: &mut f64,
+) {
+    lane.clear();
+    lane.extend(
+        committed.lanes[ci]
+            .iter()
+            .filter(|e| soa.position(e.task) < q && !dirty_task[e.task.index()]),
+    );
+    *busy = clean_busy;
+}
+
+impl ScheduleCache {
+    /// Shape sanity for a cache about to become the committed base.
+    fn summary_commit_guard(&self) {
+        debug_assert_eq!(self.core.len(), self.finish.len());
+        debug_assert_eq!(self.busy.len(), self.lanes.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_arch::{Architecture, LevelSet};
+    use sea_taskgraph::{fig8, mpeg2, Application};
+
+    fn setup(app: &Application, cores: usize) -> (Architecture, Mapping) {
+        let arch = Architecture::homogeneous(cores, LevelSet::arm7_three_level());
+        let n = app.graph().len();
+        let assign: Vec<CoreId> = (0..n).map(|t| CoreId::new(t % cores)).collect();
+        (arch, Mapping::try_new(assign, cores).unwrap())
+    }
+
+    fn walk_neighbourhood(app: &Application, cores: usize) {
+        let (arch, mut current) = setup(app, cores);
+        let ctx = EvalContext::new(app, &arch);
+        let mut ev = IncrementalEvaluator::new(ctx.clone()).with_enabled(true);
+        let mut reference = Evaluator::new(ctx.clone());
+        for s in [
+            ScalingVector::all_nominal(&arch),
+            ScalingVector::uniform(2, &arch).unwrap(),
+        ] {
+            let primed = ev.prime(&current, &s).unwrap();
+            assert!(summaries_bitwise_eq(
+                &primed,
+                &reference.evaluate(&current, &s).unwrap()
+            ));
+            // Evaluate every neighbour; accept every third move.
+            let moves: Vec<Move> = current.neighbourhood();
+            for (i, mv) in moves.into_iter().enumerate() {
+                let inverse = current.apply(mv);
+                let fast = ev.evaluate_move(&current, &s, mv).unwrap();
+                let full = reference.evaluate(&current, &s).unwrap();
+                assert!(
+                    summaries_bitwise_eq(&fast, &full),
+                    "divergence on {mv}: {fast:?} vs {full:?}"
+                );
+                if i % 3 == 0 {
+                    ev.accept();
+                } else {
+                    ev.reject();
+                    current.apply(inverse);
+                }
+            }
+        }
+        let stats = ev.stats();
+        assert!(
+            stats.incremental > 0,
+            "no incremental evaluations: {stats:?}"
+        );
+        assert_eq!(stats.bypassed, 0);
+    }
+
+    #[test]
+    fn matches_full_evaluator_on_mpeg2_neighbourhood() {
+        walk_neighbourhood(&mpeg2::application(), 4);
+    }
+
+    #[test]
+    fn matches_full_evaluator_on_fig8_neighbourhood() {
+        walk_neighbourhood(&fig8::application(), 3);
+    }
+
+    #[test]
+    fn fallback_and_incremental_branches_both_taken() {
+        let app = mpeg2::application();
+        let (arch, mut current) = setup(&app, 4);
+        let ctx = EvalContext::new(&app, &arch);
+        let mut ev = IncrementalEvaluator::new(ctx).with_enabled(true);
+        let s = ScalingVector::all_nominal(&arch);
+        ev.prime(&current, &s).unwrap();
+        let n = ev.soa().len();
+        let cutoff = fallback_cutoff(n);
+        assert!(cutoff > 0, "mpeg2 order must have a fallback region");
+
+        // A move on the first-visited task replays everything: fallback.
+        let early = ev.soa().schedule_order()[0];
+        let to = CoreId::new((current.core_of(early).index() + 1) % 4);
+        let mv = Move::Relocate { task: early, to };
+        let inverse = current.apply(mv);
+        ev.evaluate_move(&current, &s, mv).unwrap();
+        ev.reject();
+        current.apply(inverse);
+        assert_eq!(ev.stats().fallback, 1);
+        assert_eq!(ev.stats().incremental, 0);
+
+        // A move exactly at the cutoff position goes incremental.
+        let boundary = ev.soa().schedule_order()[cutoff];
+        let to = CoreId::new((current.core_of(boundary).index() + 1) % 4);
+        let mv = Move::Relocate { task: boundary, to };
+        current.apply(mv);
+        ev.evaluate_move(&current, &s, mv).unwrap();
+        ev.accept();
+        assert_eq!(ev.stats().incremental, 1);
+
+        // One position before the cutoff falls back again.
+        let below = ev.soa().schedule_order()[cutoff - 1];
+        let to = CoreId::new((current.core_of(below).index() + 1) % 4);
+        let mv = Move::Relocate { task: below, to };
+        current.apply(mv);
+        ev.evaluate_move(&current, &s, mv).unwrap();
+        ev.accept();
+        assert_eq!(ev.stats().fallback, 2);
+    }
+
+    #[test]
+    fn disabled_mode_delegates_to_full_path() {
+        let app = mpeg2::application();
+        let (arch, mut current) = setup(&app, 4);
+        let ctx = EvalContext::new(&app, &arch);
+        let mut ev = IncrementalEvaluator::new(ctx.clone()).with_enabled(false);
+        let mut reference = Evaluator::new(ctx);
+        let s = ScalingVector::all_nominal(&arch);
+        let primed = ev.prime(&current, &s).unwrap();
+        assert!(summaries_bitwise_eq(
+            &primed,
+            &reference.evaluate(&current, &s).unwrap()
+        ));
+        let mv = current.nth_neighbourhood_move(0).unwrap();
+        current.apply(mv);
+        let fast = ev.evaluate_move(&current, &s, mv).unwrap();
+        assert!(summaries_bitwise_eq(
+            &fast,
+            &reference.evaluate(&current, &s).unwrap()
+        ));
+        ev.accept();
+        ev.reject();
+        let stats = ev.stats();
+        assert_eq!(stats.bypassed, 2);
+        assert_eq!(stats.incremental + stats.fallback + stats.primes, 0);
+    }
+
+    #[test]
+    fn unprimed_moves_recover_without_explicit_prime() {
+        let app = fig8::application();
+        let (arch, mut current) = setup(&app, 3);
+        let ctx = EvalContext::new(&app, &arch);
+        let mut ev = IncrementalEvaluator::new(ctx.clone()).with_enabled(true);
+        let mut reference = Evaluator::new(ctx);
+        let s = ScalingVector::all_nominal(&arch);
+        // No prime: the first move computes fully and can be accepted.
+        let mv = current.nth_neighbourhood_move(1).unwrap();
+        current.apply(mv);
+        let fast = ev.evaluate_move(&current, &s, mv).unwrap();
+        assert!(summaries_bitwise_eq(
+            &fast,
+            &reference.evaluate(&current, &s).unwrap()
+        ));
+        ev.accept();
+        // Subsequent moves run incrementally off the recovered base.
+        let mv = current.nth_neighbourhood_move(4).unwrap();
+        current.apply(mv);
+        let fast = ev.evaluate_move(&current, &s, mv).unwrap();
+        assert!(summaries_bitwise_eq(
+            &fast,
+            &reference.evaluate(&current, &s).unwrap()
+        ));
+        assert_eq!(ev.stats().fallback, 1);
+    }
+
+    #[test]
+    fn fallback_cutoff_boundaries() {
+        assert_eq!(fallback_cutoff(0), 0);
+        assert_eq!(fallback_cutoff(8), 1);
+        assert_eq!(fallback_cutoff(11), 2);
+        for n in 1..200 {
+            let c = fallback_cutoff(n);
+            // The suffix replayed from the cutoff is the largest one
+            // inside the 7/8 budget, and the cutoff stays in range.
+            assert_eq!(n - c, n * FALLBACK_NUM / FALLBACK_DEN);
+            assert!(c <= n);
+        }
+    }
+}

@@ -13,6 +13,10 @@
 //!   (eq. 8), dynamic power `P` (eq. 5) and expected SEUs `Γ` (eq. 3).
 //! * [`evaluator`] — the scratch-buffer [`Evaluator`], the allocation-free
 //!   form of the same objective used by the optimizers' hot loops.
+//! * [`incremental`] — the delta-evaluation [`IncrementalEvaluator`]: a
+//!   cached-schedule wrapper that replays only the suffix a single
+//!   neighbourhood move can invalidate, bitwise identical to the full
+//!   path (see the README's "Engine internals" section).
 //!
 //! # Example
 //!
@@ -41,12 +45,17 @@
 //! ```
 
 pub mod evaluator;
+pub mod incremental;
 pub mod mapping;
 pub mod metrics;
 pub mod recovery;
 pub mod schedule;
 
 pub use evaluator::Evaluator;
+pub use incremental::{
+    fallback_cutoff, incremental_default, summaries_bitwise_eq, IncrementalEvaluator,
+    IncrementalStats,
+};
 pub use mapping::{Mapping, Move};
 pub use metrics::{CoreEval, EvalContext, EvalSummary, ExposurePolicy, MappingEvaluation};
 pub use schedule::{Schedule, ScheduledTask};

@@ -156,12 +156,28 @@ pub(crate) fn core_scalars(
     exposure: ExposurePolicy,
     ser: &SerModel,
 ) -> CoreScalars {
+    core_scalars_cached(level, ser.lambda(level.vdd), busy, tm, r_bits, exposure)
+}
+
+/// [`core_scalars`] with the SER rate `lambda = ser.lambda(level.vdd)`
+/// supplied by the caller. The rate depends only on the core's operating
+/// point, so evaluators that hold the scaling fixed across thousands of
+/// candidates (`crate::incremental`) compute it once per scaling instead
+/// of paying the `exp` per core per evaluation. `core_scalars` delegates
+/// here, keeping a single source for the arithmetic.
+pub(crate) fn core_scalars_cached(
+    level: VoltageLevel,
+    lambda: f64,
+    busy: f64,
+    tm: f64,
+    r_bits: Bits,
+    exposure: ExposurePolicy,
+) -> CoreScalars {
     let alpha = if tm > 0.0 { (busy / tm).min(1.0) } else { 0.0 };
     let exposure_cycles = match exposure {
         ExposurePolicy::WholeRun => tm * level.f_hz,
         ExposurePolicy::BusyOnly => busy * level.f_hz,
     };
-    let lambda = ser.lambda(level.vdd);
     CoreScalars {
         alpha,
         exposure_cycles,

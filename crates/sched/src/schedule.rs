@@ -26,8 +26,7 @@
 use serde::{Deserialize, Serialize};
 
 use sea_arch::{Architecture, CoreId, ScalingVector};
-use sea_taskgraph::units::Cycles;
-use sea_taskgraph::{Application, ExecutionMode, TaskId};
+use sea_taskgraph::{Application, ExecutionMode, TaskGraphSoa, TaskId};
 
 use crate::mapping::Mapping;
 use crate::SchedError;
@@ -199,20 +198,33 @@ pub(crate) fn check_shapes(
 }
 
 /// Reusable buffers for repeated list scheduling of one application on one
-/// architecture. A fresh scratch allocates on first use; after that every
-/// `schedule_one_pass_into` call runs without heap allocation (lanes keep
-/// their capacity across candidates). Owned by
+/// architecture. `ScheduleScratch::with_shapes` pre-sizes every buffer so
+/// the **first** `schedule_one_pass_into` call already runs without heap
+/// allocation (lanes keep their capacity across candidates). Owned by
 /// [`crate::evaluator::Evaluator`], which is the intended consumer.
 #[derive(Debug, Default, Clone)]
 pub struct ScheduleScratch {
-    pending: Vec<usize>,
-    ready: Vec<TaskId>,
     finish: Vec<f64>,
     freq: Vec<f64>,
     /// Busy seconds per core for the last scheduled fill pass.
     pub(crate) busy: Vec<f64>,
     /// Per-core timelines for the last scheduled fill pass.
     pub(crate) lanes: Vec<Vec<ScheduledTask>>,
+}
+
+impl ScheduleScratch {
+    /// Pre-sizes the buffers for an `n_tasks`-task application on an
+    /// `n_cores`-core architecture: each lane can hold every task, so no
+    /// schedule shape can trigger a reallocation.
+    #[must_use]
+    pub(crate) fn with_shapes(n_tasks: usize, n_cores: usize) -> Self {
+        ScheduleScratch {
+            finish: Vec::with_capacity(n_tasks),
+            freq: Vec::with_capacity(n_cores),
+            busy: Vec::with_capacity(n_cores),
+            lanes: (0..n_cores).map(|_| Vec::with_capacity(n_tasks)).collect(),
+        }
+    }
 }
 
 /// Schedules one pass of the DAG with costs scaled by `scale`
@@ -224,9 +236,9 @@ fn schedule_one_pass(
     scaling: &ScalingVector,
     scale: f64,
 ) -> Schedule {
-    let bl = app.graph().bottom_levels();
-    let mut scratch = ScheduleScratch::default();
-    let makespan = schedule_one_pass_into(app, arch, mapping, scaling, scale, &bl, &mut scratch);
+    let soa = TaskGraphSoa::new(app);
+    let mut scratch = ScheduleScratch::with_shapes(soa.len(), arch.n_cores());
+    let makespan = schedule_one_pass_into(arch, mapping, scaling, scale, &soa, &mut scratch);
     Schedule {
         per_core: std::mem::take(&mut scratch.lanes),
         makespan_s: makespan,
@@ -235,26 +247,102 @@ fn schedule_one_pass(
     }
 }
 
+/// One task's computed placement, as produced by [`place_task`] (the
+/// start and finish times land in the core's lane directly; the duration
+/// is returned so the incremental cache can record it without
+/// re-deriving it from `finish - start`, which rounds differently).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Placement {
+    pub(crate) dur_s: f64,
+}
+
+/// Places one task on its mapped core's timeline: computes the data-ready
+/// time and duration (inbound cross-core communication is charged on the
+/// consumer core, eq. 7), finds the earliest insertion slot, and records
+/// the placement into `finish`/`busy`/`lanes`.
+///
+/// This is the *single* placement routine shared by the full pass and the
+/// incremental suffix replay (`crate::incremental`), so the two paths
+/// cannot drift bitwise: identical inputs run identical float operations.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn place_task(
+    soa: &TaskGraphSoa,
+    mapping: &Mapping,
+    freq: &[f64],
+    scale: f64,
+    t: TaskId,
+    finish: &mut [f64],
+    busy: &mut [f64],
+    lanes: &mut [Vec<ScheduledTask>],
+) -> Placement {
+    let core = mapping.core_of(t);
+    let f = freq[core.index()];
+
+    // Earliest data-ready time: all producers done.
+    let mut ready_s = 0.0f64;
+    let mut comm_cycles = 0.0f64;
+    for &(p, comm) in soa.predecessors(t) {
+        ready_s = ready_s.max(finish[p as usize]);
+        if mapping.core_of(TaskId::new(p as usize)) != core {
+            comm_cycles += comm * scale;
+        }
+    }
+    // Inbound cross-core communication occupies the consumer core
+    // (eq. 7 counts d_jk in T_i).
+    let dur = (soa.wcec(t) * scale + comm_cycles) / f;
+
+    // Insertion placement: earliest slot on the core's timeline (an
+    // inter-task gap or the tail) that starts at or after `ready_s`
+    // and fits `dur`. The lane stays sorted by start time.
+    let lane = &mut lanes[core.index()];
+    let mut pos = lane.len();
+    let mut start = ready_s;
+    let mut cursor = 0.0f64;
+    for (i, e) in lane.iter().enumerate() {
+        let gap_start = cursor.max(ready_s);
+        if gap_start + dur <= e.start_s {
+            pos = i;
+            start = gap_start;
+            break;
+        }
+        cursor = e.finish_s;
+    }
+    if pos == lane.len() {
+        start = cursor.max(ready_s);
+    }
+    let end = start + dur;
+    finish[t.index()] = end;
+    busy[core.index()] += dur;
+    lane.insert(
+        pos,
+        ScheduledTask {
+            task: t,
+            start_s: start,
+            finish_s: end,
+        },
+    );
+    Placement { dur_s: dur }
+}
+
 /// The allocation-free core of [`schedule_one_pass`]: schedules one pass of
 /// the DAG into `scratch`'s buffers (busy times and per-core lanes are left
-/// in the scratch) and returns the pass makespan in seconds. `bottom_levels`
-/// must come from `app.graph().bottom_levels()`; callers evaluating many
-/// candidates cache it once since the graph never changes.
+/// in the scratch) and returns the pass makespan in seconds.
+///
+/// The visit sequence is the SoA's precomputed static order — highest
+/// bottom level first, ties to the smaller task id — which depends only on
+/// the graph (see [`TaskGraphSoa::schedule_order`]), so the per-step ready
+/// list and priority scan of classic list scheduling disappear entirely.
 pub(crate) fn schedule_one_pass_into(
-    app: &Application,
     arch: &Architecture,
     mapping: &Mapping,
     scaling: &ScalingVector,
     scale: f64,
-    bottom_levels: &[Cycles],
+    soa: &TaskGraphSoa,
     scratch: &mut ScheduleScratch,
 ) -> f64 {
-    let g = app.graph();
-    let n = g.len();
-    let bl = bottom_levels;
+    let n = soa.len();
     let ScheduleScratch {
-        pending,
-        ready,
         finish,
         freq,
         busy,
@@ -266,14 +354,6 @@ pub(crate) fn schedule_one_pass_into(
     freq.clear();
     freq.extend(arch.cores().map(|c| arch.effective_frequency(c, scaling)));
 
-    pending.clear();
-    pending.extend(g.task_ids().map(|t| g.predecessors(t).len()));
-    ready.clear();
-    for t in g.task_ids() {
-        if pending[t.index()] == 0 {
-            ready.push(t);
-        }
-    }
     finish.clear();
     finish.resize(n, f64::NAN);
     busy.clear();
@@ -282,76 +362,9 @@ pub(crate) fn schedule_one_pass_into(
     for lane in lanes.iter_mut() {
         lane.clear();
     }
-    let per_core = lanes;
-    let mut scheduled = 0usize;
 
-    while scheduled < n {
-        // Highest bottom-level first; ties break on smaller task id so the
-        // schedule is fully deterministic.
-        let (pos, _) = ready
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                bl[a.index()]
-                    .cmp(&bl[b.index()])
-                    .then_with(|| b.index().cmp(&a.index()))
-            })
-            .expect("ready set non-empty while tasks remain (graph is a DAG)");
-        let t = ready.swap_remove(pos);
-        let core = mapping.core_of(t);
-        let f = freq[core.index()];
-
-        // Earliest data-ready time: all producers done.
-        let mut ready_s = 0.0f64;
-        let mut comm_cycles = 0.0f64;
-        for &(p, comm) in g.predecessors(t) {
-            ready_s = ready_s.max(finish[p.index()]);
-            if mapping.core_of(p) != core {
-                comm_cycles += comm.as_f64() * scale;
-            }
-        }
-        // Inbound cross-core communication occupies the consumer core
-        // (eq. 7 counts d_jk in T_i).
-        let dur = (g.task(t).computation().as_f64() * scale + comm_cycles) / f;
-
-        // Insertion placement: earliest slot on the core's timeline (an
-        // inter-task gap or the tail) that starts at or after `ready_s`
-        // and fits `dur`. The lane stays sorted by start time.
-        let lane = &mut per_core[core.index()];
-        let mut pos = lane.len();
-        let mut start = ready_s;
-        let mut cursor = 0.0f64;
-        for (i, e) in lane.iter().enumerate() {
-            let gap_start = cursor.max(ready_s);
-            if gap_start + dur <= e.start_s {
-                pos = i;
-                start = gap_start;
-                break;
-            }
-            cursor = e.finish_s;
-        }
-        if pos == lane.len() {
-            start = cursor.max(ready_s);
-        }
-        let end = start + dur;
-        finish[t.index()] = end;
-        busy[core.index()] += dur;
-        lane.insert(
-            pos,
-            ScheduledTask {
-                task: t,
-                start_s: start,
-                finish_s: end,
-            },
-        );
-        scheduled += 1;
-
-        for &(s, _) in g.successors(t) {
-            pending[s.index()] -= 1;
-            if pending[s.index()] == 0 {
-                ready.push(s);
-            }
-        }
+    for &t in soa.schedule_order() {
+        place_task(soa, mapping, freq, scale, t, finish, busy, lanes);
     }
 
     finish.iter().fold(0.0f64, |acc, &x| acc.max(x))

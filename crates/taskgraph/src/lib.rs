@@ -47,6 +47,7 @@ pub mod graph;
 pub mod mpeg2;
 pub mod presets;
 pub mod registers;
+pub mod soa;
 pub mod spec;
 pub mod task;
 pub mod units;
@@ -55,6 +56,7 @@ pub use application::{Application, ExecutionMode};
 pub use error::GraphError;
 pub use graph::{Edge, TaskGraph, TaskGraphBuilder};
 pub use registers::{RegisterBlock, RegisterBlockId, RegisterModel, RegisterModelBuilder};
+pub use soa::TaskGraphSoa;
 pub use spec::{AppSpec, SpecError};
 pub use task::{Task, TaskId};
 pub use units::{Bits, Cycles};

@@ -154,6 +154,90 @@ proptest! {
         prop_assert_eq!(m, original);
     }
 
+    /// A random accept/reject walk through the delta evaluator yields
+    /// summaries bitwise identical to a fresh full evaluation at every
+    /// step, and moves straddling the fallback threshold take the
+    /// expected replay path while staying exact.
+    #[test]
+    fn incremental_evaluator_is_bitwise_exact_on_random_walks(
+        app in arb_application(),
+        raw_mapping in proptest::collection::vec(0usize..3, 24),
+        s in 1u8..=3,
+        walk in proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<bool>()),
+            1..16,
+        ),
+    ) {
+        use sea_dse::sched::{
+            fallback_cutoff, summaries_bitwise_eq, Evaluator, IncrementalEvaluator, Move,
+        };
+
+        let arch = Architecture::homogeneous(3, LevelSet::arm7_three_level());
+        let n = app.graph().len();
+        let mut current = Mapping::try_new(
+            raw_mapping[..n].iter().map(|&c| CoreId::new(c)).collect(),
+            3,
+        ).unwrap();
+        let scaling = ScalingVector::uniform(s, &arch).unwrap();
+        let ctx = EvalContext::new(&app, &arch);
+        let mut full = Evaluator::new(ctx.clone());
+        let mut inc = IncrementalEvaluator::new(ctx).with_enabled(true);
+
+        let primed = inc.prime(&current, &scaling).unwrap();
+        prop_assert!(summaries_bitwise_eq(
+            &primed,
+            &full.evaluate(&current, &scaling).unwrap()
+        ));
+
+        for (pick, accept) in walk {
+            let len = current.neighbourhood_len();
+            if len == 0 {
+                break;
+            }
+            let mv = current.nth_neighbourhood_move(pick.index(len)).unwrap();
+            let inverse = current.apply(mv);
+            let got = inc.evaluate_move(&current, &scaling, mv).unwrap();
+            let want = full.evaluate(&current, &scaling).unwrap();
+            prop_assert!(
+                summaries_bitwise_eq(&got, &want),
+                "walk diverged on {}: {:?} vs {:?}",
+                mv, got, want
+            );
+            if accept {
+                inc.accept();
+            } else {
+                inc.reject();
+                current.apply(inverse);
+            }
+        }
+
+        // Fallback-threshold boundary: relocating the task visited at the
+        // cutoff order position replays the suffix (incremental); one
+        // position earlier replays everything (fallback). Both exact.
+        let cutoff = fallback_cutoff(n);
+        prop_assume!(cutoff > 0);
+        for (pos, expect_incremental) in [(cutoff, true), (cutoff - 1, false)] {
+            let task = inc.soa().schedule_order()[pos];
+            let to = CoreId::new((current.core_of(task).index() + 1) % 3);
+            let mv = Move::Relocate { task, to };
+            let before = inc.stats();
+            current.apply(mv);
+            let got = inc.evaluate_move(&current, &scaling, mv).unwrap();
+            let want = full.evaluate(&current, &scaling).unwrap();
+            prop_assert!(summaries_bitwise_eq(&got, &want));
+            inc.accept();
+            let after = inc.stats();
+            prop_assert_eq!(
+                after.incremental - before.incremental,
+                u64::from(expect_incremental)
+            );
+            prop_assert_eq!(
+                after.fallback - before.fallback,
+                u64::from(!expect_incremental)
+            );
+        }
+    }
+
     /// The SER model is multiplicative in λ_ref and decreasing in Vdd.
     #[test]
     fn ser_model_properties(
