@@ -53,6 +53,13 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| ScalingIter::new(6, 4).count());
     });
 
+    // The prune test itself: one bound per (scaling, chunk-member); must
+    // stay trivial next to even a single schedule call.
+    let soa6 = sea_taskgraph::TaskGraphSoa::new(&big);
+    c.bench_function("kernels/tm_lower_bound_random100_6cores", |b| {
+        b.iter(|| sea_sched::tm_lower_bound(&soa6, big.mode(), &arch6, &scaling6));
+    });
+
     c.bench_function("kernels/poisson_large_mean", |b| {
         b.iter_batched(
             || StdRng::seed_from_u64(3),

@@ -38,7 +38,11 @@ use crate::unit::{Unit, UnitPayload, UnitRecord, UnitResult};
 pub const CACHE_ENV: &str = "SEA_CACHE";
 
 /// Cache entry format version (first line of every entry).
-pub const CACHE_VERSION: u32 = 1;
+/// v2: the bound-and-prune driver charges zero evaluations to pruned
+/// scaling chunks, so tight-deadline results computed by v1 builds
+/// would disagree byte-for-byte with fresh ones — refusing them is the
+/// cheap, safe fix.
+pub const CACHE_VERSION: u32 = 2;
 
 /// Handle to a cache directory.
 #[derive(Debug, Clone)]

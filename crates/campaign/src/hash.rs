@@ -233,6 +233,18 @@ fn write_app_ref(h: &mut ContentHasher, app: &AppRef) {
             h.write_u8(1);
             write_application(h, app);
         }
+        // Hashed by (spec, factor) rather than by built content: cheap,
+        // and the grammar's canonical form round-trips. A semantically
+        // equal `Inline` app hashes differently — that costs a cache
+        // miss, never a wrong hit.
+        AppRef::Scaled {
+            spec,
+            deadline_scale,
+        } => {
+            h.write_u8(2);
+            h.write_str(&spec.to_string());
+            h.write_f64(*deadline_scale);
+        }
     }
 }
 
@@ -376,6 +388,22 @@ mod tests {
                 u.kind = UnitKind::Sweep {
                     count: 120,
                     scale: 1,
+                };
+                u
+            },
+            {
+                let mut u = base_unit();
+                u.app = AppRef::Scaled {
+                    spec: AppSpec::Mpeg2,
+                    deadline_scale: 0.4,
+                };
+                u
+            },
+            {
+                let mut u = base_unit();
+                u.app = AppRef::Scaled {
+                    spec: AppSpec::Mpeg2,
+                    deadline_scale: 0.5,
                 };
                 u
             },

@@ -38,7 +38,10 @@ use crate::unit::{Unit, UnitRecord};
 use crate::CampaignError;
 
 /// Journal format version (header `version` field).
-pub const JOURNAL_VERSION: u32 = 1;
+/// v2: bound-and-prune evaluation accounting (see
+/// [`crate::cache::CACHE_VERSION`]) — v1 journals may hold records a
+/// current build would not reproduce, so resuming from them is refused.
+pub const JOURNAL_VERSION: u32 = 2;
 
 fn jerr(msg: impl Into<String>) -> CampaignError {
     CampaignError::Journal(msg.into())

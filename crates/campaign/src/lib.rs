@@ -54,8 +54,8 @@ pub use cache::{
 pub use hash::{campaign_hash, unit_hash, units_hash, ContentHash, ContentHasher};
 pub use journal::{open_journal, parse_journal, Journal, JournalPlan, JournalWriter};
 pub use pool::{
-    produce_unit, run_units, run_units_configured, Completion, RunConfig, RunOutcome, RunState,
-    UnitOutcome,
+    dispatch_order, produce_unit, run_units, run_units_configured, Completion, RunConfig,
+    RunOutcome, RunState, UnitOutcome,
 };
 pub use sink::{
     csv_report, human_report, json_record, jsonl_report, CsvSink, HumanSink, JsonlSink, NullSink,

@@ -149,6 +149,23 @@ pub struct Completion {
     pub from_cache: bool,
 }
 
+/// The order a backend should hand `pending` units to workers: most
+/// expensive first ([`Unit::cost_estimate`]), enumeration index as the
+/// tiebreak. Starting the straggler early shrinks the tail a
+/// work-stealing pool (or a fleet of network workers) idles through —
+/// and because completions slot by enumeration index, dispatch order can
+/// only change wall-clock and progress-line interleaving, never a
+/// report.
+#[must_use]
+pub fn dispatch_order(units: &[Unit], pending: &[usize]) -> Vec<usize> {
+    let mut order: Vec<(u64, usize)> = pending
+        .iter()
+        .map(|&i| (units[i].cost_estimate(), i))
+        .collect();
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    order.into_iter().map(|(_, i)| i).collect()
+}
+
 /// Runs one unit the configured way: cache probe, then execution plus
 /// best-effort cache publication. `index` is the enumeration position
 /// (authoritative for slotting, independent of `unit.index`). This is the
@@ -421,6 +438,9 @@ pub fn run_units_configured(
     let inner_jobs = (requested / pending.len().max(1)).max(1);
 
     if jobs <= 1 {
+        // Sequential runs keep enumeration order: with one worker there
+        // is no straggler tail to shrink, and in-order progress lines
+        // are easier to follow.
         for &i in &pending {
             let done = produce_unit(i, &units[i], cache, inner_jobs);
             if !state.complete(done, sink) {
@@ -428,6 +448,7 @@ pub fn run_units_configured(
             }
         }
     } else {
+        let pending = dispatch_order(units, &pending);
         let next = AtomicUsize::new(0);
         let pending_ref = &pending;
         std::thread::scope(|s| {
@@ -561,6 +582,30 @@ count = 15
         assert_eq!(streamed, (0..units.len()).collect::<Vec<_>>());
         // The final report is always in enumeration order.
         assert_eq!(sink.finished, (0..units.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatch_order_is_cost_descending_with_index_tiebreak() {
+        let units = parse_campaign(SMALL).unwrap().expand();
+        let pending: Vec<usize> = (0..units.len()).collect();
+        let order = dispatch_order(&units, &pending);
+        // A permutation of the pending list...
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, pending);
+        // ...in non-increasing cost order, index-ascending within ties.
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (ca, cb) = (units[a].cost_estimate(), units[b].cost_estimate());
+            assert!(ca > cb || (ca == cb && a < b), "order violated at {a},{b}");
+        }
+        // The front of the queue is a surviving-scalings × budget
+        // optimize unit, not the 15-mapping sweep (fig8's tight deadline
+        // may prune its optimize units below the sweep — that's the cost
+        // model working, not a tie to pin).
+        let first = &units[order[0]];
+        assert!(matches!(first.kind, crate::unit::UnitKind::Optimize));
+        assert_eq!(first.app.label(), "mpeg2");
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //!
 //! Scenario kinds add their own keys: `objectives = "r,tm,tmr"`
 //! (baseline), `count` and `scales` (sweep), `scaling`, `groups` and
-//! `ser` (simulate). Unknown or duplicate keys are errors — a typo must
-//! not silently shrink a grid.
+//! `ser` (simulate). Any kind accepts `deadline_scale = "0.4"`, which
+//! multiplies every listed app's deadline — the standard way to pose the
+//! tight-deadline problems the bound-and-prune engine accelerates.
+//! Unknown or duplicate keys are errors — a typo must not silently
+//! shrink a grid.
 //!
 //! # Seed discipline
 //!
@@ -73,6 +76,10 @@ pub struct Scenario {
     pub seeds: Option<Vec<u64>>,
     /// Per-scenario budget override.
     pub budget: Option<BudgetSpec>,
+    /// Deadline multiplier applied to every app of the scenario
+    /// (`deadline_scale = "0.4"` — tight-deadline studies, where the
+    /// bound-and-prune engine earns its keep).
+    pub deadline_scale: Option<f64>,
 }
 
 /// Kind-specific scenario parameters.
@@ -151,11 +158,18 @@ impl Campaign {
                                     )),
                                 };
                                 for &seed in seed_arena.get(seeds) {
+                                    let app = match scenario.deadline_scale {
+                                        Some(deadline_scale) => AppRef::Scaled {
+                                            spec: app,
+                                            deadline_scale,
+                                        },
+                                        None => AppRef::Spec(app),
+                                    };
                                     units.push(Unit {
                                         index: units.len(),
                                         scenario: scenario.name.clone(),
                                         kind: kind.clone(),
-                                        app: AppRef::Spec(app),
+                                        app,
                                         cores,
                                         levels,
                                         budget,
@@ -470,6 +484,18 @@ impl RawSection {
             Some((lineno, v)) => Some(BudgetSpec::parse(&v).map_err(|e| at(lineno, &e))?),
             None => None,
         };
+        let deadline_scale = match self.take("deadline_scale") {
+            Some((lineno, v)) => {
+                let f: f64 = v
+                    .parse()
+                    .map_err(|_| err(lineno, &format!("cannot parse deadline scale `{v}`")))?;
+                if !(f.is_finite() && f > 0.0) {
+                    return Err(err(lineno, "deadline scale must be finite and positive"));
+                }
+                Some(f)
+            }
+            None => None,
+        };
 
         if let Some((lineno, key, _)) = self.keys.first() {
             return Err(err(
@@ -533,6 +559,7 @@ impl RawSection {
             selections,
             seeds,
             budget,
+            deadline_scale,
         })
     }
 
@@ -768,6 +795,36 @@ seeds = "7,8"
         let opt = "[scenario]\nkind = \"optimize\"\napps = \"mpeg2\"\ncores = \"4\"\n\
                    selections = \"product,gamma\"\n";
         assert_eq!(parse_campaign(opt).unwrap().expand().len(), 2);
+    }
+
+    #[test]
+    fn deadline_scale_produces_scaled_app_refs() {
+        let src = "[scenario]\nkind = \"optimize\"\napps = \"mpeg2\"\ncores = \"4\"\n\
+                   deadline_scale = \"0.4\"\n";
+        let units = parse_campaign(src).unwrap().expand();
+        assert_eq!(units.len(), 1);
+        let AppRef::Scaled {
+            spec,
+            deadline_scale,
+        } = &units[0].app
+        else {
+            panic!("scaled app ref expected, got {:?}", units[0].app);
+        };
+        assert_eq!(spec.to_string(), "mpeg2");
+        assert!((deadline_scale - 0.4).abs() < 1e-12);
+        assert_eq!(units[0].app.label(), "mpeg2@d0.4");
+        // The built app carries the scaled deadline.
+        let app = units[0].app.build().unwrap();
+        let base = AppSpec::Mpeg2.build().unwrap();
+        assert!((app.deadline_s() - base.deadline_s() * 0.4).abs() < 1e-9);
+
+        for bad in ["0", "-1", "nan", "inf", "x"] {
+            let src = format!(
+                "[scenario]\nkind = \"optimize\"\napps = \"mpeg2\"\ncores = \"4\"\n\
+                 deadline_scale = \"{bad}\"\n"
+            );
+            assert!(parse_campaign(&src).is_err(), "accepted `{bad}`");
+        }
     }
 
     #[test]

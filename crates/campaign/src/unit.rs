@@ -18,7 +18,7 @@ use sea_opt::{
 use sea_sched::metrics::EvalContext;
 use sea_sched::Mapping;
 use sea_sim::{simulate_design, SimConfig, SimReport};
-use sea_taskgraph::{AppSpec, Application, TaskGraphSoa};
+use sea_taskgraph::{AppSpec, Application, SpecError, TaskGraphSoa};
 
 use crate::CampaignError;
 
@@ -116,6 +116,15 @@ pub fn level_set(levels: usize) -> LevelSet {
 pub enum AppRef {
     /// Built on demand from the shared spec grammar.
     Spec(AppSpec),
+    /// A spec-built workload with its deadline multiplied by a factor
+    /// (the campaign grammar's `deadline_scale` key — tight-deadline
+    /// studies without hand-written task graphs).
+    Scaled {
+        /// The base workload.
+        spec: AppSpec,
+        /// Deadline multiplier (validated positive at parse time).
+        deadline_scale: f64,
+    },
     /// Shared pre-built application.
     Inline(Arc<Application>),
 }
@@ -126,6 +135,10 @@ impl AppRef {
     pub fn label(&self) -> String {
         match self {
             AppRef::Spec(s) => s.to_string(),
+            AppRef::Scaled {
+                spec,
+                deadline_scale,
+            } => format!("{spec}@d{deadline_scale}"),
             AppRef::Inline(app) => app.name().to_string(),
         }
     }
@@ -144,21 +157,36 @@ impl AppRef {
     ///
     /// Propagates [`AppSpec::build`] failures.
     pub fn build(&self) -> Result<Arc<Application>, CampaignError> {
-        match self {
-            AppRef::Spec(s) => {
-                static CACHE: OnceLock<Mutex<HashMap<String, Arc<Application>>>> = OnceLock::new();
-                let key = s.to_string();
-                let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-                let mut cache = cache
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                if let Some(app) = cache.get(&key) {
-                    return Ok(Arc::clone(app));
-                }
-                let app = Arc::new(s.build().map_err(CampaignError::App)?);
-                cache.insert(key, Arc::clone(&app));
-                Ok(app)
+        fn memoized(
+            key: String,
+            build: impl FnOnce() -> Result<Application, CampaignError>,
+        ) -> Result<Arc<Application>, CampaignError> {
+            static CACHE: OnceLock<Mutex<HashMap<String, Arc<Application>>>> = OnceLock::new();
+            let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+            let mut cache = cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(app) = cache.get(&key) {
+                return Ok(Arc::clone(app));
             }
+            let app = Arc::new(build()?);
+            cache.insert(key, Arc::clone(&app));
+            Ok(app)
+        }
+        match self {
+            AppRef::Spec(s) => memoized(s.to_string(), || s.build().map_err(CampaignError::App)),
+            AppRef::Scaled {
+                spec,
+                deadline_scale,
+            } => memoized(self.label(), || {
+                let base = spec.build().map_err(CampaignError::App)?;
+                base.with_deadline(base.deadline_s() * deadline_scale)
+                    .map_err(|e| {
+                        CampaignError::App(SpecError(format!(
+                            "cannot scale `{spec}` deadline by {deadline_scale}: {e}"
+                        )))
+                    })
+            }),
             AppRef::Inline(app) => Ok(Arc::clone(app)),
         }
     }
@@ -254,6 +282,38 @@ impl Unit {
     #[must_use]
     pub fn architecture(&self) -> Architecture {
         Architecture::arm7_calibrated(self.cores, level_set(self.levels))
+    }
+
+    /// Estimated work, in candidate evaluations — the dispatch cost
+    /// model. Backends hand out expensive units first so the straggler
+    /// that bounds the makespan starts as early as possible; since every
+    /// result slots by enumeration index, the estimate (however rough)
+    /// can never change a report, only wall-clock.
+    ///
+    /// Optimize units dominate real campaigns, and their work is the
+    /// number of scalings the bound-and-prune driver will actually
+    /// search times the per-scaling budget
+    /// ([`DesignOptimizer::surviving_scalings`]). Baselines run one
+    /// budget-bounded SA chain plus one cheap evaluation per scaling;
+    /// sweeps evaluate `count` mappings; fault injection replays one
+    /// schedule.
+    #[must_use]
+    pub fn cost_estimate(&self) -> u64 {
+        let budget = self.budget.to_budget().max_evaluations as u64;
+        match &self.kind {
+            UnitKind::Optimize => {
+                let Ok(app) = self.app.build() else {
+                    // The build error resurfaces when the unit runs.
+                    return budget;
+                };
+                let soa = TaskGraphSoa::shared(&app);
+                let optimizer = DesignOptimizer::new(self.optimizer_config());
+                (optimizer.surviving_scalings(&app, &soa) as u64).saturating_mul(budget)
+            }
+            UnitKind::Baseline(_) => budget,
+            UnitKind::Sweep { count, .. } => *count as u64,
+            UnitKind::Simulate { .. } => 1,
+        }
     }
 }
 

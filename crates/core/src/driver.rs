@@ -36,7 +36,9 @@ use serde::{Deserialize, Serialize};
 
 use sea_arch::{Architecture, LevelSet, ScalingVector, SerModel};
 use sea_sched::metrics::{EvalContext, ExposurePolicy, MappingEvaluation};
-use sea_sched::{incremental_default, IncrementalEvaluator, Mapping};
+use sea_sched::{
+    incremental_default, prune_default, tm_lower_bound, IncrementalEvaluator, Mapping,
+};
 use sea_taskgraph::{Application, TaskGraphSoa};
 
 use crate::clock::WallClock;
@@ -124,6 +126,17 @@ pub struct OptimizerConfig {
     /// for the simpler code path. Defaults to
     /// [`sea_sched::incremental_default`] (`SEA_INCREMENTAL=0` disables).
     pub incremental: bool,
+    /// Whether provably-doomed scaling chunks (every scaling's
+    /// [`tm_lower_bound`] beyond the deadline) are *skipped*. The skip
+    /// set is a pure function of (application, architecture) — never of
+    /// this flag — so outcomes are bitwise identical either way:
+    /// `prune = false` is a verification mode that searches the doomed
+    /// chunks anyway, asserts the bound told the truth, and then
+    /// discards the results (debug builds always verify, and CI's
+    /// `pruning-equivalence` job pins the release-mode equivalence).
+    /// Defaults to [`sea_sched::prune_default`] (`SEA_PRUNE=0`
+    /// disables).
+    pub prune: bool,
 }
 
 impl OptimizerConfig {
@@ -143,6 +156,7 @@ impl OptimizerConfig {
             seed: 0x5EA,
             jobs: default_jobs(),
             incremental: incremental_default(),
+            prune: prune_default(),
         }
     }
 
@@ -184,6 +198,15 @@ impl OptimizerConfig {
         self.incremental = incremental;
         self
     }
+
+    /// Enables or disables skipping provably-doomed scaling chunks
+    /// (non-consuming builder); outcomes are identical either way —
+    /// `false` verifies the bound instead of trusting it.
+    #[must_use]
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
 }
 
 /// One fully-specified design: scaling vector + mapping + its evaluation.
@@ -202,11 +225,14 @@ pub struct DesignPoint {
 pub struct ScalingOutcome {
     /// The scaling combination explored.
     pub scaling: ScalingVector,
-    /// Best design found for this scaling.
+    /// Best design found for this scaling. `None` when the scaling was
+    /// pruned: [`tm_lower_bound`] proved no mapping can meet the
+    /// deadline, so no search ran and no design exists to record.
     pub best: Option<DesignPoint>,
-    /// Whether that design meets the deadline.
+    /// Whether that design meets the deadline (always `false` for
+    /// pruned scalings — that is exactly what the bound proved).
     pub feasible: bool,
-    /// Evaluations spent on this scaling.
+    /// Evaluations spent on this scaling (0 for pruned scalings).
     pub evaluations: usize,
 }
 
@@ -228,6 +254,20 @@ impl OptimizationOutcome {
     #[must_use]
     pub fn at_scaling(&self, scaling: &ScalingVector) -> Option<&ScalingOutcome> {
         self.explored.iter().find(|o| &o.scaling == scaling)
+    }
+
+    /// Scalings skipped because [`tm_lower_bound`] proved them
+    /// infeasible for every mapping (observability; derived from the
+    /// exploration records, so it costs nothing in the encoding).
+    #[must_use]
+    pub fn scalings_pruned(&self) -> usize {
+        self.explored.iter().filter(|o| o.best.is_none()).count()
+    }
+
+    /// Scalings actually searched.
+    #[must_use]
+    pub fn scalings_searched(&self) -> usize {
+        self.explored.len() - self.scalings_pruned()
     }
 }
 
@@ -326,34 +366,75 @@ impl DesignOptimizer {
             .map(|raw| ScalingVector::try_new(raw, arch))
             .collect::<Result<Vec<_>, _>>()?;
         let n_chunks = scalings.len().div_ceil(SCALING_CHUNK);
-        let jobs = jobs.clamp(1, n_chunks.max(1));
 
-        let chunk_results: Vec<Result<ChunkOutcome, OptError>> = if jobs == 1 {
-            (0..n_chunks)
-                .map(|k| self.explore_chunk(app, soa, &scalings, k))
-                .collect()
-        } else {
-            self.explore_parallel(app, soa, &scalings, n_chunks, jobs)
-        };
+        // Bound-and-prune: a chunk whose every scaling has a
+        // mapping-independent TM lower bound beyond the deadline cannot
+        // contribute a feasible design, and — because warm-start chains
+        // are confined to chunks — skipping it cannot perturb any other
+        // chunk's search. The skip set depends only on the problem
+        // (never on `config.prune` or the job count), so pruned runs
+        // stay bitwise identical to verification runs.
+        let deadline = app.deadline_s();
+        let doomed = chunk_doomed(soa, app, arch, &scalings);
+        let live: Vec<usize> = (0..n_chunks).filter(|&k| !doomed[k]).collect();
+        let dead: Vec<usize> = (0..n_chunks).filter(|&k| doomed[k]).collect();
+
+        let live_results = self.explore_chunks(app, soa, &scalings, &live, jobs);
+
+        // Verification mode (`SEA_PRUNE=0`, and every debug build):
+        // search the doomed chunks anyway and let the merge below assert
+        // that none of them holds a feasible design.
+        let verify = !self.config.prune || cfg!(debug_assertions);
+        let mut dead_results: Option<Vec<Result<ChunkOutcome, OptError>>> =
+            if verify && !dead.is_empty() {
+                Some(self.explore_chunks(app, soa, &scalings, &dead, jobs))
+            } else {
+                None
+            };
 
         // Merge in enumeration order; the fold below then reproduces the
-        // sequential selection exactly.
+        // sequential selection exactly. Pruned chunks contribute
+        // placeholder records (no design, zero evaluations) in *both*
+        // modes; verification results are checked and discarded.
         let mut explored = Vec::with_capacity(scalings.len());
         let mut total_evaluations = 0usize;
-        for result in chunk_results {
-            let chunk = result?;
-            total_evaluations += chunk.extra_evaluations;
-            explored.extend(chunk.outcomes);
+        let mut doomed_designs: Vec<DesignPoint> = Vec::new();
+        let mut live_iter = live_results.into_iter();
+        let mut dead_iter = dead_results.take().map(Vec::into_iter);
+        for (k, &chunk_doomed) in doomed.iter().enumerate() {
+            if chunk_doomed {
+                if let Some(iter) = dead_iter.as_mut() {
+                    let chunk = iter.next().expect("one result per doomed chunk")?;
+                    check_doomed_chunk(&chunk, deadline);
+                    doomed_designs.extend(chunk.outcomes.into_iter().filter_map(|o| o.best));
+                }
+                explored.extend(
+                    scalings
+                        .iter()
+                        .enumerate()
+                        .skip(k * SCALING_CHUNK)
+                        .take(SCALING_CHUNK)
+                        .map(|(_, s)| ScalingOutcome {
+                            scaling: s.clone(),
+                            best: None,
+                            feasible: false,
+                            evaluations: 0,
+                        }),
+                );
+            } else {
+                let chunk = live_iter.next().expect("one result per live chunk")?;
+                total_evaluations += chunk.extra_evaluations;
+                explored.extend(chunk.outcomes);
+            }
         }
 
         let mut best: Option<DesignPoint> = None;
         let mut best_tm = f64::INFINITY;
         for outcome in &explored {
             total_evaluations += outcome.evaluations;
-            let point = outcome
-                .best
-                .as_ref()
-                .expect("every explored scaling records its best design");
+            let Some(point) = outcome.best.as_ref() else {
+                continue; // pruned — provably infeasible, nothing to rank
+            };
             best_tm = best_tm.min(point.evaluation.tm_seconds);
             if outcome.feasible {
                 let replace = match &best {
@@ -372,47 +453,86 @@ impl DesignOptimizer {
                 explored,
                 total_evaluations,
             }),
-            None => Err(OptError::Infeasible {
-                best_tm_seconds: best_tm,
-                deadline_s: app.deadline_s(),
-            }),
+            None => {
+                // The closest-design diagnostic quantifies over the
+                // *whole* enumeration. Runs that skipped doomed chunks
+                // search them now (verification runs already did); the
+                // rerun is chunk-local and globally seeded, so the
+                // reported TM is byte-exact across modes.
+                if doomed_designs.is_empty() && !dead.is_empty() {
+                    for result in self.explore_chunks(app, soa, &scalings, &dead, jobs) {
+                        let chunk = result?;
+                        check_doomed_chunk(&chunk, deadline);
+                        doomed_designs.extend(chunk.outcomes.into_iter().filter_map(|o| o.best));
+                    }
+                }
+                for point in &doomed_designs {
+                    best_tm = best_tm.min(point.evaluation.tm_seconds);
+                }
+                Err(OptError::Infeasible {
+                    best_tm_seconds: best_tm,
+                    deadline_s: deadline,
+                })
+            }
         }
     }
 
-    /// Fans chunks out over a scoped worker pool. Workers pull chunk
-    /// indices from a shared counter (dynamic load balancing) and report
-    /// `(index, result)` over a channel; the results land in index order
-    /// regardless of completion order.
+    /// Runs `chunks` (a list of chunk indices) and returns one result
+    /// per entry, in order. Fans out over up to `jobs` workers when it
+    /// pays.
+    fn explore_chunks(
+        &self,
+        app: &Application,
+        soa: &Arc<TaskGraphSoa>,
+        scalings: &[ScalingVector],
+        chunks: &[usize],
+        jobs: usize,
+    ) -> Vec<Result<ChunkOutcome, OptError>> {
+        let jobs = jobs.clamp(1, chunks.len().max(1));
+        if jobs == 1 {
+            chunks
+                .iter()
+                .map(|&k| self.explore_chunk(app, soa, scalings, k))
+                .collect()
+        } else {
+            self.explore_parallel(app, soa, scalings, chunks, jobs)
+        }
+    }
+
+    /// Fans chunks out over a scoped worker pool. Workers pull slots of
+    /// the `chunks` list from a shared counter (dynamic load balancing)
+    /// and report `(slot, result)` over a channel; the results land in
+    /// list order regardless of completion order.
     fn explore_parallel(
         &self,
         app: &Application,
         soa: &Arc<TaskGraphSoa>,
         scalings: &[ScalingVector],
-        n_chunks: usize,
+        chunks: &[usize],
         jobs: usize,
     ) -> Vec<Result<ChunkOutcome, OptError>> {
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<Result<ChunkOutcome, OptError>>> =
-            (0..n_chunks).map(|_| None).collect();
+            chunks.iter().map(|_| None).collect();
         std::thread::scope(|s| {
             let (tx, rx) = mpsc::channel();
             for _ in 0..jobs {
                 let tx = tx.clone();
                 let next = &next;
                 s.spawn(move || loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= n_chunks {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= chunks.len() {
                         break;
                     }
-                    let result = self.explore_chunk(app, soa, scalings, k);
-                    if tx.send((k, result)).is_err() {
+                    let result = self.explore_chunk(app, soa, scalings, chunks[slot]);
+                    if tx.send((slot, result)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            for (k, result) in rx {
-                slots[k] = Some(result);
+            for (slot, result) in rx {
+                slots[slot] = Some(result);
             }
         });
         slots
@@ -497,6 +617,29 @@ impl DesignOptimizer {
         })
     }
 
+    /// The number of scalings this optimizer would actually search for
+    /// `app` — the enumeration size minus the scalings in pruned chunks.
+    /// The basis of the campaign/dist per-unit cost model (expected work
+    /// ≈ surviving scalings × per-scaling budget); completion-order
+    /// scheduling built on it never changes any report, so an estimate
+    /// is all that is needed.
+    #[must_use]
+    pub fn surviving_scalings(&self, app: &Application, soa: &TaskGraphSoa) -> usize {
+        let arch = &self.config.arch;
+        let Ok(scalings) = ScalingIter::for_architecture(arch)
+            .map(|raw| ScalingVector::try_new(raw, arch))
+            .collect::<Result<Vec<_>, _>>()
+        else {
+            return 0;
+        };
+        let doomed = chunk_doomed(soa, app, arch, &scalings);
+        scalings
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !doomed[i / SCALING_CHUNK])
+            .count()
+    }
+
     /// True if `candidate` should replace `incumbent` under the selection
     /// policy (both are feasible).
     fn prefer(&self, candidate: &DesignPoint, incumbent: &DesignPoint) -> bool {
@@ -525,6 +668,43 @@ impl DesignOptimizer {
             }
             SelectionPolicy::GammaFirst => cg < ig || (cg == ig && cp < ip),
         }
+    }
+}
+
+/// Per-chunk doom flags: chunk `k` is doomed when **every** scaling in
+/// it has a [`tm_lower_bound`] beyond the deadline, i.e. provably no
+/// mapping at any of its scalings meets the constraint. A pure function
+/// of the problem — the spine of the prune/verify equivalence.
+fn chunk_doomed(
+    soa: &TaskGraphSoa,
+    app: &Application,
+    arch: &Architecture,
+    scalings: &[ScalingVector],
+) -> Vec<bool> {
+    let deadline = app.deadline_s();
+    let mode = app.mode();
+    scalings
+        .chunks(SCALING_CHUNK)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .all(|s| tm_lower_bound(soa, mode, arch, s) > deadline)
+        })
+        .collect()
+}
+
+/// Verification backstop for a searched doomed chunk: the bound claimed
+/// no feasible design exists, so finding one means the bound (or the
+/// scheduler) is broken — fail loudly rather than silently returning a
+/// worse design than an unpruned run would.
+fn check_doomed_chunk(chunk: &ChunkOutcome, deadline_s: f64) {
+    for o in &chunk.outcomes {
+        assert!(
+            !o.feasible,
+            "TM lower bound is unsound: scaling {} was pruned but a mapping \
+             meets the {deadline_s} s deadline",
+            o.scaling
+        );
     }
 }
 
@@ -630,6 +810,126 @@ mod tests {
         assert_eq!(seq.best.scaling, par.best.scaling);
         assert_eq!(seq.best.evaluation, par.best.evaluation);
         assert_eq!(seq.total_evaluations, par.total_evaluations);
+    }
+
+    /// Paper-calibrated architecture, fast budget, deadline tightened so
+    /// the slowest chunk(s) are provably doomed while the problem stays
+    /// feasible — the configuration where pruning actually fires.
+    fn tight_config() -> (sea_taskgraph::Application, OptimizerConfig) {
+        let app = mpeg2::application();
+        let app = app.with_deadline(app.deadline_s() * 0.5).unwrap();
+        let mut cfg = OptimizerConfig::paper(4);
+        cfg.budget = SearchBudget::fast();
+        cfg.jobs = 1;
+        (app, cfg)
+    }
+
+    #[test]
+    fn pruned_chunks_leave_placeholder_outcomes() {
+        let (app, cfg) = tight_config();
+        let out = DesignOptimizer::new(cfg).optimize(&app).unwrap();
+        // The all-slowest chunk is doomed at half the mpeg2 deadline
+        // (pinned by the bound; a change here means the timing model or
+        // the chunk size moved).
+        assert_eq!(out.scalings_pruned(), SCALING_CHUNK);
+        assert_eq!(out.scalings_searched(), 15 - SCALING_CHUNK);
+        for o in &out.explored[..SCALING_CHUNK] {
+            assert!(o.best.is_none());
+            assert!(!o.feasible);
+            assert_eq!(o.evaluations, 0);
+        }
+        for o in &out.explored[SCALING_CHUNK..] {
+            assert!(o.best.is_some());
+        }
+        assert!(out.best.evaluation.meets_deadline);
+    }
+
+    #[test]
+    fn prune_flag_never_changes_the_outcome() {
+        let (app, cfg) = tight_config();
+        let pruned = DesignOptimizer::new(cfg.clone().with_prune(true))
+            .optimize(&app)
+            .unwrap();
+        let verified = DesignOptimizer::new(cfg.with_prune(false))
+            .optimize(&app)
+            .unwrap();
+        assert_eq!(pruned.best.mapping, verified.best.mapping);
+        assert_eq!(pruned.best.scaling, verified.best.scaling);
+        assert_eq!(pruned.best.evaluation, verified.best.evaluation);
+        assert_eq!(pruned.total_evaluations, verified.total_evaluations);
+        assert_eq!(pruned.explored.len(), verified.explored.len());
+        for (a, b) in pruned.explored.iter().zip(&verified.explored) {
+            assert_eq!(a.scaling, b.scaling);
+            assert_eq!(a.feasible, b.feasible);
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.best.is_some(), b.best.is_some());
+        }
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_outcome_under_pruning() {
+        let (app, cfg) = tight_config();
+        let run = |jobs: usize| {
+            DesignOptimizer::new(cfg.clone().with_jobs(jobs))
+                .optimize(&app)
+                .unwrap()
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.best.mapping, par.best.mapping);
+        assert_eq!(seq.best.scaling, par.best.scaling);
+        assert_eq!(seq.total_evaluations, par.total_evaluations);
+        assert_eq!(seq.scalings_pruned(), par.scalings_pruned());
+    }
+
+    #[test]
+    fn infeasible_diagnostic_is_prune_invariant() {
+        // 0.2 × deadline dooms every chunk: the fallback reruns them so
+        // the closest-design diagnostic matches a verification run
+        // byte-for-byte.
+        let (app, cfg) = tight_config();
+        let app = app.with_deadline(app.deadline_s() * 0.4).unwrap();
+        let run = |prune: bool| {
+            DesignOptimizer::new(cfg.clone().with_prune(prune))
+                .optimize(&app)
+                .unwrap_err()
+        };
+        let (a, b) = (run(true), run(false));
+        match (a, b) {
+            (
+                OptError::Infeasible {
+                    best_tm_seconds: ta,
+                    deadline_s: da,
+                },
+                OptError::Infeasible {
+                    best_tm_seconds: tb,
+                    deadline_s: db,
+                },
+            ) => {
+                assert_eq!(ta.to_bits(), tb.to_bits());
+                assert_eq!(da.to_bits(), db.to_bits());
+            }
+            other => panic!("expected Infeasible on both, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn surviving_scalings_matches_exploration() {
+        let (app, cfg) = tight_config();
+        let optimizer = DesignOptimizer::new(cfg);
+        let soa = TaskGraphSoa::new(&app);
+        let out = optimizer.optimize(&app).unwrap();
+        assert_eq!(
+            optimizer.surviving_scalings(&app, &soa),
+            out.scalings_searched()
+        );
+        // Loose deadlines: nothing survives pruning's scrutiny... i.e.
+        // everything survives — the bound cannot fire.
+        let loose = mpeg2::application();
+        assert_eq!(
+            optimizer.surviving_scalings(&loose, &TaskGraphSoa::new(&loose)),
+            15
+        );
     }
 
     #[test]

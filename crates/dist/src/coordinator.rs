@@ -41,8 +41,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sea_campaign::{
-    decode_result, unit_hash, CampaignError, Completion, RunConfig, RunOutcome, RunState, Sink,
-    Unit,
+    decode_result, dispatch_order, unit_hash, CampaignError, Completion, RunConfig, RunOutcome,
+    RunState, Sink, Unit,
 };
 
 use crate::frame::{check_handshake, handshake_line, read_frame, write_frame, Frame, FrameKind};
@@ -138,7 +138,7 @@ pub fn serve_units(
     // Coordinator-side cache probe: a hit completes the unit before any
     // dispatch, so a warm cache needs zero network traffic (and zero
     // connected workers).
-    let mut queue: VecDeque<usize> = VecDeque::with_capacity(state.pending().len());
+    let mut misses: Vec<usize> = Vec::with_capacity(state.pending().len());
     let mut halted = false;
     for &i in &state.pending().to_vec() {
         let hit = cache.and_then(|c| c.load(&units[i]));
@@ -154,9 +154,14 @@ pub fn serve_units(
                     break;
                 }
             }
-            None => queue.push_back(i),
+            None => misses.push(i),
         }
     }
+    // Most-expensive-first dispatch, the same cost model as the local
+    // pool: the straggler that bounds the fleet's makespan starts first.
+    // Results slot by enumeration index, so the order never changes a
+    // report.
+    let mut queue: VecDeque<usize> = dispatch_order(units, &misses).into();
 
     if state.outstanding() == 0 || halted {
         return state.finish(sink);
@@ -185,6 +190,12 @@ pub fn serve_units(
                 };
                 if stop_ref.load(Ordering::SeqCst) {
                     break; // the teardown wake-up (or a post-completion join)
+                }
+                // Nagle would hold each small Work/Result/Heartbeat frame
+                // back a round-trip; a socket that cannot take the option
+                // is not worth a connection slot.
+                if crate::configure_stream(&stream).is_err() {
+                    continue;
                 }
                 let id = next_id;
                 next_id += 1;

@@ -53,6 +53,19 @@ pub(crate) fn terr(msg: impl Into<String>) -> CampaignError {
     CampaignError::Transport(msg.into())
 }
 
+/// Socket options every dispatch connection runs with, applied by the
+/// coordinator on accept and the worker on connect. `TCP_NODELAY` is
+/// essential here: the protocol exchanges small Work/Result/Heartbeat
+/// frames in a strict request/response rhythm, exactly the pattern
+/// Nagle's algorithm holds back a round-trip at a time.
+///
+/// # Errors
+///
+/// Propagates the `setsockopt` failure.
+pub fn configure_stream(stream: &std::net::TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true)
+}
+
 /// Runs `units` through a localhost coordinator plus `workers` in-process
 /// TCP workers — the full network path on one machine. The coordinator
 /// owns the persistence configuration (`config.cache` is probed before

@@ -29,7 +29,8 @@ use sea_taskgraph::{
 
 /// Unit-encoding version (bump on any canonical-encoding change so a
 /// mixed-version fleet refuses work instead of silently misreading it).
-pub const WIRE_VERSION: u32 = 1;
+/// v2: the `scaled` app-ref production (campaign `deadline_scale`).
+pub const WIRE_VERSION: u32 = 2;
 
 fn err(msg: impl Into<String>) -> CodecError {
     CodecError(msg.into())
@@ -276,6 +277,14 @@ fn push_app_ref(out: &mut String, app: &AppRef) {
             codec::push_tok(out, "inline");
             push_application(out, app);
         }
+        AppRef::Scaled {
+            spec,
+            deadline_scale,
+        } => {
+            codec::push_tok(out, "scaled");
+            push_str(out, &spec.to_string());
+            codec::push_f64(out, *deadline_scale);
+        }
     }
 }
 
@@ -289,6 +298,16 @@ fn next_app_ref(t: &mut Tokens<'_>) -> Result<AppRef, CodecError> {
             Ok(AppRef::Spec(spec))
         }
         "inline" => Ok(AppRef::Inline(Arc::new(next_application(t)?))),
+        "scaled" => {
+            let text = next_str(t)?;
+            let spec: AppSpec = text
+                .parse()
+                .map_err(|e| err(format!("bad app spec `{text}`: {e}")))?;
+            Ok(AppRef::Scaled {
+                spec,
+                deadline_scale: t.next_f64()?,
+            })
+        }
         other => Err(err(format!("unknown app tag `{other}`"))),
     }
 }
@@ -474,6 +493,13 @@ mod tests {
             ser: 1.234e-9,
         };
         u.cores = 4;
+        units.push(u);
+        // A deadline-scaled workload (campaign `deadline_scale` key).
+        let mut u = units[1].clone();
+        u.app = AppRef::Scaled {
+            spec: AppSpec::Mpeg2,
+            deadline_scale: 0.4,
+        };
         units.push(u);
         units
     }

@@ -70,7 +70,11 @@ fn connect(addr: &str, retry: Duration) -> Result<TcpStream, CampaignError> {
     let deadline = Instant::now() + retry;
     loop {
         match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
+            Ok(stream) => {
+                crate::configure_stream(&stream)
+                    .map_err(|e| terr(format!("cannot configure the dispatch socket: {e}")))?;
+                return Ok(stream);
+            }
             Err(e) if Instant::now() < deadline => {
                 let _ = e;
                 std::thread::sleep(Duration::from_millis(100));

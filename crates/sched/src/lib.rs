@@ -17,6 +17,9 @@
 //!   cached-schedule wrapper that replays only the suffix a single
 //!   neighbourhood move can invalidate, bitwise identical to the full
 //!   path (see the README's "Engine internals" section).
+//! * [`bounds`] — mapping-independent lower bounds on `TM`
+//!   ([`tm_lower_bound`]), the foundation of `sea-opt`'s bound-and-prune
+//!   scaling enumeration.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 //! # }
 //! ```
 
+pub mod bounds;
 pub mod evaluator;
 pub mod incremental;
 pub mod mapping;
@@ -51,6 +55,7 @@ pub mod metrics;
 pub mod recovery;
 pub mod schedule;
 
+pub use bounds::{prune_default, tm_lower_bound};
 pub use evaluator::Evaluator;
 pub use incremental::{
     fallback_cutoff, incremental_default, summaries_bitwise_eq, IncrementalEvaluator,

@@ -75,6 +75,18 @@ pub struct TaskGraphSoa {
     pos: Vec<u32>,
     /// The application's deadline in seconds.
     deadline_s: f64,
+    /// Sum of all per-task computation costs, in cycles.
+    total_wcec: f64,
+    /// Largest single-task computation cost, in cycles.
+    max_wcec: f64,
+    /// Computation-only critical path in cycles: the longest path through
+    /// the DAG counting task costs but **no** communication. Unlike
+    /// [`TaskGraphSoa::bottom_levels`] (which include edge costs because
+    /// the list scheduler's priority must anticipate communication), this
+    /// is a valid ingredient for mapping-independent `TM` lower bounds —
+    /// communication is only charged when an edge crosses cores, which a
+    /// bound quantifying over *all* mappings cannot assume.
+    comp_critical_path: f64,
 }
 
 impl TaskGraphSoa {
@@ -122,6 +134,21 @@ impl TaskGraphSoa {
         let (order, pos) =
             static_schedule_order(n, &pred_count, &succ_off, &succ_adj, &bottom_levels);
 
+        let total_wcec: f64 = wcec.iter().sum();
+        let max_wcec = wcec.iter().fold(0.0f64, |acc, &w| acc.max(w));
+        // Computation-only downstream critical path, walked in reverse
+        // topological order (`order` is topological, so every successor's
+        // value is final before its predecessors read it).
+        let mut comp_bl = vec![0.0f64; n];
+        for &t in order.iter().rev() {
+            let i = t.index();
+            let tail = succ_adj[succ_off[i] as usize..succ_off[i + 1] as usize]
+                .iter()
+                .fold(0.0f64, |acc, &(s, _)| acc.max(comp_bl[s as usize]));
+            comp_bl[i] = wcec[i] + tail;
+        }
+        let comp_critical_path = comp_bl.iter().fold(0.0f64, |acc, &x| acc.max(x));
+
         TaskGraphSoa {
             n,
             wcec,
@@ -134,6 +161,9 @@ impl TaskGraphSoa {
             order,
             pos,
             deadline_s,
+            total_wcec,
+            max_wcec,
+            comp_critical_path,
         }
     }
 
@@ -227,6 +257,26 @@ impl TaskGraphSoa {
     #[must_use]
     pub fn deadline_s(&self) -> f64 {
         self.deadline_s
+    }
+
+    /// Total computation cost of all tasks, in cycles.
+    #[must_use]
+    pub fn total_wcec(&self) -> f64 {
+        self.total_wcec
+    }
+
+    /// Largest single-task computation cost, in cycles.
+    #[must_use]
+    pub fn max_wcec(&self) -> f64 {
+        self.max_wcec
+    }
+
+    /// Computation-only critical path in cycles (no communication —
+    /// see the field docs for why bounds need this instead of
+    /// [`TaskGraphSoa::bottom_levels`]).
+    #[must_use]
+    pub fn comp_critical_path(&self) -> f64 {
+        self.comp_critical_path
     }
 }
 
@@ -334,6 +384,47 @@ mod tests {
         let soa = TaskGraphSoa::from_graph(&g, 1.0);
         assert_eq!(soa.schedule_order()[0], head);
         assert_eq!(soa.schedule_order()[2], solo);
+    }
+
+    #[test]
+    fn work_aggregates_match_graph() {
+        let app = mpeg2::application();
+        let g = app.graph();
+        let soa = TaskGraphSoa::new(&app);
+        let total: f64 = g.task_ids().map(|t| g.task(t).computation().as_f64()).sum();
+        let max = g
+            .task_ids()
+            .map(|t| g.task(t).computation().as_f64())
+            .fold(0.0f64, f64::max);
+        assert_eq!(soa.total_wcec(), total);
+        assert_eq!(soa.max_wcec(), max);
+        // The computation-only critical path ignores edge costs, so it is
+        // bounded by the comm-inclusive bottom level and by the total
+        // work, and is at least the heaviest task.
+        let bl_max = g
+            .bottom_levels()
+            .iter()
+            .map(|c| c.as_f64())
+            .fold(0.0f64, f64::max);
+        assert!(soa.comp_critical_path() <= bl_max);
+        assert!(soa.comp_critical_path() <= total);
+        assert!(soa.comp_critical_path() >= max);
+    }
+
+    #[test]
+    fn comp_critical_path_follows_longest_chain() {
+        // head(100) -> tail(400) chain: comp CP = 500, even with a heavy
+        // edge cost that bottom levels would count.
+        let mut b = TaskGraphBuilder::new("cp");
+        let head = b.add_task("head", Cycles::new(100));
+        let tail = b.add_task("tail", Cycles::new(400));
+        let _solo = b.add_task("solo", Cycles::new(450));
+        b.add_edge(head, tail, Cycles::new(10_000)).unwrap();
+        let g = b.build().unwrap();
+        let soa = TaskGraphSoa::from_graph(&g, 1.0);
+        assert_eq!(soa.comp_critical_path(), 500.0);
+        assert_eq!(soa.max_wcec(), 450.0);
+        assert_eq!(soa.total_wcec(), 950.0);
     }
 
     #[test]

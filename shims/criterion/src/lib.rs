@@ -7,9 +7,23 @@
 //! reporting. No statistics beyond that — swap in real criterion by
 //! repointing `[workspace.dependencies] criterion` at the registry.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Per-bench statistics collected for the machine-readable summary.
+#[derive(Debug, Clone)]
+struct BenchStat {
+    id: String,
+    min_ns: u128,
+    median_ns: u128,
+    samples: usize,
+}
+
+/// Process-wide result registry feeding [`write_summary`]. A bench
+/// binary runs its groups sequentially, so a plain mutex suffices.
+static RESULTS: Mutex<Vec<BenchStat>> = Mutex::new(Vec::new());
 
 /// How `iter_batched` amortizes setup; only a compile-compatibility token
 /// here (the shim always re-runs setup per iteration, outside the timer).
@@ -124,12 +138,82 @@ fn report(id: &str, timings: &[Duration]) {
     let mean = total / timings.len() as u32;
     let min = timings.iter().min().expect("non-empty");
     let max = timings.iter().max().expect("non-empty");
+    let mut sorted: Vec<Duration> = timings.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
     println!(
         "{id:<48} time: [{} {} {}]",
         fmt_duration(*min),
         fmt_duration(mean),
         fmt_duration(*max)
     );
+    RESULTS
+        .lock()
+        .expect("bench registry poisoned")
+        .push(BenchStat {
+            id: id.to_string(),
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            samples: timings.len(),
+        });
+}
+
+/// Writes every benchmark recorded so far as one JSON object to the path
+/// named by the `SEA_BENCH_JSON` environment variable (one file per bench
+/// binary — run targets separately and merge, e.g. with `jq -s`). A no-op
+/// when the variable is unset, so plain `cargo bench` stays file-free.
+/// Called automatically by [`criterion_main!`]; bench targets with a
+/// hand-written `main` call it last.
+pub fn write_summary(target: &str) {
+    if let Ok(path) = std::env::var("SEA_BENCH_JSON") {
+        if let Err(e) = write_summary_to(std::path::Path::new(&path), target) {
+            eprintln!("warning: cannot write bench summary to `{path}`: {e}");
+        }
+    }
+}
+
+/// [`write_summary`] with an explicit path (and no env coupling, for tests).
+///
+/// # Errors
+///
+/// Propagates the underlying `std::fs::write` failure.
+pub fn write_summary_to(path: &std::path::Path, target: &str) -> std::io::Result<()> {
+    let results = RESULTS.lock().expect("bench registry poisoned");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"target\": {},\n  \"unit\": \"ns\",\n  \"benches\": [",
+        json_string(target)
+    ));
+    for (i, s) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"id\": {}, \"min_ns\": {}, \"median_ns\": {}, \"samples\": {}}}",
+            json_string(&s.id),
+            s.min_ns,
+            s.median_ns,
+            s.samples
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Minimal JSON string encoder (bench ids are plain ASCII, but stay safe).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -163,12 +247,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit the bench binary's `main`, running each group in order.
+/// Emit the bench binary's `main`, running each group in order, then
+/// writing the machine-readable summary (when `SEA_BENCH_JSON` is set).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_summary(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -189,6 +275,36 @@ mod tests {
             });
         });
         assert!(runs >= 3, "expected >= 3 runs, got {runs}");
+    }
+
+    #[test]
+    fn summary_json_records_min_and_median() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("shim/json \"quoted\"", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+        });
+        let path = std::env::temp_dir().join(format!("sea-bench-{}.json", std::process::id()));
+        write_summary_to(&path, "shim_target").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"target\": \"shim_target\""));
+        assert!(text.contains("\"id\": \"shim/json \\\"quoted\\\"\""));
+        assert!(text.contains("\"min_ns\": "));
+        assert!(text.contains("\"median_ns\": "));
+        assert!(text.contains("\"samples\": 5"));
+        // min never exceeds median (both come from the same sorted set).
+        let grab = |key: &str| -> u128 {
+            let i = text.find(key).unwrap() + key.len();
+            text[i..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        assert!(grab("\"min_ns\": ") <= grab("\"median_ns\": "));
     }
 
     #[test]

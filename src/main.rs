@@ -326,11 +326,30 @@ fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
             outcome.cache_hits, outcome.executed
         );
     }
+    pruning_summary(&outcome.units);
     // A truncated final report (full disk, closed pipe) must not exit 0.
     if let Some(e) = sink.take_io_error() {
         return Err(format!("writing the campaign report failed: {e}"));
     }
     Ok(())
+}
+
+/// Folds the optimizer's bound-pruning counters over every design
+/// payload this process actually executed (cache-restored and resumed
+/// units are record-only, so they contribute nothing) and reports them
+/// on **stderr** — the stdout report must stay byte-identical whether
+/// or not pruning fired.
+fn pruning_summary(units: &[sea_dse::campaign::UnitOutcome]) {
+    let (pruned, searched) = units
+        .iter()
+        .filter_map(sea_dse::campaign::UnitOutcome::result)
+        .filter_map(|r| r.payload.outcome())
+        .fold((0usize, 0usize), |(p, s), o| {
+            (p + o.scalings_pruned(), s + o.scalings_searched())
+        });
+    if pruned + searched > 0 {
+        eprintln!("pruning: {pruned} scaling(s) pruned by TM bound, {searched} searched");
+    }
 }
 
 fn run_serve(s: &ServeArgs) -> Result<(), String> {
@@ -382,6 +401,7 @@ fn run_serve(s: &ServeArgs) -> Result<(), String> {
             outcome.cache_hits, outcome.executed
         );
     }
+    pruning_summary(&outcome.units);
     if let Some(e) = sink.take_io_error() {
         return Err(format!("writing the campaign report failed: {e}"));
     }
@@ -584,4 +604,12 @@ fn print_outcome(out: &OptimizationOutcome, csv: bool) {
         out.explored.len(),
         out.total_evaluations
     );
+    // stderr, like all progress: stdout is the machine-readable result.
+    if out.scalings_pruned() > 0 {
+        eprintln!(
+            "pruning: {} of {} scaling(s) pruned by TM bound",
+            out.scalings_pruned(),
+            out.explored.len()
+        );
+    }
 }

@@ -13,7 +13,9 @@ use sea_dse::campaign::{
     csv_report, human_report, jsonl_report, open_journal, parse_campaign, run_units, Cache,
     NullSink, RunConfig, Unit, UnitRecord,
 };
-use sea_dse::dist::{run_distributed_local, run_worker, serve_units, ServeConfig, WorkerConfig};
+use sea_dse::dist::{
+    configure_stream, run_distributed_local, run_worker, serve_units, ServeConfig, WorkerConfig,
+};
 use sea_dse::experiments::campaigns::builtin;
 
 static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
@@ -47,6 +49,23 @@ fn local_golden(units: &[Unit]) -> (String, String, String) {
     let results = run_units(units, 2, &mut NullSink).unwrap();
     let records: Vec<UnitRecord> = results.iter().map(|r| r.record.clone()).collect();
     reports(&records)
+}
+
+#[test]
+fn dispatch_streams_disable_nagle() {
+    // Both transport endpoints (coordinator accept, worker connect) run
+    // their sockets through `configure_stream`; the protocol's small
+    // request/response frames must not sit in Nagle's buffer a
+    // round-trip at a time.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::net::TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    for stream in [&client, &server] {
+        assert!(!stream.nodelay().unwrap(), "NODELAY is off by default");
+        configure_stream(stream).unwrap();
+        assert!(stream.nodelay().unwrap(), "configure_stream sets NODELAY");
+    }
 }
 
 #[test]

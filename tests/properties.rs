@@ -132,6 +132,50 @@ proptest! {
         prop_assert_eq!(sorted.len(), combos.len());
     }
 
+    /// The mapping-independent `TM` lower bound that drives the
+    /// optimizer's chunk pruning never exceeds the scheduler's achieved
+    /// makespan — for any random graph, any mapping, every scaling
+    /// vector, in both execution modes. This is the soundness property
+    /// that makes `tm_lower_bound(..) > deadline` a safe prune test.
+    #[test]
+    fn tm_lower_bound_never_exceeds_achieved_makespan(
+        app in arb_application(),
+        raw_mapping in proptest::collection::vec(0usize..3, 24),
+        iterations in 1u32..6,
+    ) {
+        use sea_dse::sched::tm_lower_bound;
+        use sea_dse::taskgraph::TaskGraphSoa;
+
+        let arch = Architecture::homogeneous(3, LevelSet::arm7_three_level());
+        let n = app.graph().len();
+        let mapping = Mapping::try_new(
+            raw_mapping[..n].iter().map(|&c| CoreId::new(c)).collect(),
+            3,
+        ).unwrap();
+        // Same graph both ways: batch as generated, pipelined rebuilt.
+        let pipelined = Application::new(
+            app.name(),
+            app.graph().clone(),
+            app.registers().clone(),
+            ExecutionMode::Pipelined { iterations },
+            app.deadline_s(),
+        ).unwrap();
+        for app in [&app, &pipelined] {
+            let soa = TaskGraphSoa::new(app);
+            let ctx = EvalContext::new(app, &arch);
+            for raw in ScalingIter::new(3, 3) {
+                let scaling = ScalingVector::try_new(raw, &arch).unwrap();
+                let lb = tm_lower_bound(&soa, app.mode(), &arch, &scaling);
+                let tm = ctx.evaluate(&mapping, &scaling).unwrap().tm_seconds;
+                prop_assert!(
+                    lb <= tm,
+                    "bound {lb} exceeds achieved TM {tm} ({:?}, scaling {scaling})",
+                    app.mode(),
+                );
+            }
+        }
+    }
+
     /// Applying a move and its inverse restores the mapping.
     #[test]
     fn moves_are_invertible(
