@@ -1,0 +1,788 @@
+//! Campaign analytics: aggregate tables over flat unit records.
+//!
+//! The paper's deliverables are aggregates — win-rate comparisons
+//! (Fig. 10), power/reliability trade-off fronts — while the sinks emit
+//! flat per-unit records. This module closes that gap with four
+//! aggregate families computed from a [`UnitRecord`] list alone:
+//!
+//! 1. **Win rates** — proposed (`optimize`) vs. each baseline kind, per
+//!    app: records pair up positionally within an `(app, cores, levels)`
+//!    configuration group (enumeration order), and a pair is a win when
+//!    the proposed Γ is at or below the baseline's Γ times
+//!    [`GAMMA_WIN_TOLERANCE`] — the exact Fig. 10 rule ([`WinTally`] is
+//!    the primitive `sea-experiments`' fig10 folds its matched points
+//!    through).
+//! 2. **Pareto fronts** over (P, Γ), per app: a design is dominated when
+//!    another design of the same app has power and Γ both at-or-below
+//!    with at least one strictly below. Dominated rows are explicitly
+//!    marked with their first dominator's index.
+//! 3. **Best design per app** — minimum P·Γ product (the paper's joint
+//!    selection objective), ties broken toward the earliest enumeration
+//!    index.
+//! 4. **Cross-seed spread** — min/median/max per scenario × app group
+//!    and metric. The median is the lower middle element after sorting:
+//!    an observed value, never an average of two runs.
+//!
+//! Only records with `status == "ok"` and finite metrics participate;
+//! non-finite values are excluded the same way the CSV/JSONL renderers
+//! suppress them. Every aggregate is a pure function of the record list
+//! in enumeration order, so the rendered sections are **byte-identical**
+//! wherever the records come from: a live run (`sea-dse campaign
+//! --report-aggregates`), a `--resume` journal, or a result-cache
+//! directory (`sea-dse report <journal|cache-dir>`) — with zero units
+//! re-evaluated.
+
+use std::fmt::Write as _;
+
+use crate::sink::{ascii_table, csv_escape, json_escape, json_field_f64};
+use crate::unit::UnitRecord;
+
+/// The Fig. 10 win tolerance: the proposed flow wins a comparison when
+/// its Γ is at most the baseline's Γ times this factor (ties and
+/// sub-0.1 % regressions count as wins — the paper's "at or below").
+pub const GAMMA_WIN_TOLERANCE: f64 = 1.001;
+
+/// The Fig. 10 comparison rule: does a proposed Γ beat (or tie within
+/// tolerance) a baseline Γ?
+#[must_use]
+pub fn gamma_win(baseline_gamma: f64, proposed_gamma: f64) -> bool {
+    proposed_gamma <= baseline_gamma * GAMMA_WIN_TOLERANCE
+}
+
+/// Running win/total tally over [`gamma_win`] comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WinTally {
+    /// Comparisons the proposed side won.
+    pub wins: usize,
+    /// Comparisons observed.
+    pub total: usize,
+}
+
+impl WinTally {
+    /// Folds one baseline-vs-proposed Γ comparison into the tally.
+    pub fn observe(&mut self, baseline_gamma: f64, proposed_gamma: f64) {
+        self.total += 1;
+        if gamma_win(baseline_gamma, proposed_gamma) {
+            self.wins += 1;
+        }
+    }
+
+    /// Win fraction in `0..=1` (`0.0` when nothing was observed).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.wins as f64 / self.total as f64
+        }
+    }
+}
+
+/// One win-rate table row: proposed vs. one baseline kind on one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WinRateRow {
+    /// The baseline's record kind (e.g. `baseline:tmr`).
+    pub baseline_kind: String,
+    /// Application label.
+    pub app: String,
+    /// The comparison tally.
+    pub tally: WinTally,
+}
+
+/// One Pareto-table row: a plottable design and its dominance status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoRow {
+    /// Enumeration index of the record.
+    pub index: usize,
+    /// Application label.
+    pub app: String,
+    /// Record kind.
+    pub kind: String,
+    /// Power (mW).
+    pub power_mw: f64,
+    /// Expected SEUs (Γ).
+    pub gamma: f64,
+    /// `None` = on the Pareto front; `Some(i)` = dominated, and `i` is
+    /// the lowest-index record of the same app that dominates it.
+    pub dominated_by: Option<usize>,
+}
+
+/// The winning design of one app (minimum P·Γ product).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestRow {
+    /// Application label.
+    pub app: String,
+    /// Enumeration index of the winning record.
+    pub index: usize,
+    /// Record kind.
+    pub kind: String,
+    /// Scenario the record came from.
+    pub scenario: String,
+    /// Power (mW).
+    pub power_mw: f64,
+    /// Expected SEUs (Γ).
+    pub gamma: f64,
+    /// Mode-period makespan, when the record carries one.
+    pub tm_seconds: Option<f64>,
+    /// Selected scaling vector, when the record carries one.
+    pub scaling: Option<String>,
+}
+
+/// Min/median/max of one metric over one scenario × app group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Application label.
+    pub app: String,
+    /// Metric name (`power_mw`, `gamma` or `tm_seconds`).
+    pub metric: &'static str,
+    /// Finite observations in the group.
+    pub count: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Lower-middle observation after sorting.
+    pub median: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// All four aggregate families over one record list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Aggregates {
+    /// Win-rate rows (baseline-kind first-appearance order, then app).
+    pub win_rates: Vec<WinRateRow>,
+    /// Pareto rows (app first-appearance order, enumeration order
+    /// within an app).
+    pub pareto: Vec<ParetoRow>,
+    /// Best-design rows (app first-appearance order).
+    pub best: Vec<BestRow>,
+    /// Spread rows (scenario × app first-appearance order; metrics in
+    /// `power_mw`, `gamma`, `tm_seconds` order within a group).
+    pub spread: Vec<SpreadRow>,
+}
+
+impl Aggregates {
+    /// Computes every aggregate from a record list. Pure and
+    /// deterministic: equal record lists produce equal aggregates.
+    #[must_use]
+    pub fn compute(records: &[UnitRecord]) -> Aggregates {
+        Aggregates {
+            win_rates: win_rates(records),
+            pareto: pareto(records),
+            best: best_designs(records),
+            spread: spread(records),
+        }
+    }
+}
+
+/// A record that can sit on a (P, Γ) plot: completed, with both metrics
+/// present and finite.
+fn plottable(r: &UnitRecord) -> Option<(f64, f64)> {
+    if r.status != "ok" {
+        return None;
+    }
+    match (r.power_mw, r.gamma) {
+        (Some(p), Some(g)) if p.is_finite() && g.is_finite() => Some((p, g)),
+        _ => None,
+    }
+}
+
+fn config_key(r: &UnitRecord) -> (&str, usize, usize) {
+    (r.app.as_str(), r.cores, r.levels)
+}
+
+fn win_rates(records: &[UnitRecord]) -> Vec<WinRateRow> {
+    let proposed: Vec<&UnitRecord> = records
+        .iter()
+        .filter(|r| r.kind == "optimize" && plottable(r).is_some())
+        .collect();
+    let baselines: Vec<&UnitRecord> = records
+        .iter()
+        .filter(|r| r.kind.starts_with("baseline:") && plottable(r).is_some())
+        .collect();
+    let mut rows: Vec<WinRateRow> = Vec::new();
+    for (bi, b) in baselines.iter().enumerate() {
+        // Rows appear in (baseline kind, app) first-appearance order even
+        // when a baseline finds no partner, so the table shape never
+        // depends on which side of a comparison completed.
+        let pos = rows
+            .iter()
+            .position(|row| row.baseline_kind == b.kind && row.app == b.app);
+        let row = match pos {
+            Some(i) => &mut rows[i],
+            None => {
+                rows.push(WinRateRow {
+                    baseline_kind: b.kind.clone(),
+                    app: b.app.clone(),
+                    tally: WinTally::default(),
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        // Positional pairing: the k-th baseline of this kind within an
+        // (app, cores, levels) configuration compares against the k-th
+        // proposed record of the same configuration (enumeration order
+        // on both sides — multi-seed scenarios pair seed-for-seed).
+        let ordinal = baselines[..bi]
+            .iter()
+            .filter(|x| x.kind == b.kind && config_key(x) == config_key(b))
+            .count();
+        let partner = proposed
+            .iter()
+            .filter(|p| config_key(p) == config_key(b))
+            .nth(ordinal);
+        if let Some(p) = partner {
+            let (_, bg) = plottable(b).expect("filtered plottable");
+            let (_, pg) = plottable(p).expect("filtered plottable");
+            row.tally.observe(bg, pg);
+        }
+    }
+    rows
+}
+
+fn apps_in_order<'a>(plot: &[(&'a UnitRecord, f64, f64)]) -> Vec<&'a str> {
+    let mut apps: Vec<&str> = Vec::new();
+    for (r, _, _) in plot {
+        if !apps.contains(&r.app.as_str()) {
+            apps.push(r.app.as_str());
+        }
+    }
+    apps
+}
+
+fn pareto(records: &[UnitRecord]) -> Vec<ParetoRow> {
+    let plot: Vec<(&UnitRecord, f64, f64)> = records
+        .iter()
+        .filter_map(|r| plottable(r).map(|(p, g)| (r, p, g)))
+        .collect();
+    let mut rows = Vec::with_capacity(plot.len());
+    for app in apps_in_order(&plot) {
+        let group: Vec<&(&UnitRecord, f64, f64)> =
+            plot.iter().filter(|(r, _, _)| r.app == app).collect();
+        for &&(r, p, g) in &group {
+            // First (lowest-index) strict dominator, if any. Designs at
+            // identical (P, Γ) do not dominate each other: both stay on
+            // the front.
+            let dominated_by = group
+                .iter()
+                .find(|(o, op, og)| {
+                    !std::ptr::eq(*o, r) && *op <= p && *og <= g && (*op < p || *og < g)
+                })
+                .map(|(o, _, _)| o.index);
+            rows.push(ParetoRow {
+                index: r.index,
+                app: r.app.clone(),
+                kind: r.kind.clone(),
+                power_mw: p,
+                gamma: g,
+                dominated_by,
+            });
+        }
+    }
+    rows
+}
+
+fn best_designs(records: &[UnitRecord]) -> Vec<BestRow> {
+    let plot: Vec<(&UnitRecord, f64, f64)> = records
+        .iter()
+        .filter_map(|r| plottable(r).map(|(p, g)| (r, p, g)))
+        .collect();
+    let mut rows = Vec::new();
+    for app in apps_in_order(&plot) {
+        let winner = plot
+            .iter()
+            .filter(|(r, _, _)| r.app == app)
+            // Strict `<` keeps the earliest record on a product tie —
+            // enumeration order is the deterministic tie-break.
+            .reduce(|best, cand| {
+                if cand.1 * cand.2 < best.1 * best.2 {
+                    cand
+                } else {
+                    best
+                }
+            });
+        if let Some(&(r, p, g)) = winner {
+            rows.push(BestRow {
+                app: r.app.clone(),
+                index: r.index,
+                kind: r.kind.clone(),
+                scenario: r.scenario.clone(),
+                power_mw: p,
+                gamma: g,
+                tm_seconds: r.tm_seconds,
+                scaling: r.scaling.clone(),
+            });
+        }
+    }
+    rows
+}
+
+fn spread(records: &[UnitRecord]) -> Vec<SpreadRow> {
+    type Get = fn(&UnitRecord) -> Option<f64>;
+    let metrics: [(&'static str, Get); 3] = [
+        ("power_mw", |r| r.power_mw),
+        ("gamma", |r| r.gamma),
+        ("tm_seconds", |r| r.tm_seconds),
+    ];
+    let ok: Vec<&UnitRecord> = records.iter().filter(|r| r.status == "ok").collect();
+    let mut groups: Vec<(&str, &str)> = Vec::new();
+    for r in &ok {
+        let key = (r.scenario.as_str(), r.app.as_str());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    let mut rows = Vec::new();
+    for (scenario, app) in groups {
+        for (metric, get) in metrics {
+            let mut vals: Vec<f64> = ok
+                .iter()
+                .filter(|r| r.scenario == scenario && r.app == app)
+                .filter_map(|r| get(r))
+                .filter(|v| v.is_finite())
+                .collect();
+            if vals.is_empty() {
+                continue;
+            }
+            vals.sort_by(f64::total_cmp);
+            rows.push(SpreadRow {
+                scenario: scenario.to_string(),
+                app: app.to_string(),
+                metric,
+                count: vals.len(),
+                min: vals[0],
+                median: vals[(vals.len() - 1) / 2],
+                max: *vals.last().expect("non-empty"),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Renderers — one per sink format, pure functions of the record list.
+// ---------------------------------------------------------------------------
+
+fn fmt_human_metric(metric: &str, v: f64) -> String {
+    match metric {
+        "gamma" => format!("{v:.3e}"),
+        "tm_seconds" => format!("{v:.4}"),
+        _ => format!("{v:.3}"),
+    }
+}
+
+fn human_section(out: &mut String, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let _ = writeln!(out, "\n{title}");
+    if rows.is_empty() {
+        out.push_str("(none)\n");
+    } else {
+        out.push_str(&ascii_table(header, rows));
+    }
+}
+
+/// Renders the aggregate sections as aligned human tables (appended
+/// after [`crate::sink::human_report`]'s per-unit table).
+#[must_use]
+pub fn human_aggregates(records: &[UnitRecord]) -> String {
+    let a = Aggregates::compute(records);
+    let mut out = String::from("\n== campaign aggregates ==\n");
+    human_section(
+        &mut out,
+        "win rate: optimize vs baseline Gamma at matched (app, cores, levels), tolerance +0.1%",
+        &["baseline", "app", "wins", "total", "rate"],
+        &a.win_rates
+            .iter()
+            .map(|r| {
+                vec![
+                    r.baseline_kind.clone(),
+                    r.app.clone(),
+                    r.tally.wins.to_string(),
+                    r.tally.total.to_string(),
+                    format!("{:.1}%", r.tally.rate() * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    human_section(
+        &mut out,
+        "Pareto front over (P, Gamma) per app ('*' = non-dominated)",
+        &[
+            "app",
+            "#",
+            "kind",
+            "P (mW)",
+            "Gamma",
+            "front",
+            "dominated by",
+        ],
+        &a.pareto
+            .iter()
+            .map(|r| {
+                vec![
+                    r.app.clone(),
+                    r.index.to_string(),
+                    r.kind.clone(),
+                    format!("{:.3}", r.power_mw),
+                    format!("{:.3e}", r.gamma),
+                    if r.dominated_by.is_none() { "*" } else { "-" }.to_string(),
+                    r.dominated_by
+                        .map_or_else(|| "-".to_string(), |i| i.to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    human_section(
+        &mut out,
+        "best design per app (min P*Gamma)",
+        &[
+            "app", "#", "kind", "scenario", "P (mW)", "Gamma", "TM (s)", "scaling",
+        ],
+        &a.best
+            .iter()
+            .map(|r| {
+                vec![
+                    r.app.clone(),
+                    r.index.to_string(),
+                    r.kind.clone(),
+                    r.scenario.clone(),
+                    format!("{:.3}", r.power_mw),
+                    format!("{:.3e}", r.gamma),
+                    r.tm_seconds
+                        .filter(|v| v.is_finite())
+                        .map_or_else(|| "-".into(), |v| format!("{v:.4}")),
+                    r.scaling.clone().unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    human_section(
+        &mut out,
+        "cross-seed spread per scenario x app (min/median/max)",
+        &["scenario", "app", "metric", "n", "min", "median", "max"],
+        &a.spread
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.app.clone(),
+                    r.metric.to_string(),
+                    r.count.to_string(),
+                    fmt_human_metric(r.metric, r.min),
+                    fmt_human_metric(r.metric, r.median),
+                    fmt_human_metric(r.metric, r.max),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    out
+}
+
+fn csv_f64(v: f64) -> String {
+    // Aggregate metrics are finite by construction; rendered in Rust's
+    // shortest round-trip form like the per-unit rows.
+    format!("{v}")
+}
+
+/// Renders the aggregate sections as CSV (appended after
+/// [`crate::sink::csv_report`]). Each section carries its own header
+/// line whose first column is the literal `section`; data rows name
+/// their section in that column, so a reader can split the stream
+/// without counting lines.
+#[must_use]
+pub fn csv_aggregates(records: &[UnitRecord]) -> String {
+    let a = Aggregates::compute(records);
+    let mut out = String::new();
+    out.push_str("section,baseline,app,wins,total,rate\n");
+    for r in &a.win_rates {
+        let _ = writeln!(
+            out,
+            "win_rate,{},{},{},{},{}",
+            csv_escape(&r.baseline_kind),
+            csv_escape(&r.app),
+            r.tally.wins,
+            r.tally.total,
+            csv_f64(r.tally.rate())
+        );
+    }
+    out.push_str("section,app,index,kind,power_mw,gamma,dominated_by\n");
+    for r in &a.pareto {
+        let _ = writeln!(
+            out,
+            "pareto,{},{},{},{},{},{}",
+            csv_escape(&r.app),
+            r.index,
+            csv_escape(&r.kind),
+            csv_f64(r.power_mw),
+            csv_f64(r.gamma),
+            r.dominated_by.map_or_else(String::new, |i| i.to_string())
+        );
+    }
+    out.push_str("section,app,index,kind,scenario,power_mw,gamma,tm_seconds,scaling\n");
+    for r in &a.best {
+        let _ = writeln!(
+            out,
+            "best,{},{},{},{},{},{},{},{}",
+            csv_escape(&r.app),
+            r.index,
+            csv_escape(&r.kind),
+            csv_escape(&r.scenario),
+            csv_f64(r.power_mw),
+            csv_f64(r.gamma),
+            r.tm_seconds
+                .filter(|v| v.is_finite())
+                .map_or_else(String::new, csv_f64),
+            csv_escape(r.scaling.as_deref().unwrap_or(""))
+        );
+    }
+    out.push_str("section,scenario,app,metric,count,min,median,max\n");
+    for r in &a.spread {
+        let _ = writeln!(
+            out,
+            "spread,{},{},{},{},{},{},{}",
+            csv_escape(&r.scenario),
+            csv_escape(&r.app),
+            r.metric,
+            r.count,
+            csv_f64(r.min),
+            csv_f64(r.median),
+            csv_f64(r.max)
+        );
+    }
+    out
+}
+
+/// Renders the aggregate sections as JSONL (appended after
+/// [`crate::sink::jsonl_report`]): one object per aggregate row, each
+/// with a leading `"aggregate"` discriminator key — per-unit lines lead
+/// with `"index"`, so the two row families never collide.
+#[must_use]
+pub fn jsonl_aggregates(records: &[UnitRecord]) -> String {
+    let a = Aggregates::compute(records);
+    let mut out = String::new();
+    for r in &a.win_rates {
+        let _ = write!(
+            out,
+            "{{\"aggregate\":\"win_rate\",\"baseline\":\"{}\",\"app\":\"{}\",\"wins\":{},\"total\":{}",
+            json_escape(&r.baseline_kind),
+            json_escape(&r.app),
+            r.tally.wins,
+            r.tally.total,
+        );
+        json_field_f64(&mut out, "rate", Some(r.tally.rate()));
+        out.push_str("}\n");
+    }
+    for r in &a.pareto {
+        let _ = write!(
+            out,
+            "{{\"aggregate\":\"pareto\",\"app\":\"{}\",\"index\":{},\"kind\":\"{}\"",
+            json_escape(&r.app),
+            r.index,
+            json_escape(&r.kind),
+        );
+        json_field_f64(&mut out, "power_mw", Some(r.power_mw));
+        json_field_f64(&mut out, "gamma", Some(r.gamma));
+        match r.dominated_by {
+            Some(i) => {
+                let _ = write!(out, ",\"dominated_by\":{i}");
+            }
+            None => out.push_str(",\"dominated_by\":null"),
+        }
+        out.push_str("}\n");
+    }
+    for r in &a.best {
+        let _ = write!(
+            out,
+            "{{\"aggregate\":\"best\",\"app\":\"{}\",\"index\":{},\"kind\":\"{}\",\"scenario\":\"{}\"",
+            json_escape(&r.app),
+            r.index,
+            json_escape(&r.kind),
+            json_escape(&r.scenario),
+        );
+        json_field_f64(&mut out, "power_mw", Some(r.power_mw));
+        json_field_f64(&mut out, "gamma", Some(r.gamma));
+        json_field_f64(&mut out, "tm_seconds", r.tm_seconds);
+        match &r.scaling {
+            Some(s) => {
+                let _ = write!(out, ",\"scaling\":\"{}\"", json_escape(s));
+            }
+            None => out.push_str(",\"scaling\":null"),
+        }
+        out.push_str("}\n");
+    }
+    for r in &a.spread {
+        let _ = write!(
+            out,
+            "{{\"aggregate\":\"spread\",\"scenario\":\"{}\",\"app\":\"{}\",\"metric\":\"{}\",\"count\":{}",
+            json_escape(&r.scenario),
+            json_escape(&r.app),
+            r.metric,
+            r.count,
+        );
+        json_field_f64(&mut out, "min", Some(r.min));
+        json_field_f64(&mut out, "median", Some(r.median));
+        json_field_f64(&mut out, "max", Some(r.max));
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, scenario: &str, kind: &str, app: &str) -> UnitRecord {
+        UnitRecord {
+            index,
+            scenario: scenario.into(),
+            kind: kind.into(),
+            app: app.into(),
+            cores: 4,
+            levels: 3,
+            seed: index as u64,
+            status: "ok",
+            power_mw: Some(5.0),
+            gamma: Some(100.0),
+            tm_seconds: Some(10.0),
+            r_kbits: None,
+            evaluations: Some(100),
+            scaling: Some("(2,2,2,2)".into()),
+            mapping: None,
+            experienced_seus: None,
+        }
+    }
+
+    #[test]
+    fn win_rate_pairs_by_configuration_and_applies_the_tolerance() {
+        let mut base = record(0, "b", "baseline:tmr", "mpeg2");
+        base.gamma = Some(1000.0);
+        let mut exactly_on_tolerance = record(1, "p", "optimize", "mpeg2");
+        exactly_on_tolerance.gamma = Some(1000.0 * GAMMA_WIN_TOLERANCE);
+        let a = Aggregates::compute(&[base.clone(), exactly_on_tolerance]);
+        assert_eq!(a.win_rates.len(), 1);
+        assert_eq!(a.win_rates[0].tally, WinTally { wins: 1, total: 1 });
+
+        let mut just_above = record(1, "p", "optimize", "mpeg2");
+        just_above.gamma = Some(1000.0 * GAMMA_WIN_TOLERANCE + 1.0);
+        let a = Aggregates::compute(&[base.clone(), just_above]);
+        assert_eq!(a.win_rates[0].tally, WinTally { wins: 0, total: 1 });
+
+        // A different core count never pairs.
+        let mut other_cores = record(1, "p", "optimize", "mpeg2");
+        other_cores.cores = 2;
+        let a = Aggregates::compute(&[base, other_cores]);
+        assert_eq!(a.win_rates[0].tally, WinTally { wins: 0, total: 0 });
+    }
+
+    #[test]
+    fn win_rate_pairs_multi_seed_groups_positionally() {
+        // Two baselines and two proposed runs of the same configuration:
+        // k-th pairs with k-th in enumeration order.
+        let mut b0 = record(0, "b", "baseline:tmr", "x");
+        b0.gamma = Some(100.0);
+        let mut b1 = record(1, "b", "baseline:tmr", "x");
+        b1.gamma = Some(200.0);
+        let mut p0 = record(2, "p", "optimize", "x");
+        p0.gamma = Some(150.0); // loses vs b0 (100), would win vs b1
+        let mut p1 = record(3, "p", "optimize", "x");
+        p1.gamma = Some(150.0); // wins vs b1 (200)
+        let a = Aggregates::compute(&[b0, b1, p0, p1]);
+        assert_eq!(a.win_rates[0].tally, WinTally { wins: 1, total: 2 });
+    }
+
+    #[test]
+    fn pareto_marks_dominated_rows_and_keeps_ties_on_the_front() {
+        let mut a0 = record(0, "s", "optimize", "x");
+        a0.power_mw = Some(1.0);
+        a0.gamma = Some(10.0);
+        let mut a1 = record(1, "s", "optimize", "x");
+        a1.power_mw = Some(2.0);
+        a1.gamma = Some(10.0); // dominated by a0 (equal gamma, worse P)
+        let mut a2 = record(2, "s", "optimize", "x");
+        a2.power_mw = Some(1.0);
+        a2.gamma = Some(10.0); // identical to a0: both on the front
+        let mut a3 = record(3, "s", "optimize", "x");
+        a3.power_mw = Some(0.5);
+        a3.gamma = Some(20.0); // trade-off: on the front
+        let agg = Aggregates::compute(&[a0, a1, a2, a3]);
+        let by_index: Vec<(usize, Option<usize>)> = agg
+            .pareto
+            .iter()
+            .map(|r| (r.index, r.dominated_by))
+            .collect();
+        assert_eq!(
+            by_index,
+            vec![(0, None), (1, Some(0)), (2, None), (3, None)]
+        );
+    }
+
+    #[test]
+    fn best_breaks_product_ties_toward_the_earliest_index() {
+        let mut a0 = record(0, "s", "optimize", "x");
+        a0.power_mw = Some(2.0);
+        a0.gamma = Some(5.0); // product 10
+        let mut a1 = record(1, "s", "optimize", "x");
+        a1.power_mw = Some(5.0);
+        a1.gamma = Some(2.0); // product 10 — tie, index 0 wins
+        let agg = Aggregates::compute(&[a0, a1]);
+        assert_eq!(agg.best.len(), 1);
+        assert_eq!(agg.best[0].index, 0);
+    }
+
+    #[test]
+    fn spread_uses_the_lower_median_and_skips_non_finite() {
+        let mut rows = Vec::new();
+        for (i, p) in [3.0, 1.0, 2.0, f64::NAN].iter().enumerate() {
+            let mut r = record(i, "s", "optimize", "x");
+            r.power_mw = Some(*p);
+            r.gamma = None;
+            r.tm_seconds = None;
+            rows.push(r);
+        }
+        let agg = Aggregates::compute(&rows);
+        // gamma/tm rows are absent (no finite values); power spans 3.
+        assert_eq!(agg.spread.len(), 1);
+        let s = &agg.spread[0];
+        assert_eq!((s.metric, s.count), ("power_mw", 3));
+        assert_eq!((s.min, s.median, s.max), (1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn non_ok_and_non_finite_records_never_reach_the_plots() {
+        let mut infeasible = record(0, "s", "optimize", "x");
+        infeasible.status = "infeasible";
+        infeasible.power_mw = None;
+        infeasible.gamma = None;
+        let mut poisoned = record(1, "s", "optimize", "x");
+        poisoned.gamma = Some(f64::INFINITY);
+        let agg = Aggregates::compute(&[infeasible, poisoned]);
+        assert!(agg.pareto.is_empty());
+        assert!(agg.best.is_empty());
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_well_shaped() {
+        let records = vec![
+            record(0, "exp3", "baseline:tmr", "mpeg2"),
+            record(1, "proposed", "optimize", "mpeg2"),
+        ];
+        let human = human_aggregates(&records);
+        assert!(human.contains("== campaign aggregates =="));
+        assert!(human.contains("baseline:tmr"));
+        assert_eq!(human, human_aggregates(&records));
+
+        let csv = csv_aggregates(&records);
+        assert!(csv.starts_with("section,baseline,app,wins,total,rate\n"));
+        assert!(csv.contains("win_rate,baseline:tmr,mpeg2,1,1,1\n"));
+
+        let jsonl = jsonl_aggregates(&records);
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"aggregate\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        // Empty input renders empty tables, not a panic.
+        let empty = human_aggregates(&[]);
+        assert!(empty.contains("(none)"));
+        assert_eq!(jsonl_aggregates(&[]), "");
+    }
+}

@@ -231,10 +231,16 @@ impl Cache {
         };
         let mut kept: Vec<&RawEntry> = Vec::with_capacity(entries.len());
         for entry in &entries {
-            let age = entry
-                .modified
-                .and_then(|m| now.duration_since(m).ok())
-                .unwrap_or(Duration::MAX);
+            let age = match entry.modified {
+                // A *future* mtime (clock skew, NFS) clamps to age zero:
+                // the entry is at worst brand new. Mapping the error to
+                // MAX would treat the freshest entries as infinitely old
+                // and delete them first under any --max-age.
+                Some(m) => now.duration_since(m).unwrap_or(Duration::ZERO),
+                // An unreadable mtime stays infinitely old: with no
+                // evidence of freshness it is reclaimed first.
+                None => Duration::MAX,
+            };
             let expired = max_age.is_some_and(|limit| age > limit);
             if expired && std::fs::remove_file(&entry.path).is_ok() {
                 outcome.deleted += 1;
@@ -260,6 +266,48 @@ impl Cache {
         outcome.kept = kept.len();
         outcome.kept_bytes = kept.iter().map(|e| e.bytes).sum();
         Ok(outcome)
+    }
+
+    /// Reads every healthy entry's flat [`UnitRecord`] — the
+    /// offline-analytics read path (`sea-dse report <cache-dir>`).
+    /// Structural validation (checksum, magic, version, embedded hash,
+    /// record line) runs per entry but the typed payload is never
+    /// decoded and nothing is re-evaluated. Corrupt or mis-named entries
+    /// are skipped and counted, mirroring the "a bad entry is a miss"
+    /// rule. Records are returned sorted by enumeration index (ties by
+    /// file name) so the rendered report matches the live campaign's
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures; per-entry problems are the
+    /// skip count, not errors.
+    pub fn records(&self) -> std::io::Result<(Vec<UnitRecord>, usize)> {
+        let mut rows: Vec<(usize, PathBuf, UnitRecord)> = Vec::new();
+        let mut skipped = 0usize;
+        for raw in self.scan()? {
+            let Some(hash) = raw.hash else {
+                skipped += 1;
+                continue;
+            };
+            let parsed = std::fs::read_to_string(&raw.path)
+                .map_err(|e| format!("unreadable: {e}"))
+                .and_then(|source| {
+                    let parts = parse_entry(&source, Some(hash))?;
+                    match parts.kind {
+                        "design" | "infeasible" | "too-few-tasks" | "sweep" | "simulate" => {
+                            Ok(parts.record)
+                        }
+                        other => Err(format!("unknown payload kind `{other}`")),
+                    }
+                });
+            match parsed {
+                Ok(record) => rows.push((record.index, raw.path, record)),
+                Err(_) => skipped += 1,
+            }
+        }
+        rows.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        Ok((rows.into_iter().map(|(_, _, r)| r).collect(), skipped))
     }
 }
 
@@ -920,6 +968,56 @@ mod tests {
             .prune(Some(std::time::Duration::from_secs(0)), None)
             .unwrap();
         assert_eq!(aged.deleted, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn prune_clamps_future_mtimes_to_age_zero() {
+        // Regression: a future mtime (clock skew, NFS) used to map to
+        // age = Duration::MAX via `duration_since(..).ok()`, so the
+        // freshest entries were treated as infinitely old and deleted
+        // first under any --max-age.
+        let (dir, cache) = temp_cache();
+        let u = unit(UnitKind::Optimize, 51);
+        cache.store(&run_unit(&u).unwrap()).unwrap();
+        let path = cache.entry_path(unit_hash(&u));
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_modified(SystemTime::now() + Duration::from_secs(3600))
+            .unwrap();
+        file.sync_all().unwrap();
+        drop(file);
+        // Even the tightest age limit must keep it: its age clamps to
+        // zero, never to infinity.
+        let outcome = cache.prune(Some(Duration::from_secs(0)), None).unwrap();
+        assert_eq!((outcome.deleted, outcome.kept), (0, 1), "{outcome:?}");
+        // Size-based pruning still reclaims it when asked.
+        let outcome = cache.prune(None, Some(0)).unwrap();
+        assert_eq!(outcome.deleted, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn records_reads_flat_records_without_decoding_payloads() {
+        let (dir, cache) = temp_cache();
+        let a = unit(UnitKind::Optimize, 61);
+        let mut b = unit(UnitKind::Optimize, 62);
+        b.index = 1; // sorts before a's index 3
+        cache.store(&run_unit(&a).unwrap()).unwrap();
+        cache.store(&run_unit(&b).unwrap()).unwrap();
+        // A corrupt entry is skipped and counted, not an error.
+        let victim = cache.entry_path(unit_hash(&a));
+        let good = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &good[..good.len() - 10]).unwrap();
+        let (records, skipped) = cache.records().unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].index, 1);
+        // Healed entry restores the full set, sorted by index.
+        std::fs::write(&victim, &good).unwrap();
+        let (records, skipped) = cache.records().unwrap();
+        assert_eq!(skipped, 0);
+        let indices: Vec<usize> = records.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![1, 3]);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -627,6 +627,42 @@ pub fn open_journal(path: &Path, name: &str, units: &[Unit]) -> Result<JournalPl
     })
 }
 
+/// Reads a journal *standalone* — without the campaign it was written
+/// for — and returns its records slotted into enumeration order. This is
+/// the offline-analytics read path (`sea-dse report <journal>`): the
+/// persisted records are trusted as-is (the spec-hash compatibility
+/// check needs the unit list, which an offline reader does not have) and
+/// nothing is re-evaluated. A crashed campaign's journal is fine: the
+/// records present are returned, gaps are skipped.
+///
+/// # Errors
+///
+/// [`CampaignError::Journal`] for filesystem errors, a malformed header
+/// or mid-file record, version skew, or a record index outside the
+/// header's unit count.
+pub fn read_journal_records(
+    path: &Path,
+) -> Result<(JournalHeader, Vec<UnitRecord>), CampaignError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| jerr(format!("cannot read journal `{}`: {e}", path.display())))?;
+    let journal = parse_journal(&source)?;
+    // Slot by enumeration index (last wins, like a resume) so the
+    // returned order matches the live report regardless of the
+    // completion order the journal happened to record.
+    let mut slots: Vec<Option<UnitRecord>> = vec![None; journal.header.units];
+    for r in journal.records {
+        if r.index >= slots.len() {
+            return Err(jerr(format!(
+                "journal record index {} is outside the campaign (0..{})",
+                r.index,
+                slots.len()
+            )));
+        }
+        slots[r.index] = Some(r.record);
+    }
+    Ok((journal.header, slots.into_iter().flatten().collect()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,6 +740,29 @@ mod tests {
         bad.push_str(&record_line(0, h, &record()));
         bad.push('\n');
         assert!(parse_journal(&bad).is_err());
+    }
+
+    #[test]
+    fn read_journal_records_restores_enumeration_order() {
+        let h = ContentHash(5);
+        let mut src = header_line("offline", h, 3);
+        src.push('\n');
+        // Completion order 2, 0 — index 1 never finished (crash).
+        for i in [2usize, 0] {
+            let mut r = record();
+            r.index = i;
+            r.seed = i as u64;
+            src.push_str(&record_line(i, h, &r));
+            src.push('\n');
+        }
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sea-journal-read-{}.jsonl", std::process::id()));
+        std::fs::write(&path, &src).unwrap();
+        let (header, records) = read_journal_records(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(header.units, 3);
+        let indices: Vec<usize> = records.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 2], "enumeration order, gap skipped");
     }
 
     #[test]

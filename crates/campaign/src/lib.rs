@@ -37,6 +37,7 @@
 //! assert_eq!(results[0].record.status, "ok");
 //! ```
 
+pub mod analytics;
 pub mod arena;
 pub mod cache;
 pub mod hash;
@@ -46,13 +47,19 @@ pub mod sink;
 pub mod spec;
 pub mod unit;
 
+pub use analytics::{
+    csv_aggregates, gamma_win, human_aggregates, jsonl_aggregates, Aggregates, BestRow, ParetoRow,
+    SpreadRow, WinRateRow, WinTally, GAMMA_WIN_TOLERANCE,
+};
 pub use arena::{Arena, Span};
 pub use cache::{
     decode_result, encode_result, validate_entry, Cache, EntryHealth, EntrySurvey, PruneOutcome,
     CACHE_ENV,
 };
 pub use hash::{campaign_hash, unit_hash, units_hash, ContentHash, ContentHasher};
-pub use journal::{open_journal, parse_journal, Journal, JournalPlan, JournalWriter};
+pub use journal::{
+    open_journal, parse_journal, read_journal_records, Journal, JournalPlan, JournalWriter,
+};
 pub use pool::{
     dispatch_order, produce_unit, run_units, run_units_configured, Completion, RunConfig,
     RunOutcome, RunState, UnitOutcome,

@@ -31,6 +31,12 @@ pub trait Sink {
     fn unit_completed(&mut self, _record: &UnitRecord) {}
     /// Called once with every record in enumeration order.
     fn finish(&mut self, _records: &[UnitRecord]) {}
+    /// Appends the aggregate sections ([`crate::analytics`]) after the
+    /// per-unit report. Opt-in and separate from [`Sink::finish`] so the
+    /// default per-unit output stays byte-stable; the bundled sinks
+    /// render to the same report writer (errors surface through
+    /// [`Sink::take_io_error`]). The default is a no-op.
+    fn report_aggregates(&mut self, _records: &[UnitRecord]) {}
     /// The first I/O error the sink swallowed while writing the *final
     /// report*, if any. Sinks buffer the error rather than failing
     /// mid-campaign; callers that need a complete report check this
@@ -110,6 +116,16 @@ impl<P: Write, F: Write> Sink for HumanSink<P, F> {
         record_io(&mut self.report_error, r);
     }
 
+    fn report_aggregates(&mut self, records: &[UnitRecord]) {
+        let r = write!(
+            self.report,
+            "{}",
+            crate::analytics::human_aggregates(records)
+        )
+        .and_then(|()| self.report.flush());
+        record_io(&mut self.report_error, r);
+    }
+
     fn take_io_error(&mut self) -> Option<std::io::Error> {
         self.report_error.take()
     }
@@ -150,6 +166,12 @@ impl<P: Write, F: Write> Sink for CsvSink<P, F> {
         record_io(&mut self.report_error, r);
     }
 
+    fn report_aggregates(&mut self, records: &[UnitRecord]) {
+        let r = write!(self.report, "{}", crate::analytics::csv_aggregates(records))
+            .and_then(|()| self.report.flush());
+        record_io(&mut self.report_error, r);
+    }
+
     fn take_io_error(&mut self) -> Option<std::io::Error> {
         self.report_error.take()
     }
@@ -186,6 +208,16 @@ impl<P: Write, F: Write> Sink for JsonlSink<P, F> {
         record_io(&mut self.report_error, r);
     }
 
+    fn report_aggregates(&mut self, records: &[UnitRecord]) {
+        let r = write!(
+            self.report,
+            "{}",
+            crate::analytics::jsonl_aggregates(records)
+        )
+        .and_then(|()| self.report.flush());
+        record_io(&mut self.report_error, r);
+    }
+
     fn take_io_error(&mut self) -> Option<std::io::Error> {
         self.report_error.take()
     }
@@ -196,15 +228,23 @@ pub const CSV_HEADER: &str = "index,scenario,kind,app,cores,levels,seed,status,p
 tm_seconds,r_kbits,evaluations,scaling,mapping,experienced_seus";
 
 fn fmt_opt_f64(v: Option<f64>) -> String {
-    v.map_or_else(String::new, |x| format!("{x}"))
+    // Non-finite values render as an empty field, mirroring
+    // `json_field_f64`'s `null`: `NaN`/`inf` are absent measurements,
+    // and printing them verbatim would diverge from the JSONL report.
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        Some(_) | None => String::new(),
+    }
 }
 
 fn fmt_opt_u64(v: Option<u64>) -> String {
     v.map_or_else(String::new, |x| x.to_string())
 }
 
-fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
+pub(crate) fn csv_escape(s: &str) -> String {
+    // RFC 4180: quote on separators, quotes, and CR/LF — an unquoted
+    // newline would split one field across two rows.
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -263,7 +303,7 @@ pub(crate) fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_field_f64(out: &mut String, key: &str, v: Option<f64>) {
+pub(crate) fn json_field_f64(out: &mut String, key: &str, v: Option<f64>) {
     match v {
         // `{v}` is Rust's shortest round-trip float form — stable, locale
         // free, and valid JSON for every finite value.
@@ -361,8 +401,14 @@ pub fn human_report(records: &[UnitRecord]) -> String {
             r.evaluations.map_or_else(|| "-".into(), |e| e.to_string()),
         ]);
     }
+    ascii_table(&header, &rows)
+}
+
+/// Renders an aligned `|`-delimited ASCII table — shared by the per-unit
+/// human report and the aggregate sections ([`crate::analytics`]).
+pub(crate) fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-    for row in &rows {
+    for row in rows {
         for (w, cell) in widths.iter_mut().zip(row) {
             *w = (*w).max(cell.len());
         }
@@ -382,7 +428,7 @@ pub fn human_report(records: &[UnitRecord]) -> String {
         let _ = write!(out, "{}|", "-".repeat(w + 2));
     }
     out.push('\n');
-    for row in &rows {
+    for row in rows {
         render(row, &widths, &mut out);
     }
     out
@@ -433,6 +479,49 @@ mod tests {
         let row = lines.next().unwrap();
         assert!(row.contains("\"s, with comma\""));
         assert!(row.contains("core1: t1 | core2: t2"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_cr_and_lf() {
+        // Regression: an unquoted newline in a field used to split one
+        // record across two CSV rows.
+        assert_eq!(csv_escape("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_escape("a\rb"), "\"a\rb\"");
+        assert_eq!(csv_escape("a\r\n\"b\",c"), "\"a\r\n\"\"b\"\",c\"");
+        assert_eq!(csv_escape("plain"), "plain");
+
+        let mut r = record();
+        r.mapping = Some("core1: t1\ncore2: t2".into());
+        let report = csv_report(&[r]);
+        // Header + one (quoted, two-physical-line) row: exactly one
+        // record boundary when parsed with RFC 4180 quoting.
+        assert!(report.contains("\"core1: t1\ncore2: t2\""));
+        let unquoted_newlines = report
+            .split('"')
+            .step_by(2) // text outside quotes
+            .map(|chunk| chunk.matches('\n').count())
+            .sum::<usize>();
+        assert_eq!(unquoted_newlines, 2, "header + one row:\n{report}");
+    }
+
+    #[test]
+    fn csv_and_jsonl_agree_on_non_finite_floats() {
+        // Regression: CSV printed `NaN`/`inf` verbatim while JSONL
+        // nulled them. Both now render "absent" for the same record.
+        let mut r = record();
+        r.power_mw = Some(f64::NAN);
+        r.gamma = Some(f64::INFINITY);
+        r.tm_seconds = Some(f64::NEG_INFINITY);
+        let row = csv_report(&[r.clone()]).lines().nth(1).unwrap().to_string();
+        assert!(!row.contains("NaN") && !row.contains("inf"), "{row}");
+        assert!(row.contains(",ok,,,,"), "empty metric fields: {row}");
+        let json = json_record(&r);
+        assert!(
+            json.contains("\"power_mw\":null")
+                && json.contains("\"gamma\":null")
+                && json.contains("\"tm_seconds\":null"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use sea_baselines::Objective;
-use sea_campaign::{AppRef, CampaignError, Unit, UnitKind, UnitResult};
+use sea_campaign::{AppRef, CampaignError, Unit, UnitKind, UnitResult, WinTally};
 use sea_opt::SelectionPolicy;
 use sea_taskgraph::generator::RandomGraphConfig;
 use sea_taskgraph::Application;
@@ -188,27 +188,21 @@ impl Fig10 {
     /// Fraction of matched-scaling points where the proposed flow's Γ is
     /// at or below the baseline's — the paper's "consistently outperforms".
     /// Unmatched rows (see [`Fig10Point::matched`]) compare designs at
-    /// different operating points and are excluded.
+    /// different operating points and are excluded. Counting delegates to
+    /// the campaign layer's [`WinTally`] so the figure and `sea-dse
+    /// report` aggregates share one win rule.
     #[must_use]
     pub fn proposed_win_rate(&self) -> f64 {
-        let mut wins = 0usize;
-        let mut total = 0usize;
+        let mut tally = WinTally::default();
         for p in &self.points {
             if !p.matched {
                 continue;
             }
             if let (Some(g3), Some(g4)) = (p.exp3_gamma, p.exp4_gamma) {
-                total += 1;
-                if g4 <= g3 * 1.001 {
-                    wins += 1;
-                }
+                tally.observe(g3, g4);
             }
         }
-        if total == 0 {
-            0.0
-        } else {
-            wins as f64 / total as f64
-        }
+        tally.rate()
     }
 }
 

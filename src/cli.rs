@@ -56,6 +56,8 @@ pub enum Command {
     Recovery(RecoveryArgs),
     /// Run (or list) declarative multi-scenario campaigns.
     Campaign(CampaignArgs),
+    /// Offline campaign analytics from persisted artifacts.
+    Report(ReportArgs),
     /// Coordinate a campaign over TCP: fan units to connecting workers.
     Serve(ServeArgs),
     /// Serve a coordinator as a worker: evaluate dispatched units.
@@ -159,6 +161,20 @@ pub struct CampaignArgs {
     /// Content-addressed result-cache directory (`--cache`; falls back
     /// to the `SEA_CACHE` environment variable when omitted).
     pub cache_dir: Option<String>,
+    /// Append the aggregate sections (win rates, Pareto fronts, best
+    /// designs, cross-seed spread) after the per-unit report
+    /// (`--report-aggregates`).
+    pub report_aggregates: bool,
+}
+
+/// `report` command arguments: offline analytics over a persisted
+/// artifact — a `--resume` journal file or a `--cache` directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// The artifact: a journal file or a cache directory (positional).
+    pub source: String,
+    /// Report format, exactly as on `campaign`.
+    pub format: OutputFormat,
 }
 
 /// `--format` values for campaign reports.
@@ -333,7 +349,8 @@ USAGE:
   sea-dse campaign  --spec <file> | --builtin <name> | --list-builtin
                     [--jobs <N>] [--format human|csv|jsonl]
                     [--budget fast|smoke|paper|thorough]
-                    [--resume <journal>] [--cache <dir>]
+                    [--resume <journal>] [--cache <dir>] [--report-aggregates]
+  sea-dse report    <journal|cache-dir> [--format human|csv|jsonl]
   sea-dse serve     --spec <file> | --builtin <name>  --listen <addr:port>
                     [--format ...] [--budget ...] [--resume <journal>]
                     [--cache <dir>] [--timeout <secs>]
@@ -360,6 +377,14 @@ CAMPAIGNS: declarative multi-scenario runs (see README \"Campaigns\"):
            experiment-harness budget (20k); `optimize --budget paper` is
            the thorough 60k budget — use `campaign --budget thorough` to
            match the latter.
+ANALYTICS: `campaign --report-aggregates` appends aggregate sections after
+           the per-unit report: Fig. 10-style win rates (optimize vs each
+           baseline at matched app/cores/levels), Pareto fronts over
+           (P, Gamma) with dominated designs marked, best design per app
+           (min P*Gamma), and cross-seed min/median/max spread. `report`
+           computes the same sections offline from a --resume journal or
+           a --cache directory with zero re-evaluation, byte-identical to
+           the live output. See README \"Campaign analytics\".
 RESUME:    --resume <journal> write-ahead journals every completed unit
            (fsync'd per record). Re-running with the same spec and journal
            restores completed units and runs only the missing ones; the
@@ -407,6 +432,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "sweep" => Ok(Command::Sweep(parse_sweep(rest)?)),
         "generate" => Ok(Command::Generate(parse_generate(rest)?)),
         "campaign" => Ok(Command::Campaign(parse_campaign_cmd(rest)?)),
+        "report" => Ok(Command::Report(parse_report_cmd(rest)?)),
         "serve" => Ok(Command::Serve(parse_serve_cmd(rest)?)),
         "worker" => Ok(Command::Worker(parse_worker_cmd(rest)?)),
         "cache" => Ok(Command::CacheCmd(parse_cache_cmd(rest)?)),
@@ -650,8 +676,8 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
             "--resume",
             "--cache",
         ],
-        &["--list-builtin"],
-        "--spec|--builtin|--list-builtin|--jobs|--format|--budget|--resume|--cache",
+        &["--list-builtin", "--report-aggregates"],
+        "--spec|--builtin|--list-builtin|--jobs|--format|--budget|--resume|--cache|--report-aggregates",
     )?;
     let spec_path = get_flag(args, "--spec")?;
     let builtin = get_flag(args, "--builtin")?;
@@ -678,9 +704,10 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
     let budget = parse_budget_flag(args)?;
     let resume = get_flag(args, "--resume")?;
     let cache_dir = get_flag(args, "--cache")?;
-    if list_builtin && (resume.is_some() || cache_dir.is_some()) {
+    let report_aggregates = has_switch(args, "--report-aggregates");
+    if list_builtin && (resume.is_some() || cache_dir.is_some() || report_aggregates) {
         return Err(CliError(
-            "--resume/--cache make no sense with --list-builtin".into(),
+            "--resume/--cache/--report-aggregates make no sense with --list-builtin".into(),
         ));
     }
     Ok(CampaignArgs {
@@ -692,6 +719,26 @@ fn parse_campaign_cmd(args: &[String]) -> Result<CampaignArgs, CliError> {
         budget,
         resume,
         cache_dir,
+        report_aggregates,
+    })
+}
+
+fn parse_report_cmd(args: &[String]) -> Result<ReportArgs, CliError> {
+    let Some((source, rest)) = args.split_first() else {
+        return Err(CliError(
+            "report needs a source: a --resume journal file or a --cache directory".into(),
+        ));
+    };
+    if source.starts_with("--") {
+        return Err(CliError(format!(
+            "report takes its source positionally (`sea-dse report <journal|cache-dir>`), \
+             got flag `{source}` first"
+        )));
+    }
+    reject_unknown_flags(rest, &["--format"], &[], "--format")?;
+    Ok(ReportArgs {
+        source: source.clone(),
+        format: parse_format(rest)?,
     })
 }
 
@@ -1195,6 +1242,46 @@ mod tests {
         // Listing builtins does not take persistence flags.
         assert!(parse(&argv("campaign --list-builtin --resume a")).is_err());
         assert!(parse(&argv("campaign --list-builtin --cache d")).is_err());
+    }
+
+    #[test]
+    fn parses_campaign_report_aggregates_switch() {
+        let Command::Campaign(c) =
+            parse(&argv("campaign --builtin quickstart --report-aggregates")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert!(c.report_aggregates);
+        let Command::Campaign(c) = parse(&argv("campaign --builtin quickstart")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert!(!c.report_aggregates);
+        // Listing builtins produces no report to aggregate.
+        assert!(parse(&argv("campaign --list-builtin --report-aggregates")).is_err());
+    }
+
+    #[test]
+    fn parses_report_command() {
+        let Command::Report(r) = parse(&argv("report run.jsonl --format csv")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(r.source, "run.jsonl");
+        assert_eq!(r.format, OutputFormat::Csv);
+
+        let Command::Report(r) = parse(&argv("report /tmp/sea-cache")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(r.source, "/tmp/sea-cache");
+        assert_eq!(r.format, OutputFormat::Human, "default format");
+
+        // The source is positional and required.
+        assert!(parse(&argv("report")).is_err());
+        assert!(parse(&argv("report --format csv run.jsonl")).is_err());
+        // Misspelled/foreign flags fail loudly.
+        assert!(parse(&argv("report run.jsonl --fromat csv")).is_err());
+        assert!(parse(&argv("report run.jsonl --jobs 2")).is_err());
+        assert!(parse(&argv("report run.jsonl --format yaml")).is_err());
+        assert!(parse(&argv("report run.jsonl --format csv --format jsonl")).is_err());
     }
 
     #[test]

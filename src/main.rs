@@ -6,12 +6,12 @@ use std::process::ExitCode;
 use sea_dse::arch::{Architecture, ScalingVector, SerModel};
 use sea_dse::baselines::{BaselineOptimizer, Objective};
 use sea_dse::campaign::{
-    open_journal, run_units_configured, Cache, CsvSink, EntryHealth, HumanSink, JsonlSink,
-    RunConfig, Sink,
+    open_journal, read_journal_records, run_units_configured, Cache, CsvSink, EntryHealth,
+    HumanSink, JsonlSink, RunConfig, Sink,
 };
 use sea_dse::cli::{
     self, BaselineObjective, CacheAction, CacheArgs, CampaignArgs, Command, DesignArgs,
-    OptimizeArgs, OutputFormat, PolicySpec, ServeArgs, WorkerArgs,
+    OptimizeArgs, OutputFormat, PolicySpec, ReportArgs, ServeArgs, WorkerArgs,
 };
 use sea_dse::experiments::campaigns as builtin_campaigns;
 use sea_dse::opt::{
@@ -173,6 +173,7 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Campaign(c) => run_campaign(&c),
+        Command::Report(r) => run_report(&r),
         Command::Serve(s) => run_serve(&s),
         Command::Worker(w) => run_worker_cmd(&w),
         Command::CacheCmd(c) => run_cache_cmd(&c),
@@ -327,9 +328,64 @@ fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
         );
     }
     pruning_summary(&outcome.units);
+    if c.report_aggregates {
+        sink.report_aggregates(&outcome.records());
+    }
     // A truncated final report (full disk, closed pipe) must not exit 0.
     if let Some(e) = sink.take_io_error() {
         return Err(format!("writing the campaign report failed: {e}"));
+    }
+    Ok(())
+}
+
+/// `sea-dse report <journal|cache-dir>`: offline analytics — rebuild the
+/// flat records from a persisted artifact and render the per-unit report
+/// plus the aggregate sections, byte-identical to the live
+/// `campaign --report-aggregates` output, with zero units re-evaluated.
+fn run_report(r: &ReportArgs) -> Result<(), String> {
+    let source = std::path::Path::new(&r.source);
+    let records = if source.is_dir() {
+        // Cache::open on an existing directory creates nothing.
+        let cache = Cache::open(source)
+            .map_err(|e| format!("cannot open cache directory `{}`: {e}", r.source))?;
+        let (records, skipped) = cache
+            .records()
+            .map_err(|e| format!("cannot read cache directory `{}`: {e}", r.source))?;
+        eprintln!(
+            "report: {} record(s) from cache `{}`{}",
+            records.len(),
+            r.source,
+            if skipped > 0 {
+                format!(
+                    ", {skipped} corrupt entr{} skipped",
+                    if skipped == 1 { "y" } else { "ies" }
+                )
+            } else {
+                String::new()
+            }
+        );
+        records
+    } else if source.is_file() {
+        let (header, records) = read_journal_records(source).map_err(|e| e.to_string())?;
+        eprintln!(
+            "report: {} of {} unit(s) from journal `{}` (campaign `{}`)",
+            records.len(),
+            header.units,
+            r.source,
+            header.name
+        );
+        records
+    } else {
+        return Err(format!(
+            "`{}` is neither a journal file nor a cache directory",
+            r.source
+        ));
+    };
+    let mut sink = make_sink(r.format);
+    sink.finish(&records);
+    sink.report_aggregates(&records);
+    if let Some(e) = sink.take_io_error() {
+        return Err(format!("writing the report failed: {e}"));
     }
     Ok(())
 }

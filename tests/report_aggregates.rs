@@ -1,0 +1,101 @@
+//! Offline-analytics equivalence tests for `sea-dse report`.
+//!
+//! The analytics layer's contract: the aggregate sections rendered live
+//! by `campaign --report-aggregates` and the ones recomputed offline by
+//! `sea-dse report` from a resume journal or a result cache are
+//! **byte-identical** — in every output format, at every worker count,
+//! with zero units re-evaluated on the offline path. Golden fixtures
+//! under `tests/golden/report_*.txt` additionally pin the exact bytes
+//! (per-unit report followed by the four aggregate sections) so renderer
+//! drift cannot hide behind self-consistency.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sea_dse::campaign::{
+    csv_aggregates, csv_report, human_aggregates, human_report, jsonl_aggregates, jsonl_report,
+    open_journal, parse_campaign, read_journal_records, run_units_configured, Cache, NullSink,
+    RunConfig, Unit, UnitRecord,
+};
+use sea_dse::experiments::campaigns::builtin;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sea-report-test-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quickstart_units() -> Vec<Unit> {
+    parse_campaign(builtin("quickstart").expect("builtin exists").source)
+        .expect("builtin parses")
+        .expand()
+}
+
+/// What the CLI writes to stdout for one record list, per format: the
+/// per-unit final report followed by the aggregate sections — exactly
+/// `Sink::finish` then `Sink::report_aggregates`.
+fn stdout_renders(records: &[UnitRecord]) -> [String; 3] {
+    [
+        human_report(records) + &human_aggregates(records),
+        csv_report(records) + &csv_aggregates(records),
+        jsonl_report(records) + &jsonl_aggregates(records),
+    ]
+}
+
+#[test]
+fn offline_report_matches_live_aggregates_byte_for_byte_at_any_job_count() {
+    let dir = temp_dir();
+    let units = quickstart_units();
+    let n = units.len();
+    let cache = Cache::open(dir.join("cache")).unwrap();
+
+    let mut golden: Option<[String; 3]> = None;
+    for jobs in [1, 2] {
+        // Live journaled+cached run (warm on the second pass: the cache
+        // must not perturb any of the renders).
+        let journal_path = dir.join(format!("quickstart-{jobs}.journal"));
+        let mut plan = open_journal(&journal_path, "quickstart", &units).unwrap();
+        let mut config = RunConfig::new(jobs);
+        config.prefilled = std::mem::take(&mut plan.prefilled);
+        config.journal = Some(&mut plan.writer);
+        config.cache = Some(&cache);
+        let outcome = run_units_configured(&units, config, &mut NullSink).unwrap();
+        let live = stdout_renders(&outcome.records());
+        match &golden {
+            None => {
+                assert_eq!(live[0], include_str!("golden/report_human.txt"));
+                assert_eq!(live[1], include_str!("golden/report_csv.txt"));
+                assert_eq!(live[2], include_str!("golden/report_jsonl.txt"));
+                golden = Some(live.clone());
+            }
+            Some(g) => assert_eq!(g, &live, "jobs={jobs} changes the live render"),
+        }
+
+        // Offline path 1: the journal restores every record in
+        // enumeration order and renders identically.
+        let (header, from_journal) = read_journal_records(&journal_path).unwrap();
+        assert_eq!((header.units, from_journal.len()), (n, n));
+        assert_eq!(
+            &stdout_renders(&from_journal),
+            golden.as_ref().unwrap(),
+            "journal offline render (jobs={jobs})"
+        );
+    }
+
+    // Offline path 2: the cache — unordered content-addressed entries —
+    // yields the same records once sorted by enumeration index.
+    let (from_cache, skipped) = cache.records().unwrap();
+    assert_eq!((from_cache.len(), skipped), (n, 0));
+    assert_eq!(
+        &stdout_renders(&from_cache),
+        golden.as_ref().unwrap(),
+        "cache offline render"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
