@@ -61,8 +61,8 @@ pub use journal::{
     open_journal, parse_journal, read_journal_records, Journal, JournalPlan, JournalWriter,
 };
 pub use pool::{
-    dispatch_order, produce_unit, run_units, run_units_configured, Completion, RunConfig,
-    RunOutcome, RunState, UnitOutcome,
+    dispatch_order, produce_unit, produce_unit_cancellable, run_units, run_units_configured,
+    Completion, RunConfig, RunOutcome, RunState, UnitOutcome,
 };
 pub use sink::{
     csv_report, human_report, json_record, jsonl_report, CsvSink, HumanSink, JsonlSink, NullSink,
@@ -70,8 +70,8 @@ pub use sink::{
 };
 pub use spec::{parse_campaign, Campaign, Scenario, ScenarioKind};
 pub use unit::{
-    level_set, run_unit, run_unit_with_jobs, AppRef, BudgetSpec, Unit, UnitKind, UnitPayload,
-    UnitRecord, UnitResult,
+    level_set, run_unit, run_unit_cancellable, run_unit_with_jobs, AppRef, BudgetSpec, Unit,
+    UnitKind, UnitPayload, UnitRecord, UnitResult,
 };
 
 use std::error::Error;

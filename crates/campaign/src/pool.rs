@@ -26,14 +26,14 @@
 //!   record before the final report exists, so a killed campaign loses
 //!   at most its in-flight units.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 use crate::cache::Cache;
 use crate::hash::unit_hash;
 use crate::journal::JournalWriter;
 use crate::sink::Sink;
-use crate::unit::{run_unit_with_jobs, Unit, UnitRecord, UnitResult};
+use crate::unit::{run_unit_cancellable, Unit, UnitRecord, UnitResult};
 use crate::CampaignError;
 
 /// How one unit of a configured run completed.
@@ -117,8 +117,10 @@ pub struct RunConfig<'a> {
     /// the cache or re-executes.
     pub need_payloads: bool,
     /// Write-ahead journal appender; each newly completed unit is durably
-    /// recorded in completion order.
-    pub journal: Option<&'a mut JournalWriter>,
+    /// recorded in completion order. Owned, so long-lived callers (the
+    /// `sea-serve` daemon keeps one `RunState` per active campaign) need
+    /// no borrow arena behind their state registry.
+    pub journal: Option<JournalWriter>,
 }
 
 impl<'a> RunConfig<'a> {
@@ -178,6 +180,22 @@ pub fn produce_unit(
     cache: Option<&Cache>,
     inner_jobs: usize,
 ) -> Completion {
+    produce_unit_cancellable(index, unit, cache, inner_jobs, None)
+}
+
+/// [`produce_unit`] with a cooperative cancellation flag threaded into
+/// the unit's optimizer. Network workers install one so a lost
+/// coordinator (or a daemon-side `Cancel`) stops the in-flight unit at
+/// the next scaling-chunk boundary; a cancelled completion carries
+/// [`sea_opt::OptError::Cancelled`] and is never published to the cache.
+#[must_use]
+pub fn produce_unit_cancellable(
+    index: usize,
+    unit: &Unit,
+    cache: Option<&Cache>,
+    inner_jobs: usize,
+    cancel: Option<&Arc<AtomicBool>>,
+) -> Completion {
     if let Some(cache) = cache {
         if let Some(result) = cache.load(unit) {
             return Completion {
@@ -187,7 +205,7 @@ pub fn produce_unit(
             };
         }
     }
-    let result = run_unit_with_jobs(unit, inner_jobs);
+    let result = run_unit_cancellable(unit, inner_jobs, cancel);
     if let (Some(cache), Ok(r)) = (cache, &result) {
         // Best-effort: a full disk must not fail the campaign.
         let _ = cache.store(r);
@@ -212,12 +230,12 @@ pub fn produce_unit(
 /// final report is byte-identical no matter which backend (or how many
 /// workers, threads or machines) produced the completions.
 #[derive(Debug)]
-pub struct RunState<'a> {
+pub struct RunState {
     slots: Vec<Option<UnitOutcome>>,
     errors: Vec<Option<CampaignError>>,
     pending: Vec<usize>,
     journaled: Vec<bool>,
-    journal: Option<&'a mut JournalWriter>,
+    journal: Option<JournalWriter>,
     resumed: usize,
     executed: usize,
     cache_hits: usize,
@@ -225,7 +243,7 @@ pub struct RunState<'a> {
     journal_error: Option<CampaignError>,
 }
 
-impl<'a> RunState<'a> {
+impl RunState {
     /// Plans a run: decides, per unit, whether it still needs evaluation.
     ///
     /// A prefilled (journal-restored) record satisfies its unit unless the
@@ -241,7 +259,7 @@ impl<'a> RunState<'a> {
         units: &[Unit],
         mut prefilled: Vec<Option<UnitRecord>>,
         need_payloads: bool,
-        journal: Option<&'a mut JournalWriter>,
+        journal: Option<JournalWriter>,
     ) -> Self {
         if prefilled.is_empty() {
             prefilled = (0..units.len()).map(|_| None).collect();
@@ -297,6 +315,24 @@ impl<'a> RunState<'a> {
         self.outstanding
     }
 
+    /// Units evaluated so far by this backend (fresh executions).
+    #[must_use]
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    /// Units restored so far from the result cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Units restored from the resume journal at plan time.
+    #[must_use]
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
     /// Whether `index` already has a completion (a re-queued unit whose
     /// original worker turned out to be alive produces duplicates; the
     /// first completion wins).
@@ -332,8 +368,7 @@ impl<'a> RunState<'a> {
         match result {
             Ok(r) => {
                 sink.unit_completed(&r.record);
-                if let (Some(journal), false) = (self.journal.as_deref_mut(), self.journaled[index])
-                {
+                if let (Some(journal), false) = (self.journal.as_mut(), self.journaled[index]) {
                     if let Err(e) = journal.append(index, unit_hash(&r.unit), &r.record) {
                         self.journal_error = Some(CampaignError::Journal(format!(
                             "cannot append unit {index} to the journal: {e} — \

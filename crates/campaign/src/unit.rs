@@ -8,6 +8,7 @@
 //! report stays bitwise identical.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sea_arch::{Architecture, LevelSet, ScalingVector, SerModel};
@@ -505,10 +506,34 @@ pub fn run_unit(unit: &Unit) -> Result<UnitResult, CampaignError> {
 ///
 /// As [`run_unit`].
 pub fn run_unit_with_jobs(unit: &Unit, inner_jobs: usize) -> Result<UnitResult, CampaignError> {
+    run_unit_cancellable(unit, inner_jobs, None)
+}
+
+/// [`run_unit_with_jobs`] with a cooperative cancellation flag threaded
+/// into the unit's optimizer ([`OptimizerConfig::with_cancel`]). Setting
+/// the flag makes in-progress optimize/baseline units abort at the next
+/// scaling-chunk boundary with [`CampaignError::Opt`]`(`[`OptError::Cancelled`]`)`
+/// instead of finishing — how the daemon's `Cancel` frames and a worker's
+/// lost-coordinator path stop doomed work promptly. An unset flag changes
+/// nothing: the produced result is bitwise identical to [`run_unit`]'s.
+///
+/// # Errors
+///
+/// As [`run_unit`], plus [`OptError::Cancelled`] when the flag fires.
+pub fn run_unit_cancellable(
+    unit: &Unit,
+    inner_jobs: usize,
+    cancel: Option<&Arc<AtomicBool>>,
+) -> Result<UnitResult, CampaignError> {
     let app = unit.app.build()?;
+    let with_cancel = |config: OptimizerConfig| match cancel {
+        Some(flag) => config.with_cancel(Arc::clone(flag)),
+        None => config,
+    };
     let (payload, record) = match &unit.kind {
         UnitKind::Optimize => {
-            let optimizer = DesignOptimizer::new(unit.optimizer_config().with_jobs(inner_jobs));
+            let optimizer =
+                DesignOptimizer::new(with_cancel(unit.optimizer_config().with_jobs(inner_jobs)));
             let result = if inner_jobs <= 1 {
                 // Sequential units share the graph's structure-of-arrays
                 // view across the whole campaign (memoized per
@@ -522,7 +547,8 @@ pub fn run_unit_with_jobs(unit: &Unit, inner_jobs: usize) -> Result<UnitResult, 
             design_payload(unit, result)?
         }
         UnitKind::Baseline(objective) => {
-            let optimizer = BaselineOptimizer::new(unit.optimizer_config(), *objective);
+            let optimizer =
+                BaselineOptimizer::new(with_cancel(unit.optimizer_config()), *objective);
             design_payload(unit, optimizer.optimize(&app))?
         }
         UnitKind::Sweep { count, scale } => {

@@ -28,7 +28,7 @@
 //! the job count additionally shifts where each search's limit lands.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -137,6 +137,13 @@ pub struct OptimizerConfig {
     /// Defaults to [`sea_sched::prune_default`] (`SEA_PRUNE=0`
     /// disables).
     pub prune: bool,
+    /// Cooperative cancellation flag. When set, the driver checks it
+    /// between scaling chunks (the unit of parallel work) and aborts the
+    /// run with [`OptError::Cancelled`] once it reads `true` — a doomed
+    /// unit stops within one chunk instead of finishing the whole
+    /// enumeration. `None` (the default) never cancels; the flag cannot
+    /// change a completed run's outcome, only whether it completes.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl OptimizerConfig {
@@ -157,6 +164,7 @@ impl OptimizerConfig {
             jobs: default_jobs(),
             incremental: incremental_default(),
             prune: prune_default(),
+            cancel: None,
         }
     }
 
@@ -205,6 +213,15 @@ impl OptimizerConfig {
     #[must_use]
     pub fn with_prune(mut self, prune: bool) -> Self {
         self.prune = prune;
+        self
+    }
+
+    /// Installs a cooperative cancellation flag (non-consuming builder).
+    /// Setting the flag makes the run abort with [`OptError::Cancelled`]
+    /// at the next chunk boundary.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -556,6 +573,14 @@ impl DesignOptimizer {
         scalings: &[ScalingVector],
         chunk_index: usize,
     ) -> Result<ChunkOutcome, OptError> {
+        // Cooperative cancellation: one cheap check per chunk, the unit
+        // of parallel work, so cancelled runs stop within ~one chunk's
+        // worth of search on every worker.
+        if let Some(cancel) = &self.config.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(OptError::Cancelled);
+            }
+        }
         let ctx = EvalContext::new(app, &self.config.arch)
             .with_ser(self.config.ser)
             .with_exposure(self.config.exposure);
@@ -810,6 +835,27 @@ mod tests {
         assert_eq!(seq.best.scaling, par.best.scaling);
         assert_eq!(seq.best.evaluation, par.best.evaluation);
         assert_eq!(seq.total_evaluations, par.total_evaluations);
+    }
+
+    #[test]
+    fn cancel_flag_aborts_between_chunks() {
+        let app = mpeg2::application();
+        let flag = Arc::new(AtomicBool::new(true));
+        let err = DesignOptimizer::new(OptimizerConfig::fast(4).with_cancel(flag))
+            .optimize(&app)
+            .unwrap_err();
+        assert_eq!(err, OptError::Cancelled);
+        // An installed-but-unset flag changes nothing.
+        let out = DesignOptimizer::new(
+            OptimizerConfig::fast(4).with_cancel(Arc::new(AtomicBool::new(false))),
+        )
+        .optimize(&app)
+        .unwrap();
+        let baseline = DesignOptimizer::new(OptimizerConfig::fast(4))
+            .optimize(&app)
+            .unwrap();
+        assert_eq!(out.best.mapping, baseline.best.mapping);
+        assert_eq!(out.total_evaluations, baseline.total_evaluations);
     }
 
     /// Paper-calibrated architecture, fast budget, deadline tightened so

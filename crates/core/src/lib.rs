@@ -84,6 +84,9 @@ pub enum OptError {
     Sched(SchedError),
     /// Underlying architecture error.
     Arch(ArchError),
+    /// The run was interrupted by a cooperative cancellation request
+    /// ([`OptimizerConfig::with_cancel`]) before the enumeration finished.
+    Cancelled,
 }
 
 impl fmt::Display for OptError {
@@ -101,6 +104,7 @@ impl fmt::Display for OptError {
             ),
             OptError::Sched(e) => write!(f, "scheduling error: {e}"),
             OptError::Arch(e) => write!(f, "architecture error: {e}"),
+            OptError::Cancelled => write!(f, "optimization cancelled"),
         }
     }
 }

@@ -277,7 +277,7 @@ fn send(peer: &mut Peer, kind: FrameKind, body: &[u8]) -> bool {
 /// `peer`. Returns `false` if the write failed (caller re-queues).
 fn dispatch(
     units: &[Unit],
-    state: &RunState<'_>,
+    state: &RunState,
     queue: &mut VecDeque<usize>,
     peer: &mut Peer,
 ) -> bool {
@@ -303,7 +303,7 @@ fn dispatch(
 #[allow(clippy::too_many_lines)]
 fn dispatch_loop(
     units: &[Unit],
-    state: &mut RunState<'_>,
+    state: &mut RunState,
     sink: &mut dyn Sink,
     cache: Option<&sea_campaign::Cache>,
     queue: &mut VecDeque<usize>,
@@ -321,7 +321,7 @@ fn dispatch_loop(
     fn remove_peer(
         peers: &mut HashMap<u64, Peer>,
         id: u64,
-        state: &RunState<'_>,
+        state: &RunState,
         queue: &mut VecDeque<usize>,
     ) {
         if let Some(peer) = peers.remove(&id) {
@@ -340,7 +340,7 @@ fn dispatch_loop(
         peers: &mut HashMap<u64, Peer>,
         id: u64,
         units: &[Unit],
-        state: &RunState<'_>,
+        state: &RunState,
         queue: &mut VecDeque<usize>,
     ) {
         remove_peer(peers, id, state, queue);
@@ -351,7 +351,7 @@ fn dispatch_loop(
     fn feed_idle(
         peers: &mut HashMap<u64, Peer>,
         units: &[Unit],
-        state: &RunState<'_>,
+        state: &RunState,
         queue: &mut VecDeque<usize>,
     ) {
         let mut dead: Vec<u64> = Vec::new();
@@ -508,7 +508,7 @@ enum ResultDisposition {
 
 fn handle_result(
     units: &[Unit],
-    state: &mut RunState<'_>,
+    state: &mut RunState,
     sink: &mut dyn Sink,
     cache: Option<&sea_campaign::Cache>,
     peer: &mut Peer,

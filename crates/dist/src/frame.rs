@@ -24,7 +24,14 @@
 use std::io::{Read, Write};
 
 /// Protocol version spoken by this build (handshake line).
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: version 1 was the worker dialect alone (kinds 1–8);
+/// version 2 added the client-facing service frames (kinds 9+ — submit,
+/// subscribe, status, cancel, stop) for the `sea-serve` daemon. The
+/// frame *grammar* and the unit encoding (`sea_opt::codec::WIRE_VERSION`)
+/// are unchanged, but an old worker would see unknown kind bytes from a
+/// new daemon's Refuse-with-status path, so the exact-match rule bumps.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Magic token opening every handshake line.
 pub const HANDSHAKE_MAGIC: &str = "sea-dist";
@@ -56,6 +63,36 @@ pub enum FrameKind {
     /// Worker → coordinator: a dispatched unit failed hard (body:
     /// [`crate::wire::encode_work_error`]).
     WorkError = 8,
+    /// Client → daemon: submit a campaign spec (body: handshake line,
+    /// newline, spec text). First frame on a client connection.
+    Submit = 9,
+    /// Daemon → client: submission accepted (body:
+    /// `<campaign_id> <spec_hash_hex> <n_units>`).
+    Accepted = 10,
+    /// Client → daemon: stream a campaign's per-completion records
+    /// (body: handshake line, newline, campaign id). First frame on a
+    /// client connection.
+    Subscribe = 11,
+    /// Daemon → client: one JSONL per-completion record line, released
+    /// in enumeration order.
+    Record = 12,
+    /// Daemon → client: the campaign's final JSONL report; closes the
+    /// subscription.
+    Report = 13,
+    /// Client → daemon: request per-campaign progress and per-worker
+    /// stats (body: handshake line). First frame on a client connection.
+    Status = 14,
+    /// Daemon → client: the status report (JSON body).
+    StatusReport = 15,
+    /// Client → daemon: cancel a campaign (body: handshake line,
+    /// newline, campaign id). First frame on a client connection.
+    Cancel = 16,
+    /// Daemon → client: a client verb finished (body: human-readable
+    /// outcome).
+    Done = 17,
+    /// Client → daemon: shut the daemon down cleanly after releasing the
+    /// fleet (body: handshake line). First frame on a client connection.
+    Stop = 18,
 }
 
 impl FrameKind {
@@ -71,6 +108,16 @@ impl FrameKind {
             6 => Some(FrameKind::Shutdown),
             7 => Some(FrameKind::Refuse),
             8 => Some(FrameKind::WorkError),
+            9 => Some(FrameKind::Submit),
+            10 => Some(FrameKind::Accepted),
+            11 => Some(FrameKind::Subscribe),
+            12 => Some(FrameKind::Record),
+            13 => Some(FrameKind::Report),
+            14 => Some(FrameKind::Status),
+            15 => Some(FrameKind::StatusReport),
+            16 => Some(FrameKind::Cancel),
+            17 => Some(FrameKind::Done),
+            18 => Some(FrameKind::Stop),
             _ => None,
         }
     }
@@ -235,6 +282,16 @@ mod tests {
             FrameKind::Shutdown,
             FrameKind::Refuse,
             FrameKind::WorkError,
+            FrameKind::Submit,
+            FrameKind::Accepted,
+            FrameKind::Subscribe,
+            FrameKind::Record,
+            FrameKind::Report,
+            FrameKind::Status,
+            FrameKind::StatusReport,
+            FrameKind::Cancel,
+            FrameKind::Done,
+            FrameKind::Stop,
         ] {
             let f = round_trip(kind, b"payload \x00 bytes");
             assert_eq!(f.kind, kind);
@@ -304,9 +361,11 @@ mod tests {
         assert!(check_handshake(b"sea-fish 1").is_err());
         assert!(check_handshake(b"sea-dist").is_err());
         assert!(check_handshake(b"sea-dist x").is_err());
-        assert!(check_handshake(b"sea-dist 1 extra").is_err());
+        assert!(check_handshake(b"sea-dist 2 extra").is_err());
         assert!(check_handshake(&[0xFF, 0xFE]).is_err());
+        // Version 1 (the pre-service dialect) is refused, naming both.
+        assert!(check_handshake(b"sea-dist 1").is_err());
         let skew = check_handshake(b"sea-dist 999").unwrap_err();
-        assert!(skew.contains("999") && skew.contains('1'), "{skew}");
+        assert!(skew.contains("999") && skew.contains('2'), "{skew}");
     }
 }

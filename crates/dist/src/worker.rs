@@ -8,12 +8,25 @@
 //! evaluates, the connection stays live with periodic
 //! [`FrameKind::Heartbeat`] frames so the coordinator can tell "slow"
 //! from "dead".
+//!
+//! Resilience: a lost connection is a *session* failure, not a worker
+//! failure. [`run_worker`] reconnects with exponential backoff (100 ms
+//! doubling to ~2 s) inside a fresh [`WorkerConfig::connect_retry`]
+//! window after every loss, so a coordinator (or daemon) restart
+//! mid-campaign keeps its fleet: workers rejoin as soon as the listener
+//! is back. Only a clean [`FrameKind::Shutdown`], a protocol violation,
+//! or an exhausted reconnect window ends the worker. A heartbeat that
+//! fails mid-evaluation additionally trips the unit's cooperative cancel
+//! flag ([`sea_campaign::produce_unit_cancellable`]) so the in-flight
+//! evaluation stops at the next scaling-chunk boundary instead of
+//! finishing a result nobody can receive.
 
 use std::net::TcpStream;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use sea_campaign::{encode_result, produce_unit, Cache, CampaignError};
+use sea_campaign::{encode_result, produce_unit_cancellable, Cache, CampaignError};
 
 use crate::frame::{
     check_handshake, handshake_line, read_frame, write_frame, FrameError, FrameKind,
@@ -33,8 +46,11 @@ pub struct WorkerConfig<'a> {
     pub inner_jobs: usize,
     /// How often to heartbeat while evaluating.
     pub heartbeat_interval: Duration,
-    /// Keep retrying the initial connect for this long (workers often
-    /// start before their coordinator listens).
+    /// Keep retrying each connect for this long: the initial one (workers
+    /// often start before their coordinator listens) and every reconnect
+    /// after a lost connection (coordinators restart). The window is
+    /// fresh per loss, so a long campaign tolerates any number of
+    /// restarts as long as each outage is shorter than this.
     pub connect_retry: Duration,
     /// Test hook: after this many completed units, drop the connection
     /// without replying the next time work arrives — simulates a worker
@@ -54,7 +70,8 @@ impl Default for WorkerConfig<'_> {
     }
 }
 
-/// What a worker did before disconnecting.
+/// What a worker did before disconnecting. Aggregated across every
+/// session when the worker reconnects after a lost coordinator.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorkerReport {
     /// Units evaluated (or served from the worker's local cache).
@@ -64,10 +81,15 @@ pub struct WorkerReport {
     /// Whether the worker left deliberately (a clean [`FrameKind::Shutdown`]
     /// from the coordinator, or the `abandon_after` test hook).
     pub clean_exit: bool,
+    /// Sessions re-established after a lost connection.
+    pub reconnects: usize,
 }
 
+/// Connects with exponential backoff (100 ms doubling to ~2 s between
+/// attempts) until `retry` elapses.
 fn connect(addr: &str, retry: Duration) -> Result<TcpStream, CampaignError> {
     let deadline = Instant::now() + retry;
+    let mut delay = Duration::from_millis(100);
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => {
@@ -77,25 +99,72 @@ fn connect(addr: &str, retry: Duration) -> Result<TcpStream, CampaignError> {
             }
             Err(e) if Instant::now() < deadline => {
                 let _ = e;
-                std::thread::sleep(Duration::from_millis(100));
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(2));
             }
             Err(e) => return Err(terr(format!("cannot connect to coordinator {addr}: {e}"))),
         }
     }
 }
 
+/// How one connected session ended.
+enum SessionEnd {
+    /// The coordinator sent a clean shutdown (or the abandon hook fired):
+    /// the worker is done.
+    Clean,
+    /// The connection died (close, reset, torn frame, failed write) —
+    /// reconnect and keep serving.
+    Lost(String),
+}
+
 /// Connects to a coordinator, serves dispatched units until a clean
-/// shutdown, and reports what it did.
+/// shutdown — reconnecting with backoff after every lost connection —
+/// and reports what it did across all sessions.
 ///
 /// # Errors
 ///
-/// Connection/handshake failures and a connection lost mid-campaign
-/// (the coordinator re-queues the in-flight unit either way).
+/// Initial-connect and reconnect windows exhausted, handshake refusals
+/// (version skew), and protocol violations. A lost connection alone is
+/// *not* an error: the coordinator re-queues the in-flight unit and the
+/// worker rejoins when the listener returns.
 pub fn run_worker(addr: &str, config: &WorkerConfig<'_>) -> Result<WorkerReport, CampaignError> {
-    let mut stream = connect(addr, config.connect_retry)?;
-    write_frame(&mut stream, FrameKind::Hello, handshake_line().as_bytes())
-        .map_err(|e| terr(format!("cannot greet coordinator: {e}")))?;
-    match read_frame(&mut stream) {
+    let mut report = WorkerReport::default();
+    let mut lost_reason: Option<String> = None;
+    loop {
+        let mut stream = match connect(addr, config.connect_retry) {
+            Ok(stream) => stream,
+            Err(e) => match lost_reason {
+                // A restart outage longer than the window: surface both
+                // the original loss and the failed reconnect.
+                Some(reason) => {
+                    return Err(terr(format!("{reason}; reconnect failed: {e}")));
+                }
+                None => return Err(e),
+            },
+        };
+        if lost_reason.take().is_some() {
+            report.reconnects += 1;
+        }
+        match serve_session(&mut stream, config, &mut report)? {
+            SessionEnd::Clean => {
+                report.clean_exit = true;
+                return Ok(report);
+            }
+            SessionEnd::Lost(reason) => lost_reason = Some(reason),
+        }
+    }
+}
+
+/// One handshake-to-disconnect session on an established connection.
+fn serve_session(
+    stream: &mut TcpStream,
+    config: &WorkerConfig<'_>,
+    report: &mut WorkerReport,
+) -> Result<SessionEnd, CampaignError> {
+    if write_frame(stream, FrameKind::Hello, handshake_line().as_bytes()).is_err() {
+        return Ok(SessionEnd::Lost("coordinator gone before greeting".into()));
+    }
+    match read_frame(stream) {
         Ok(frame) if frame.kind == FrameKind::Welcome => {
             check_handshake(&frame.body).map_err(terr)?;
         }
@@ -111,23 +180,21 @@ pub fn run_worker(addr: &str, config: &WorkerConfig<'_>) -> Result<WorkerReport,
                 frame.kind
             )));
         }
-        Err(e) => return Err(terr(format!("handshake failed: {e}"))),
+        Err(e) => return Ok(SessionEnd::Lost(format!("handshake failed: {e}"))),
     }
 
-    let mut report = WorkerReport::default();
     loop {
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_frame(stream) {
             Ok(frame) => frame,
             Err(FrameError::Closed) => {
-                return Err(terr("coordinator closed the connection mid-campaign"));
+                return Ok(SessionEnd::Lost(
+                    "coordinator closed the connection mid-campaign".into(),
+                ));
             }
-            Err(e) => return Err(terr(format!("connection lost: {e}"))),
+            Err(e) => return Ok(SessionEnd::Lost(format!("connection lost: {e}"))),
         };
         match frame.kind {
-            FrameKind::Shutdown => {
-                report.clean_exit = true;
-                return Ok(report);
-            }
+            FrameKind::Shutdown => return Ok(SessionEnd::Clean),
             FrameKind::Refuse => {
                 return Err(terr(format!(
                     "coordinator refused: {}",
@@ -138,8 +205,7 @@ pub fn run_worker(addr: &str, config: &WorkerConfig<'_>) -> Result<WorkerReport,
                 if config.abandon_after.is_some_and(|n| report.completed >= n) {
                     // Test hook: vanish mid-unit, exactly like a killed
                     // process — no reply, just a dropped connection.
-                    report.clean_exit = true;
-                    return Ok(report);
+                    return Ok(SessionEnd::Clean);
                 }
                 let (index, _hash, unit) = wire::decode_work(
                     frame
@@ -148,14 +214,20 @@ pub fn run_worker(addr: &str, config: &WorkerConfig<'_>) -> Result<WorkerReport,
                 )
                 .map_err(|e| terr(format!("refusing work item: {e}")))?;
 
-                let done = evaluate_with_heartbeats(
-                    &mut stream,
+                let done = match evaluate_with_heartbeats(
+                    stream,
                     index,
                     &unit,
                     config.cache,
                     config.inner_jobs,
                     config.heartbeat_interval,
-                )?;
+                ) {
+                    Ok(done) => done,
+                    // The only failure path in there is a dead heartbeat
+                    // write: the coordinator is gone, the unit's cancel
+                    // flag is tripped, the result (if any) is undeliverable.
+                    Err(reason) => return Ok(SessionEnd::Lost(reason)),
+                };
                 match done.result {
                     Ok(result) => {
                         let entry = encode_result(&result);
@@ -177,21 +249,32 @@ pub fn run_worker(addr: &str, config: &WorkerConfig<'_>) -> Result<WorkerReport,
                                 crate::frame::MAX_FRAME_LEN
                             );
                             let body = wire::encode_work_error(index, &msg);
-                            write_frame(&mut stream, FrameKind::WorkError, body.as_bytes())
-                                .map_err(|e| terr(format!("cannot send error report: {e}")))?;
+                            if write_frame(stream, FrameKind::WorkError, body.as_bytes()).is_err() {
+                                return Ok(SessionEnd::Lost("cannot send error report".into()));
+                            }
                             continue;
                         }
-                        write_frame(&mut stream, FrameKind::Result, body.as_bytes())
-                            .map_err(|e| terr(format!("cannot send result: {e}")))?;
+                        if write_frame(stream, FrameKind::Result, body.as_bytes()).is_err() {
+                            return Ok(SessionEnd::Lost("cannot send result".into()));
+                        }
                         report.completed += 1;
                         if done.from_cache {
                             report.cache_hits += 1;
                         }
                     }
+                    Err(CampaignError::Opt(sea_opt::OptError::Cancelled)) => {
+                        // Cancellation only fires from the heartbeat path,
+                        // which already returned Lost; reaching here means
+                        // the flag tripped on the final chunk boundary
+                        // while the send still worked — treat as lost so
+                        // the unit is re-queued, never reported failed.
+                        return Ok(SessionEnd::Lost("unit cancelled mid-connection".into()));
+                    }
                     Err(e) => {
                         let body = wire::encode_work_error(index, &e.to_string());
-                        write_frame(&mut stream, FrameKind::WorkError, body.as_bytes())
-                            .map_err(|e| terr(format!("cannot send error report: {e}")))?;
+                        if write_frame(stream, FrameKind::WorkError, body.as_bytes()).is_err() {
+                            return Ok(SessionEnd::Lost("cannot send error report".into()));
+                        }
                     }
                 }
             }
@@ -203,7 +286,11 @@ pub fn run_worker(addr: &str, config: &WorkerConfig<'_>) -> Result<WorkerReport,
 }
 
 /// Evaluates one unit on a helper thread while the calling thread keeps
-/// the connection alive with heartbeats.
+/// the connection alive with heartbeats. A failed heartbeat trips the
+/// unit's cooperative cancel flag before returning, so the evaluation
+/// thread — which this scope must join — exits at the next
+/// scaling-chunk boundary rather than finishing a result nobody will
+/// receive.
 fn evaluate_with_heartbeats(
     stream: &mut TcpStream,
     index: usize,
@@ -211,21 +298,32 @@ fn evaluate_with_heartbeats(
     cache: Option<&Cache>,
     inner_jobs: usize,
     heartbeat_interval: Duration,
-) -> Result<sea_campaign::Completion, CampaignError> {
+) -> Result<sea_campaign::Completion, String> {
+    let cancel = Arc::new(AtomicBool::new(false));
     std::thread::scope(|s| {
         let (tx, rx) = mpsc::channel();
+        let eval_cancel = Arc::clone(&cancel);
         s.spawn(move || {
-            let _ = tx.send(produce_unit(index, unit, cache, inner_jobs.max(1)));
+            let _ = tx.send(produce_unit_cancellable(
+                index,
+                unit,
+                cache,
+                inner_jobs.max(1),
+                Some(&eval_cancel),
+            ));
         });
         loop {
             match rx.recv_timeout(heartbeat_interval) {
                 Ok(done) => return Ok(done),
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    write_frame(stream, FrameKind::Heartbeat, &[])
-                        .map_err(|e| terr(format!("cannot heartbeat (coordinator gone?): {e}")))?;
+                    if let Err(e) = write_frame(stream, FrameKind::Heartbeat, &[]) {
+                        cancel.store(true, Ordering::Relaxed);
+                        return Err(format!("cannot heartbeat (coordinator gone?): {e}"));
+                    }
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    return Err(terr("unit evaluation thread died"));
+                    cancel.store(true, Ordering::Relaxed);
+                    return Err("unit evaluation thread died".into());
                 }
             }
         }

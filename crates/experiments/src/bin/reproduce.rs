@@ -208,7 +208,8 @@ fn main() {
     });
     let mut config = RunConfig::new(sea_opt::default_jobs());
     config.cache = cache.as_ref();
-    if let Some(plan) = &mut plan {
+    let journaled = plan.is_some();
+    if let Some(mut plan) = plan.take() {
         if !quiet && plan.resumed > 0 {
             eprintln!(
                 "resume: {} of {} units journaled",
@@ -217,7 +218,7 @@ fn main() {
             );
         }
         config.prefilled = std::mem::take(&mut plan.prefilled);
-        config.journal = Some(&mut plan.writer);
+        config.journal = Some(plan.writer);
     }
     let (results, stats) = match distributed {
         Some(workers) => {
@@ -229,7 +230,7 @@ fn main() {
         }
         None => campaigns::run_configured(&units, config, &mut progress).expect("campaign run"),
     };
-    if !quiet && (cache.is_some() || plan.is_some()) {
+    if !quiet && (cache.is_some() || journaled) {
         eprintln!(
             "units: {} evaluated, {} cache hit(s), {} journaled",
             stats.executed, stats.cache_hits, stats.resumed

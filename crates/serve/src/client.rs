@@ -1,0 +1,204 @@
+//! Client verbs for the daemon: submit, watch, status, cancel, stop.
+//!
+//! Every verb opens one connection, sends one client frame (whose body
+//! opens with the handshake line — clients have no Hello round-trip, so
+//! the version check rides the verb itself), and reads the reply.
+//! [`submit_watch`] keeps its connection open after the
+//! [`FrameKind::Accepted`] reply and subscribes on it: per-completion
+//! JSONL records stream to one writer, the final report to another, so
+//! a caller can keep progress on stderr and the report bytes alone on
+//! stdout (comparable with `cmp` against a local `campaign --format
+//! jsonl` run).
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use sea_campaign::CampaignError;
+use sea_dist::frame::{handshake_line, read_frame, write_frame, Frame, FrameKind};
+
+use crate::terr;
+
+/// What the daemon accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// Daemon-assigned campaign id (stable for the daemon's lifetime;
+    /// re-submitting an identical spec returns the same id).
+    pub campaign_id: u64,
+    /// Hex spec hash ([`sea_campaign::units_hash`] of the expansion).
+    pub spec_hash: String,
+    /// How many units the spec expands to.
+    pub n_units: usize,
+}
+
+fn connect(addr: &str) -> Result<TcpStream, CampaignError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| terr(format!("cannot connect to daemon {addr}: {e}")))?;
+    sea_dist::configure_stream(&stream)
+        .map_err(|e| terr(format!("cannot configure the daemon socket: {e}")))?;
+    Ok(stream)
+}
+
+/// A client frame body: handshake line, newline, payload.
+fn verb_body(payload: &str) -> Vec<u8> {
+    format!("{}\n{payload}", handshake_line()).into_bytes()
+}
+
+fn read_reply(stream: &mut TcpStream) -> Result<Frame, CampaignError> {
+    match read_frame(stream) {
+        Ok(frame) if frame.kind == FrameKind::Refuse => Err(terr(format!(
+            "daemon refused: {}",
+            frame.text().map(str::to_owned).unwrap_or_default()
+        ))),
+        Ok(frame) => Ok(frame),
+        Err(e) => Err(terr(format!("daemon reply failed: {e}"))),
+    }
+}
+
+fn expect_text(frame: &Frame, kind: FrameKind) -> Result<String, CampaignError> {
+    if frame.kind != kind {
+        return Err(terr(format!(
+            "expected a {kind:?} frame, got {:?}",
+            frame.kind
+        )));
+    }
+    frame
+        .text()
+        .map(str::to_owned)
+        .map_err(|e| terr(e.to_string()))
+}
+
+fn parse_accepted(body: &str) -> Result<SubmitOutcome, CampaignError> {
+    let mut parts = body.split_whitespace();
+    let outcome = (|| {
+        Some(SubmitOutcome {
+            campaign_id: parts.next()?.parse().ok()?,
+            spec_hash: parts.next()?.to_string(),
+            n_units: parts.next()?.parse().ok()?,
+        })
+    })();
+    match outcome {
+        Some(o) if parts.next().is_none() => Ok(o),
+        _ => Err(terr(format!("malformed Accepted reply: `{body}`"))),
+    }
+}
+
+fn submit_on(stream: &mut TcpStream, spec: &str) -> Result<SubmitOutcome, CampaignError> {
+    write_frame(stream, FrameKind::Submit, &verb_body(spec))
+        .map_err(|e| terr(format!("cannot submit: {e}")))?;
+    let reply = read_reply(stream)?;
+    parse_accepted(&expect_text(&reply, FrameKind::Accepted)?)
+}
+
+/// Submits a campaign spec and returns the daemon's acceptance.
+///
+/// # Errors
+///
+/// Connection failures, daemon refusals (spec parse errors, journal
+/// failures, version skew) and malformed replies.
+pub fn submit(addr: &str, spec: &str) -> Result<SubmitOutcome, CampaignError> {
+    submit_on(&mut connect(addr)?, spec)
+}
+
+/// Streams a campaign on an open connection: records (one JSONL line
+/// each, enumeration order) to `records`, the final report to `report`.
+fn watch_on(
+    stream: &mut TcpStream,
+    campaign_id: u64,
+    records: &mut dyn Write,
+    report: &mut dyn Write,
+) -> Result<(), CampaignError> {
+    write_frame(
+        stream,
+        FrameKind::Subscribe,
+        &verb_body(&campaign_id.to_string()),
+    )
+    .map_err(|e| terr(format!("cannot subscribe: {e}")))?;
+    loop {
+        let frame = read_reply(stream)?;
+        match frame.kind {
+            FrameKind::Record => {
+                let line = expect_text(&frame, FrameKind::Record)?;
+                writeln!(records, "{line}")
+                    .map_err(|e| terr(format!("cannot write a record: {e}")))?;
+            }
+            FrameKind::Report => {
+                report
+                    .write_all(&frame.body)
+                    .map_err(|e| terr(format!("cannot write the report: {e}")))?;
+                return Ok(());
+            }
+            other => {
+                return Err(terr(format!(
+                    "expected a Record or Report frame, got {other:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// Submits a spec and watches it to completion on the same connection.
+///
+/// Streamed record lines go to `records`, the final report bytes to
+/// `report` — their concatenation is byte-identical (record stream ==
+/// report), so either writer alone reproduces a local run's JSONL
+/// output.
+///
+/// # Errors
+///
+/// Everything [`submit`] raises, plus a dropped subscription (daemon
+/// stopped or campaign cancelled mid-watch).
+pub fn submit_watch(
+    addr: &str,
+    spec: &str,
+    records: &mut dyn Write,
+    report: &mut dyn Write,
+) -> Result<SubmitOutcome, CampaignError> {
+    let mut stream = connect(addr)?;
+    let outcome = submit_on(&mut stream, spec)?;
+    watch_on(&mut stream, outcome.campaign_id, records, report)?;
+    Ok(outcome)
+}
+
+/// Fetches the daemon's status report (JSON: per-campaign progress,
+/// per-worker fleet stats, fleet totals).
+///
+/// # Errors
+///
+/// Connection failures and daemon refusals.
+pub fn status(addr: &str) -> Result<String, CampaignError> {
+    let mut stream = connect(addr)?;
+    write_frame(&mut stream, FrameKind::Status, &verb_body(""))
+        .map_err(|e| terr(format!("cannot request status: {e}")))?;
+    let reply = read_reply(&mut stream)?;
+    expect_text(&reply, FrameKind::StatusReport)
+}
+
+/// Cancels a campaign; returns the daemon's human-readable outcome.
+///
+/// # Errors
+///
+/// Connection failures and daemon refusals (unknown campaign id).
+pub fn cancel(addr: &str, campaign_id: u64) -> Result<String, CampaignError> {
+    let mut stream = connect(addr)?;
+    write_frame(
+        &mut stream,
+        FrameKind::Cancel,
+        &verb_body(&campaign_id.to_string()),
+    )
+    .map_err(|e| terr(format!("cannot cancel: {e}")))?;
+    let reply = read_reply(&mut stream)?;
+    expect_text(&reply, FrameKind::Done)
+}
+
+/// Stops the daemon cleanly; returns its human-readable sign-off.
+///
+/// # Errors
+///
+/// Connection failures and daemon refusals.
+pub fn stop(addr: &str) -> Result<String, CampaignError> {
+    let mut stream = connect(addr)?;
+    write_frame(&mut stream, FrameKind::Stop, &verb_body(""))
+        .map_err(|e| terr(format!("cannot request a stop: {e}")))?;
+    let reply = read_reply(&mut stream)?;
+    expect_text(&reply, FrameKind::Done)
+}

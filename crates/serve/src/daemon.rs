@@ -1,0 +1,1340 @@
+//! The coordinator daemon: a long-running service multiplexing many
+//! campaigns over one shared worker fleet.
+//!
+//! Where `sea_dist::serve_units` runs *one* campaign to completion and
+//! exits, [`run_daemon`] accepts campaign *submissions* over the same
+//! frame protocol, keeps one [`RunState`] per registered campaign, and
+//! schedules every campaign's pending units onto whichever workers are
+//! connected. Workers speak the unmodified worker dialect (Hello / Work
+//! / Result / Heartbeat) — a worker cannot tell a daemon from a
+//! single-campaign coordinator; clients speak the service verbs added in
+//! protocol version 2 (Submit / Subscribe / Status / Cancel / Stop).
+//!
+//! **Fairness.** Dispatch walks the campaign registry round-robin: each
+//! time a worker asks for work, the cursor starts at the campaign after
+//! the one that last dispatched, so no submission starves behind an
+//! earlier, larger one. Within a campaign, units leave in
+//! [`dispatch_order`] — most expensive first, the same cost model as the
+//! local pool. Results slot by enumeration index, so scheduling affects
+//! wall-clock only, never a report.
+//!
+//! **Cross-campaign dedupe.** [`unit_hash`] excludes the presentation
+//! fields (enumeration index, scenario label), so identical units in
+//! different campaigns share one content hash. The daemon keeps a
+//! *followers* map from in-flight content hash to every `(campaign,
+//! index)` pair interested in it: a unit about to be dispatched whose
+//! hash is already in flight registers as a follower instead, and the
+//! one verified result fans out to every follower through
+//! [`sea_campaign::decode_result`] (which rewrites the presentation
+//! fields per campaign). Overlapping units evaluate exactly once
+//! fleet-wide.
+//!
+//! **Caching.** The shared content-addressed cache is probed at
+//! *dispatch* time: a hit completes the unit without network traffic and
+//! is attributed to the worker whose dispatch path probed it (a
+//! worker-local hit on the unmodified wire is invisible to the daemon,
+//! so the dispatch-path probe is the honest per-worker statistic). The
+//! trade-off of probing at dispatch rather than at submission: a
+//! fully-warm campaign still needs at least one connected worker to
+//! drain its queue.
+//!
+//! **Durability.** With a journal directory configured, every campaign
+//! write-ahead journals to `<spec_hash>.jsonl` exactly like a local
+//! `--resume` run. After a daemon restart, re-submitting the same spec
+//! resumes from the journal: restored records stream first, only the
+//! missing units are dispatched, and the final report is byte-identical.
+//!
+//! **Streaming.** Subscribers receive one [`FrameKind::Record`] per
+//! completed unit, *released in enumeration order* (record `i` is held
+//! back until every record before it has been released), then the final
+//! [`FrameKind::Report`]. Holding the stream to enumeration order makes
+//! the concatenation of streamed lines byte-identical to the final JSONL
+//! report — and to a local `campaign --format jsonl` run of the same
+//! spec — regardless of completion interleaving or other in-flight
+//! campaigns.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use sea_campaign::{
+    decode_result, dispatch_order, json_record, jsonl_report, open_journal, parse_campaign,
+    unit_hash, units_hash, Cache, CampaignError, Completion, ContentHash, NullSink, RunState, Unit,
+    UnitRecord,
+};
+use sea_dist::frame::{check_handshake, handshake_line, read_frame, write_frame, Frame, FrameKind};
+use sea_dist::wire;
+
+use crate::terr;
+
+/// Daemon configuration.
+pub struct DaemonConfig {
+    /// Shared content-addressed result cache, probed on the dispatch path
+    /// and published to as verified results arrive. One cache serves
+    /// every campaign.
+    pub cache: Option<Cache>,
+    /// Directory for per-campaign write-ahead journals, one
+    /// `<spec_hash>.jsonl` per submitted spec. `None` disables
+    /// durability (a daemon restart forgets progress the cache does not
+    /// hold).
+    pub journal_dir: Option<PathBuf>,
+    /// How long a worker holding an in-flight unit may stay silent
+    /// before it is presumed dead and its unit re-queued.
+    pub heartbeat_timeout: Duration,
+}
+
+impl DaemonConfig {
+    /// No cache, no journal directory, the default 30 s heartbeat
+    /// timeout.
+    #[must_use]
+    pub fn new() -> Self {
+        DaemonConfig {
+            cache: None,
+            journal_dir: None,
+            heartbeat_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig::new()
+    }
+}
+
+/// Per-worker fleet statistics, accumulated per connection.
+///
+/// A worker that reconnects after a daemon restart or dropped connection
+/// gets a fresh connection id and therefore a fresh row — the stats
+/// describe connection sessions, the unit of accounting the daemon can
+/// actually observe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Units this worker evaluated to a verified result.
+    pub completed: usize,
+    /// Cache hits probed on this worker's dispatch path (served without
+    /// dispatching).
+    pub cache_hits: usize,
+    /// Hard unit errors this worker reported.
+    pub errors: usize,
+    /// Total wall time of this worker's completed units.
+    pub busy: Duration,
+}
+
+impl WorkerStats {
+    /// Mean wall time per completed unit, in milliseconds (0 when none
+    /// completed).
+    #[must_use]
+    pub fn mean_unit_ms(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let n = self.completed as f64;
+            self.busy.as_secs_f64() * 1000.0 / n
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, returned when a
+/// [`FrameKind::Stop`] shuts it down.
+#[derive(Debug, Default)]
+pub struct DaemonReport {
+    /// Campaigns submitted (including re-attached duplicates only once).
+    pub campaigns: usize,
+    /// Campaigns that finished with a complete report.
+    pub completed: usize,
+    /// Campaigns cancelled by a client.
+    pub cancelled: usize,
+    /// Units evaluated by the fleet (one per verified result frame).
+    pub evaluated: usize,
+    /// Extra completions produced by cross-campaign dedupe fan-out
+    /// (follower completions beyond each result's first).
+    pub deduped: usize,
+    /// Per-connection worker statistics, connection-id ascending.
+    pub workers: Vec<(u64, WorkerStats)>,
+}
+
+/// Events the listener/reader threads feed the daemon loop.
+enum Event {
+    Connected(u64, TcpStream),
+    Frame(u64, Frame),
+    Gone(u64),
+}
+
+/// What a connection has identified itself as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// No frame seen yet.
+    New,
+    /// Sent a Hello: speaks the worker dialect.
+    Worker,
+    /// Sent a client verb: speaks the service dialect.
+    Client,
+}
+
+/// The unit a worker is evaluating right now.
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    /// Registry position of the campaign whose unit body was dispatched.
+    campaign: usize,
+    /// Enumeration index within that campaign.
+    index: usize,
+    /// Content hash of the dispatched unit (the followers-map key).
+    hash: ContentHash,
+    /// Dispatch instant, for per-worker wall-time accounting.
+    since: Instant,
+}
+
+/// Per-connection daemon state.
+struct Peer {
+    stream: TcpStream,
+    role: Role,
+    ticket: Option<Ticket>,
+    last_seen: Instant,
+}
+
+/// One registered campaign.
+struct CampaignRun {
+    name: String,
+    spec_hash: ContentHash,
+    units: Vec<Unit>,
+    /// The engine state machine; `None` once finished or cancelled.
+    state: Option<RunState>,
+    /// Pending enumeration indices in cost-model dispatch order.
+    queue: VecDeque<usize>,
+    /// Completed JSONL record lines by enumeration index (errors leave
+    /// `None`).
+    records: Vec<Option<String>>,
+    /// How many leading records have been released to subscribers.
+    next_release: usize,
+    /// Connection ids streaming this campaign.
+    subscribers: Vec<u64>,
+    /// `Ok(final JSONL report)` or `Err(reason)` once the campaign is
+    /// over.
+    outcome: Option<Result<String, String>>,
+    /// Units with any completion (restored, evaluated, cache hit, error).
+    done: usize,
+    executed: usize,
+    cache_hits: usize,
+    resumed: usize,
+    cancelled: bool,
+}
+
+impl CampaignRun {
+    fn status_label(&self) -> &'static str {
+        if self.cancelled {
+            "cancelled"
+        } else {
+            match &self.outcome {
+                None => "running",
+                Some(Ok(_)) => "complete",
+                Some(Err(_)) => "failed",
+            }
+        }
+    }
+}
+
+/// Fleet-wide counters for status reports and the final
+/// [`DaemonReport`].
+#[derive(Default)]
+struct FleetTotals {
+    evaluated: usize,
+    deduped: usize,
+}
+
+/// Runs the daemon on `listener` until a client sends
+/// [`FrameKind::Stop`].
+///
+/// Workers and clients connect to the same port; the first frame on a
+/// connection decides its dialect. Campaign reports are byte-identical
+/// to a local `campaign --jobs N` run of the same spec, regardless of
+/// worker count, connection churn or other in-flight campaigns.
+///
+/// # Errors
+///
+/// Transport setup failures and an unexpectedly closed event channel.
+/// Per-campaign failures (journal append, hard unit errors) fail that
+/// campaign's subscribers, not the daemon.
+pub fn run_daemon(
+    listener: &TcpListener,
+    config: &DaemonConfig,
+) -> Result<DaemonReport, CampaignError> {
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| terr(format!("cannot resolve the daemon address: {e}")))?;
+    let stop = AtomicBool::new(false);
+    // Live-connection registry, exactly as in `sea_dist::serve_units`:
+    // registered by the listener before the reader spawns, unregistered
+    // by the reader on exit, swept at teardown so blocked readers
+    // unblock.
+    let accepted: Mutex<HashMap<u64, TcpStream>> = Mutex::new(HashMap::new());
+    let (tx, rx) = mpsc::channel::<Event>();
+
+    std::thread::scope(|s| {
+        let listener_tx = tx.clone();
+        let stop_ref = &stop;
+        let accepted_ref = &accepted;
+        let listener_handle = s.spawn(move || {
+            let tx = listener_tx;
+            let mut next_id = 0u64;
+            loop {
+                let Ok((stream, _addr)) = listener.accept() else {
+                    break;
+                };
+                if stop_ref.load(Ordering::SeqCst) {
+                    break; // the teardown wake-up
+                }
+                if sea_dist::configure_stream(&stream).is_err() {
+                    continue;
+                }
+                let id = next_id;
+                next_id += 1;
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                accepted_ref.lock().unwrap().insert(id, write_half);
+                let Ok(write_half) = stream.try_clone() else {
+                    accepted_ref.lock().unwrap().remove(&id);
+                    continue;
+                };
+                if tx.send(Event::Connected(id, write_half)).is_err() {
+                    break;
+                }
+                let tx = tx.clone();
+                s.spawn(move || {
+                    let mut stream = stream;
+                    loop {
+                        match read_frame(&mut stream) {
+                            Ok(frame) => {
+                                if tx.send(Event::Frame(id, frame)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                let _ = tx.send(Event::Gone(id));
+                                break;
+                            }
+                        }
+                    }
+                    accepted_ref.lock().unwrap().remove(&id);
+                });
+            }
+        });
+
+        let result = daemon_loop(config, &rx);
+
+        stop.store(true, Ordering::SeqCst);
+        let mut wake_addr = local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake_addr);
+        let _ = listener_handle.join();
+        for stream in accepted.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        drop(tx);
+
+        result
+    })
+}
+
+/// Sends a frame to a peer; a failed write means the peer is gone.
+fn send(peer: &mut Peer, kind: FrameKind, body: &[u8]) -> bool {
+    write_frame(&mut peer.stream, kind, body).is_ok()
+}
+
+/// Validates a client verb body (handshake line first) and returns the
+/// payload after the newline (empty for bare verbs).
+fn client_payload(frame: &Frame) -> Result<String, String> {
+    let text =
+        std::str::from_utf8(&frame.body).map_err(|_| "frame body is not UTF-8".to_string())?;
+    let (line, rest) = match text.split_once('\n') {
+        Some((line, rest)) => (line, rest),
+        None => (text, ""),
+    };
+    check_handshake(line.as_bytes())?;
+    Ok(rest.to_string())
+}
+
+/// Releases completed records to subscribers in enumeration order:
+/// record `i` goes out only when every record before it is out, so the
+/// streamed lines concatenate to exactly the final report.
+fn release_records(run: &mut CampaignRun, peers: &mut HashMap<u64, Peer>) {
+    while run.next_release < run.records.len() {
+        let Some(line) = run.records[run.next_release].as_deref() else {
+            break;
+        };
+        let mut dead: Vec<u64> = Vec::new();
+        for &sub in &run.subscribers {
+            match peers.get_mut(&sub) {
+                Some(peer) => {
+                    if !send(peer, FrameKind::Record, line.as_bytes()) {
+                        let _ = peer.stream.shutdown(Shutdown::Both);
+                        dead.push(sub);
+                    }
+                }
+                None => dead.push(sub),
+            }
+        }
+        if !dead.is_empty() {
+            run.subscribers.retain(|s| !dead.contains(s));
+        }
+        run.next_release += 1;
+    }
+}
+
+/// Finishes a campaign: renders the final report (or the failure),
+/// stores it for late subscribers, and releases current ones.
+fn finish_campaign(run: &mut CampaignRun, peers: &mut HashMap<u64, Peer>) {
+    let Some(state) = run.state.take() else {
+        return;
+    };
+    let outcome = match state.finish(&mut NullSink) {
+        Ok(outcome) => {
+            let records: Vec<UnitRecord> = outcome.records();
+            Ok(jsonl_report(&records))
+        }
+        Err(e) => Err(e.to_string()),
+    };
+    let (kind, body) = match &outcome {
+        Ok(report) => (FrameKind::Report, report.clone()),
+        Err(reason) => (FrameKind::Refuse, format!("campaign failed: {reason}")),
+    };
+    for sub in std::mem::take(&mut run.subscribers) {
+        if let Some(peer) = peers.get_mut(&sub) {
+            let _ = send(peer, kind, body.as_bytes());
+            let _ = peer.stream.shutdown(Shutdown::Both);
+        }
+    }
+    eprintln!(
+        "daemon: campaign `{}` {}",
+        run.name,
+        match &outcome {
+            Ok(_) => "complete".to_string(),
+            Err(reason) => format!("failed: {reason}"),
+        }
+    );
+    run.outcome = Some(outcome);
+}
+
+/// Records one completion on a campaign and drives the streaming /
+/// finishing consequences.
+fn complete_unit(
+    run: &mut CampaignRun,
+    index: usize,
+    result: Result<sea_campaign::UnitResult, CampaignError>,
+    from_cache: bool,
+    peers: &mut HashMap<u64, Peer>,
+) {
+    let Some(state) = run.state.as_mut() else {
+        return;
+    };
+    if state.is_filled(index) {
+        return;
+    }
+    let line = match &result {
+        Ok(r) => Some(json_record(&r.record)),
+        Err(_) => None,
+    };
+    let ok = state.complete(
+        Completion {
+            index,
+            result,
+            from_cache,
+        },
+        &mut NullSink,
+    );
+    run.done += 1;
+    if from_cache {
+        run.cache_hits += 1;
+    } else {
+        run.executed += 1;
+    }
+    if !ok {
+        // Journal append failed: the write-ahead guarantee is gone for
+        // this campaign; fail it now (the daemon keeps serving others).
+        finish_campaign(run, peers);
+        return;
+    }
+    if let Some(line) = line {
+        run.records[index] = Some(line);
+    }
+    release_records(run, peers);
+    if run.state.as_ref().is_some_and(|s| s.outstanding() == 0) {
+        finish_campaign(run, peers);
+    }
+}
+
+/// Claims the next dispatchable unit, walking campaigns round-robin from
+/// the cursor. Units whose hash is already in flight register as
+/// followers; cache hits complete immediately (attributed to
+/// `worker_id`); the claimed unit's hash is inserted into the followers
+/// map before returning.
+#[allow(clippy::too_many_arguments)]
+fn next_work(
+    campaigns: &mut [CampaignRun],
+    cursor: &mut usize,
+    followers: &mut HashMap<ContentHash, Vec<(usize, usize)>>,
+    cache: Option<&Cache>,
+    peers: &mut HashMap<u64, Peer>,
+    stats: &mut HashMap<u64, WorkerStats>,
+    worker_id: u64,
+) -> Option<(usize, usize, ContentHash)> {
+    let n = campaigns.len();
+    if n == 0 {
+        return None;
+    }
+    for step in 0..n {
+        let c = (*cursor + step) % n;
+        loop {
+            let run = &mut campaigns[c];
+            if run.cancelled || run.state.is_none() {
+                break;
+            }
+            let Some(i) = run.queue.pop_front() else {
+                break;
+            };
+            if run.state.as_ref().is_some_and(|s| s.is_filled(i)) {
+                continue;
+            }
+            let hash = unit_hash(&run.units[i]);
+            if let Some(list) = followers.get_mut(&hash) {
+                // Already evaluating on some worker (possibly for another
+                // campaign): ride that evaluation instead of dispatching
+                // a duplicate. Registration costs no worker turn.
+                list.push((c, i));
+                continue;
+            }
+            if let Some(result) = cache.and_then(|cache| cache.load(&run.units[i])) {
+                if let Some(ws) = stats.get_mut(&worker_id) {
+                    ws.cache_hits += 1;
+                }
+                complete_unit(run, i, Ok(result), true, peers);
+                continue;
+            }
+            followers.insert(hash, vec![(c, i)]);
+            *cursor = (c + 1) % n;
+            return Some((c, i, hash));
+        }
+    }
+    None
+}
+
+/// Dispatches work to one idle worker. Returns `false` when the write
+/// failed (caller removes the peer).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_to(
+    worker_id: u64,
+    campaigns: &mut [CampaignRun],
+    cursor: &mut usize,
+    followers: &mut HashMap<ContentHash, Vec<(usize, usize)>>,
+    cache: Option<&Cache>,
+    peers: &mut HashMap<u64, Peer>,
+    stats: &mut HashMap<u64, WorkerStats>,
+) -> bool {
+    let Some((c, i, hash)) =
+        next_work(campaigns, cursor, followers, cache, peers, stats, worker_id)
+    else {
+        return true; // no work: stay idle
+    };
+    let body = wire::encode_work(i, hash, &campaigns[c].units[i]);
+    let undo = |campaigns: &mut [CampaignRun],
+                followers: &mut HashMap<ContentHash, Vec<(usize, usize)>>| {
+        followers.remove(&hash);
+        campaigns[c].queue.push_front(i);
+    };
+    let Some(peer) = peers.get_mut(&worker_id) else {
+        undo(campaigns, followers);
+        return true; // peer vanished between events; the unit re-queues
+    };
+    if write_frame(&mut peer.stream, FrameKind::Work, body.as_bytes()).is_ok() {
+        let now = Instant::now();
+        peer.ticket = Some(Ticket {
+            campaign: c,
+            index: i,
+            hash,
+            since: now,
+        });
+        peer.last_seen = now;
+        true
+    } else {
+        undo(campaigns, followers);
+        false
+    }
+}
+
+/// Removes one peer: closes its stream, re-queues every follower of its
+/// in-flight unit, and forgets its subscriptions.
+fn remove_peer(
+    peers: &mut HashMap<u64, Peer>,
+    id: u64,
+    campaigns: &mut [CampaignRun],
+    followers: &mut HashMap<ContentHash, Vec<(usize, usize)>>,
+) {
+    let Some(peer) = peers.remove(&id) else {
+        return;
+    };
+    let _ = peer.stream.shutdown(Shutdown::Both);
+    if let Some(ticket) = peer.ticket {
+        if let Some(list) = followers.remove(&ticket.hash) {
+            for (fc, fi) in list {
+                let run = &mut campaigns[fc];
+                if !run.cancelled && run.state.as_ref().is_some_and(|s| !s.is_filled(fi)) {
+                    run.queue.push_front(fi);
+                }
+            }
+        }
+    }
+    for run in campaigns.iter_mut() {
+        run.subscribers.retain(|&s| s != id);
+    }
+}
+
+/// Gives queued work to every greeted, idle worker.
+fn feed_idle(
+    peers: &mut HashMap<u64, Peer>,
+    campaigns: &mut [CampaignRun],
+    cursor: &mut usize,
+    followers: &mut HashMap<ContentHash, Vec<(usize, usize)>>,
+    cache: Option<&Cache>,
+    stats: &mut HashMap<u64, WorkerStats>,
+) {
+    let mut ids: Vec<u64> = peers
+        .iter()
+        .filter(|(_, p)| p.role == Role::Worker && p.ticket.is_none())
+        .map(|(&id, _)| id)
+        .collect();
+    ids.sort_unstable();
+    let mut dead: Vec<u64> = Vec::new();
+    for id in ids {
+        if !dispatch_to(id, campaigns, cursor, followers, cache, peers, stats) {
+            dead.push(id);
+        }
+    }
+    for id in dead {
+        remove_peer(peers, id, campaigns, followers);
+    }
+}
+
+/// What became of one Result frame.
+enum ResultDisposition {
+    Accepted,
+    Corrupt(String),
+}
+
+/// Verifies a worker's result against its ticket and fans the completion
+/// out to every follower of the unit's content hash.
+#[allow(clippy::too_many_arguments)]
+fn handle_result(
+    id: u64,
+    frame: &Frame,
+    campaigns: &mut [CampaignRun],
+    peers: &mut HashMap<u64, Peer>,
+    followers: &mut HashMap<ContentHash, Vec<(usize, usize)>>,
+    cache: Option<&Cache>,
+    stats: &mut HashMap<u64, WorkerStats>,
+    totals: &mut FleetTotals,
+) -> ResultDisposition {
+    let Some(ticket) = peers.get(&id).and_then(|p| p.ticket) else {
+        return ResultDisposition::Corrupt("result frame but no unit dispatched".into());
+    };
+    let text = match frame.text() {
+        Ok(t) => t,
+        Err(e) => return ResultDisposition::Corrupt(e.to_string()),
+    };
+    // NOTE: the ticket is cleared only once the result verifies. Every
+    // `Corrupt` return leaves it set, so the subsequent peer removal
+    // re-queues the unit for every follower — a corrupt stream must cost
+    // a connection, never a unit.
+    let (index, claimed, entry) = match wire::decode_result_body(text) {
+        Ok(parts) => parts,
+        Err(e) => return ResultDisposition::Corrupt(e.to_string()),
+    };
+    if ticket.index != index {
+        return ResultDisposition::Corrupt(format!(
+            "result for unit {index} but unit {} was dispatched to this worker",
+            ticket.index
+        ));
+    }
+    if claimed != ticket.hash {
+        return ResultDisposition::Corrupt(format!(
+            "result claims hash {}, dispatched {}",
+            claimed.to_hex(),
+            ticket.hash.to_hex()
+        ));
+    }
+    // Full verification against the unit the daemon actually dispatched:
+    // embedded hash, entry checksum, payload decode.
+    let primary = match decode_result(entry, &campaigns[ticket.campaign].units[ticket.index]) {
+        Ok(r) => r,
+        Err(e) => return ResultDisposition::Corrupt(format!("unverifiable result: {e}")),
+    };
+    if let Some(peer) = peers.get_mut(&id) {
+        peer.ticket = None;
+    }
+    let ws = stats.entry(id).or_default();
+    ws.completed += 1;
+    ws.busy += ticket.since.elapsed();
+    if let Some(cache) = cache {
+        // Best-effort publication: a full disk must not fail a campaign.
+        let _ = cache.store(&primary);
+    }
+    let interested = followers.remove(&ticket.hash).unwrap_or_default();
+    let mut fanned = 0usize;
+    let mut primary_slot = Some(primary);
+    for (fc, fi) in interested {
+        let run = &mut campaigns[fc];
+        if run.cancelled || run.state.is_none() {
+            continue;
+        }
+        let result = if fc == ticket.campaign && fi == ticket.index {
+            match primary_slot.take() {
+                Some(r) => Ok(r),
+                None => decode_result(entry, &run.units[fi])
+                    .map_err(|e| terr(format!("unverifiable result for unit {fi}: {e}"))),
+            }
+        } else {
+            // Re-decode against the follower's own unit so the
+            // presentation fields (index, scenario) belong to *its*
+            // campaign.
+            decode_result(entry, &run.units[fi])
+                .map_err(|e| terr(format!("unverifiable result for unit {fi}: {e}")))
+        };
+        complete_unit(run, fi, result, false, peers);
+        fanned += 1;
+    }
+    totals.evaluated += 1;
+    totals.deduped += fanned.saturating_sub(1);
+    ResultDisposition::Accepted
+}
+
+/// Registers a submitted spec (or attaches to the identical one already
+/// registered) and returns the Accepted reply body.
+fn handle_submit(
+    spec: &str,
+    campaigns: &mut Vec<CampaignRun>,
+    journal_dir: Option<&PathBuf>,
+    peers: &mut HashMap<u64, Peer>,
+) -> Result<String, String> {
+    let campaign = parse_campaign(spec).map_err(|e| e.to_string())?;
+    let units = campaign.expand();
+    if units.is_empty() {
+        return Err("campaign expands to zero units".into());
+    }
+    let spec_hash = units_hash(&units);
+    if let Some(c) = campaigns.iter().position(|r| r.spec_hash == spec_hash) {
+        // Same expansion already registered: attach rather than duplicate
+        // (re-submitting after a watch disconnect must not re-run
+        // anything).
+        return Ok(format!(
+            "{} {} {}",
+            c + 1,
+            spec_hash.to_hex(),
+            campaigns[c].units.len()
+        ));
+    }
+    let mut prefilled = Vec::new();
+    let mut journal = None;
+    let mut resumed = 0usize;
+    if let Some(dir) = journal_dir {
+        let path = dir.join(format!("{}.jsonl", spec_hash.to_hex()));
+        let plan = open_journal(&path, &campaign.name, &units)
+            .map_err(|e| format!("cannot open the campaign journal: {e}"))?;
+        resumed = plan.resumed;
+        prefilled = plan.prefilled;
+        journal = Some(plan.writer);
+    }
+    // Capture the restored record lines before `RunState::plan` consumes
+    // the prefill: restored records stream to subscribers too.
+    let records: Vec<Option<String>> = if prefilled.is_empty() {
+        vec![None; units.len()]
+    } else {
+        prefilled
+            .iter()
+            .map(|slot| slot.as_ref().map(json_record))
+            .collect()
+    };
+    let state = RunState::plan(&units, prefilled, false, journal);
+    let queue: VecDeque<usize> = dispatch_order(&units, state.pending()).into();
+    let n_units = units.len();
+    campaigns.push(CampaignRun {
+        name: campaign.name,
+        spec_hash,
+        units,
+        state: Some(state),
+        queue,
+        records,
+        next_release: 0,
+        subscribers: Vec::new(),
+        outcome: None,
+        done: resumed,
+        executed: 0,
+        cache_hits: 0,
+        resumed,
+        cancelled: false,
+    });
+    let c = campaigns.len() - 1;
+    eprintln!(
+        "daemon: campaign {} `{}` accepted ({} units, {} resumed)",
+        c + 1,
+        campaigns[c].name,
+        n_units,
+        resumed
+    );
+    // Restored records release immediately; a fully-journaled submission
+    // finishes without dispatching anything.
+    release_records(&mut campaigns[c], peers);
+    if campaigns[c]
+        .state
+        .as_ref()
+        .is_some_and(|s| s.outstanding() == 0)
+    {
+        finish_campaign(&mut campaigns[c], peers);
+    }
+    Ok(format!("{} {} {}", c + 1, spec_hash.to_hex(), n_units))
+}
+
+/// Cancels one campaign: clears its queue, detaches its follower
+/// interest, and disconnects workers whose in-flight unit no other
+/// campaign wants (the drop trips the worker's cooperative cancel flag,
+/// stopping the evaluation at the next chunk boundary; the worker
+/// reconnects on its own).
+fn handle_cancel(
+    c: usize,
+    campaigns: &mut [CampaignRun],
+    peers: &mut HashMap<u64, Peer>,
+    followers: &mut HashMap<ContentHash, Vec<(usize, usize)>>,
+) -> String {
+    let run = &mut campaigns[c];
+    if let Some(outcome) = &run.outcome {
+        return format!(
+            "campaign {} already {}",
+            c + 1,
+            if outcome.is_ok() { "complete" } else { "over" }
+        );
+    }
+    run.cancelled = true;
+    run.queue.clear();
+    run.state = None; // drops the journal writer; the journal stays on disk
+    run.outcome = Some(Err("cancelled".into()));
+    let reply = format!(
+        "campaign {} cancelled ({}/{} units completed)",
+        c + 1,
+        run.done,
+        run.units.len()
+    );
+    for sub in std::mem::take(&mut run.subscribers) {
+        if let Some(peer) = peers.get_mut(&sub) {
+            let _ = send(
+                peer,
+                FrameKind::Refuse,
+                format!("campaign {} cancelled", c + 1).as_bytes(),
+            );
+            let _ = peer.stream.shutdown(Shutdown::Both);
+        }
+    }
+    // Strip this campaign's interest; a hash left with no followers is
+    // work nobody wants — disconnect the worker holding it.
+    let mut orphaned: Vec<ContentHash> = Vec::new();
+    for (hash, list) in followers.iter_mut() {
+        list.retain(|&(fc, _)| fc != c);
+        if list.is_empty() {
+            orphaned.push(*hash);
+        }
+    }
+    for hash in &orphaned {
+        followers.remove(hash);
+    }
+    let victims: Vec<u64> = peers
+        .iter()
+        .filter(|(_, p)| p.ticket.is_some_and(|t| orphaned.contains(&t.hash)))
+        .map(|(&id, _)| id)
+        .collect();
+    for id in victims {
+        remove_peer(peers, id, campaigns, followers);
+    }
+    eprintln!("daemon: {reply}");
+    reply
+}
+
+/// Minimal JSON string escaping for the status report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the status report: per-campaign progress, per-worker fleet
+/// stats, fleet totals.
+fn status_json(
+    campaigns: &[CampaignRun],
+    stats: &HashMap<u64, WorkerStats>,
+    totals: &FleetTotals,
+) -> String {
+    let mut out = String::from("{\"campaigns\":[");
+    for (c, run) in campaigns.iter().enumerate() {
+        if c > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"name\":\"{}\",\"spec_hash\":\"{}\",\"state\":\"{}\",\
+             \"units\":{},\"done\":{},\"executed\":{},\"cache_hits\":{},\"resumed\":{}}}",
+            c + 1,
+            json_escape(&run.name),
+            run.spec_hash.to_hex(),
+            run.status_label(),
+            run.units.len(),
+            run.done,
+            run.executed,
+            run.cache_hits,
+            run.resumed,
+        ));
+    }
+    out.push_str("],\"workers\":[");
+    let mut ids: Vec<u64> = stats.keys().copied().collect();
+    ids.sort_unstable();
+    for (k, id) in ids.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let ws = &stats[id];
+        out.push_str(&format!(
+            "{{\"worker\":{},\"completed\":{},\"cache_hits\":{},\"errors\":{},\"mean_unit_ms\":{:.3}}}",
+            id,
+            ws.completed,
+            ws.cache_hits,
+            ws.errors,
+            ws.mean_unit_ms(),
+        ));
+    }
+    out.push_str(&format!(
+        "],\"fleet\":{{\"evaluated\":{},\"deduped\":{}}}}}",
+        totals.evaluated, totals.deduped
+    ));
+    out
+}
+
+/// The daemon's event loop: runs until a client sends Stop.
+#[allow(clippy::too_many_lines)]
+fn daemon_loop(
+    config: &DaemonConfig,
+    rx: &mpsc::Receiver<Event>,
+) -> Result<DaemonReport, CampaignError> {
+    let cache = config.cache.as_ref();
+    let journal_dir = config.journal_dir.as_ref();
+    let mut campaigns: Vec<CampaignRun> = Vec::new();
+    let mut peers: HashMap<u64, Peer> = HashMap::new();
+    let mut followers: HashMap<ContentHash, Vec<(usize, usize)>> = HashMap::new();
+    let mut stats: HashMap<u64, WorkerStats> = HashMap::new();
+    let mut totals = FleetTotals::default();
+    let mut cursor = 0usize;
+    let tick = config
+        .heartbeat_timeout
+        .min(Duration::from_secs(1))
+        .max(Duration::from_millis(50));
+    let mut last_sweep = Instant::now();
+    let mut stopping = false;
+
+    while !stopping {
+        match rx.recv_timeout(tick) {
+            Ok(Event::Connected(id, stream)) => {
+                peers.insert(
+                    id,
+                    Peer {
+                        stream,
+                        role: Role::New,
+                        ticket: None,
+                        last_seen: Instant::now(),
+                    },
+                );
+            }
+            Ok(Event::Frame(id, frame)) => {
+                let Some(peer) = peers.get_mut(&id) else {
+                    continue; // already dropped
+                };
+                peer.last_seen = Instant::now();
+                let role = peer.role;
+                match (role, frame.kind) {
+                    // ---- worker dialect --------------------------------
+                    (Role::New, FrameKind::Hello) => match check_handshake(&frame.body) {
+                        Ok(()) => {
+                            peer.role = Role::Worker;
+                            stats.entry(id).or_default();
+                            if !send(peer, FrameKind::Welcome, handshake_line().as_bytes())
+                                || !dispatch_to(
+                                    id,
+                                    &mut campaigns,
+                                    &mut cursor,
+                                    &mut followers,
+                                    cache,
+                                    &mut peers,
+                                    &mut stats,
+                                )
+                            {
+                                remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                            }
+                        }
+                        Err(reason) => {
+                            let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                            remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                        }
+                    },
+                    (Role::Worker, FrameKind::Heartbeat) => {}
+                    (Role::Worker, FrameKind::Result) => {
+                        match handle_result(
+                            id,
+                            &frame,
+                            &mut campaigns,
+                            &mut peers,
+                            &mut followers,
+                            cache,
+                            &mut stats,
+                            &mut totals,
+                        ) {
+                            ResultDisposition::Accepted => {
+                                if !dispatch_to(
+                                    id,
+                                    &mut campaigns,
+                                    &mut cursor,
+                                    &mut followers,
+                                    cache,
+                                    &mut peers,
+                                    &mut stats,
+                                ) {
+                                    remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                                    feed_idle(
+                                        &mut peers,
+                                        &mut campaigns,
+                                        &mut cursor,
+                                        &mut followers,
+                                        cache,
+                                        &mut stats,
+                                    );
+                                }
+                            }
+                            ResultDisposition::Corrupt(reason) => {
+                                if let Some(peer) = peers.get_mut(&id) {
+                                    let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                                }
+                                remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                                feed_idle(
+                                    &mut peers,
+                                    &mut campaigns,
+                                    &mut cursor,
+                                    &mut followers,
+                                    cache,
+                                    &mut stats,
+                                );
+                            }
+                        }
+                    }
+                    (Role::Worker, FrameKind::WorkError) => {
+                        let decoded = wire::decode_work_error(frame.text().unwrap_or(""));
+                        let ticket = peer.ticket;
+                        match (decoded, ticket) {
+                            (Ok((index, message)), Some(t)) if t.index == index => {
+                                peer.ticket = None;
+                                if let Some(ws) = stats.get_mut(&id) {
+                                    ws.errors += 1;
+                                }
+                                for (fc, fi) in followers.remove(&t.hash).unwrap_or_default() {
+                                    let run = &mut campaigns[fc];
+                                    if run.cancelled || run.state.is_none() {
+                                        continue;
+                                    }
+                                    complete_unit(
+                                        run,
+                                        fi,
+                                        Err(terr(format!(
+                                            "worker reported unit {fi} failed: {message}"
+                                        ))),
+                                        false,
+                                        &mut peers,
+                                    );
+                                }
+                                if !dispatch_to(
+                                    id,
+                                    &mut campaigns,
+                                    &mut cursor,
+                                    &mut followers,
+                                    cache,
+                                    &mut peers,
+                                    &mut stats,
+                                ) {
+                                    remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                                }
+                            }
+                            _ => {
+                                remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                                feed_idle(
+                                    &mut peers,
+                                    &mut campaigns,
+                                    &mut cursor,
+                                    &mut followers,
+                                    cache,
+                                    &mut stats,
+                                );
+                            }
+                        }
+                    }
+                    // ---- client dialect --------------------------------
+                    (Role::New | Role::Client, FrameKind::Submit) => {
+                        peer.role = Role::Client;
+                        let reply = client_payload(&frame).and_then(|spec| {
+                            handle_submit(&spec, &mut campaigns, journal_dir, &mut peers)
+                        });
+                        let Some(peer) = peers.get_mut(&id) else {
+                            continue;
+                        };
+                        let ok = match reply {
+                            Ok(body) => send(peer, FrameKind::Accepted, body.as_bytes()),
+                            Err(reason) => {
+                                let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                                false
+                            }
+                        };
+                        if !ok {
+                            remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                        }
+                        // New pending units (or a freshly failed submit)
+                        // never reach idle workers by themselves.
+                        feed_idle(
+                            &mut peers,
+                            &mut campaigns,
+                            &mut cursor,
+                            &mut followers,
+                            cache,
+                            &mut stats,
+                        );
+                    }
+                    (Role::New | Role::Client, FrameKind::Subscribe) => {
+                        peer.role = Role::Client;
+                        let id_text = match client_payload(&frame) {
+                            Ok(rest) => rest,
+                            Err(reason) => {
+                                let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                                remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                                continue;
+                            }
+                        };
+                        let c = id_text
+                            .trim()
+                            .parse::<u64>()
+                            .ok()
+                            .and_then(|n| n.checked_sub(1))
+                            .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+                            .filter(|&c| c < campaigns.len());
+                        let Some(c) = c else {
+                            let _ = send(
+                                peer,
+                                FrameKind::Refuse,
+                                format!("no campaign `{}`", id_text.trim()).as_bytes(),
+                            );
+                            remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                            continue;
+                        };
+                        // Replay what has already been released, then join
+                        // the live stream (or receive the stored outcome).
+                        let run = &mut campaigns[c];
+                        let mut alive = true;
+                        for k in 0..run.next_release {
+                            if let Some(line) = run.records[k].as_deref() {
+                                if !send(peer, FrameKind::Record, line.as_bytes()) {
+                                    alive = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if alive {
+                            match &run.outcome {
+                                None => run.subscribers.push(id),
+                                Some(Ok(report)) => {
+                                    let report = report.clone();
+                                    let _ = send(peer, FrameKind::Report, report.as_bytes());
+                                    let _ = peer.stream.shutdown(Shutdown::Both);
+                                }
+                                Some(Err(reason)) => {
+                                    let reason = format!("campaign failed: {reason}");
+                                    let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                                    let _ = peer.stream.shutdown(Shutdown::Both);
+                                }
+                            }
+                        } else {
+                            remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                        }
+                    }
+                    (Role::New | Role::Client, FrameKind::Status) => {
+                        peer.role = Role::Client;
+                        let reply = match client_payload(&frame) {
+                            Ok(_) => Ok(status_json(&campaigns, &stats, &totals)),
+                            Err(reason) => Err(reason),
+                        };
+                        let ok = match reply {
+                            Ok(body) => send(peer, FrameKind::StatusReport, body.as_bytes()),
+                            Err(reason) => {
+                                let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                                false
+                            }
+                        };
+                        if !ok {
+                            remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                        }
+                    }
+                    (Role::New | Role::Client, FrameKind::Cancel) => {
+                        peer.role = Role::Client;
+                        let target = client_payload(&frame).and_then(|rest| {
+                            rest.trim()
+                                .parse::<u64>()
+                                .ok()
+                                .and_then(|n| n.checked_sub(1))
+                                .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+                                .filter(|&c| c < campaigns.len())
+                                .ok_or_else(|| format!("no campaign `{}`", rest.trim()))
+                        });
+                        match target {
+                            Ok(c) => {
+                                let reply =
+                                    handle_cancel(c, &mut campaigns, &mut peers, &mut followers);
+                                if let Some(peer) = peers.get_mut(&id) {
+                                    if !send(peer, FrameKind::Done, reply.as_bytes()) {
+                                        remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                                    }
+                                }
+                            }
+                            Err(reason) => {
+                                let _ = send(peer, FrameKind::Refuse, reason.as_bytes());
+                                remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                            }
+                        }
+                    }
+                    (Role::New | Role::Client, FrameKind::Stop) => {
+                        peer.role = Role::Client;
+                        let reply = match client_payload(&frame) {
+                            Ok(_) => {
+                                stopping = true;
+                                format!(
+                                    "daemon stopping: {} campaign(s), {} unit(s) evaluated",
+                                    campaigns.len(),
+                                    totals.evaluated
+                                )
+                            }
+                            Err(reason) => reason,
+                        };
+                        let kind = if stopping {
+                            FrameKind::Done
+                        } else {
+                            FrameKind::Refuse
+                        };
+                        if let Some(peer) = peers.get_mut(&id) {
+                            let _ = send(peer, kind, reply.as_bytes());
+                        }
+                    }
+                    // Anything else is a protocol violation.
+                    _ => {
+                        let _ = send(
+                            peer,
+                            FrameKind::Refuse,
+                            format!("unexpected {:?} frame", frame.kind).as_bytes(),
+                        );
+                        remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                        feed_idle(
+                            &mut peers,
+                            &mut campaigns,
+                            &mut cursor,
+                            &mut followers,
+                            cache,
+                            &mut stats,
+                        );
+                    }
+                }
+            }
+            Ok(Event::Gone(id)) => {
+                remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+                feed_idle(
+                    &mut peers,
+                    &mut campaigns,
+                    &mut cursor,
+                    &mut followers,
+                    cache,
+                    &mut stats,
+                );
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(terr("daemon event channel closed unexpectedly"));
+            }
+        }
+        if last_sweep.elapsed() >= tick {
+            last_sweep = Instant::now();
+            let now = Instant::now();
+            let stale: Vec<u64> = peers
+                .iter()
+                .filter(|(_, p)| {
+                    p.ticket.is_some() && now.duration_since(p.last_seen) > config.heartbeat_timeout
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in stale {
+                remove_peer(&mut peers, id, &mut campaigns, &mut followers);
+            }
+            feed_idle(
+                &mut peers,
+                &mut campaigns,
+                &mut cursor,
+                &mut followers,
+                cache,
+                &mut stats,
+            );
+        }
+    }
+
+    // Clean stop: release the fleet, tell live subscribers, report.
+    for peer in peers.values_mut() {
+        match peer.role {
+            Role::Worker => {
+                let _ = send(peer, FrameKind::Shutdown, &[]);
+            }
+            Role::Client | Role::New => {}
+        }
+    }
+    for run in &mut campaigns {
+        if run.outcome.is_none() {
+            for sub in std::mem::take(&mut run.subscribers) {
+                if let Some(peer) = peers.get_mut(&sub) {
+                    let _ = send(peer, FrameKind::Refuse, b"daemon stopping");
+                }
+            }
+        }
+    }
+    let mut worker_rows: Vec<(u64, WorkerStats)> = stats.into_iter().collect();
+    worker_rows.sort_unstable_by_key(|&(id, _)| id);
+    Ok(DaemonReport {
+        campaigns: campaigns.len(),
+        completed: campaigns
+            .iter()
+            .filter(|r| matches!(r.outcome, Some(Ok(_))))
+            .count(),
+        cancelled: campaigns.iter().filter(|r| r.cancelled).count(),
+        evaluated: totals.evaluated,
+        deduped: totals.deduped,
+        workers: worker_rows,
+    })
+}

@@ -1,0 +1,37 @@
+//! `sea-serve` — a multi-campaign coordinator daemon over the `sea-dist`
+//! frame protocol.
+//!
+//! The single-campaign coordinator (`sea_dist::serve_units`) binds one
+//! unit list to one listener and exits when it drains. This crate turns
+//! that into a *service*: [`run_daemon`] accepts campaign submissions
+//! while it runs, multiplexes every registered campaign over one shared
+//! worker fleet, deduplicates identical units across concurrent
+//! campaigns (one evaluation fans out to every interested campaign),
+//! shares one content-addressed cache and one write-ahead journal
+//! directory fleet-wide, and streams per-completion records to
+//! subscribed clients in enumeration order.
+//!
+//! Workers are unchanged `sea_dist::run_worker` processes — the worker
+//! dialect (Hello / Work / Result / Heartbeat) is identical whether the
+//! far end is a coordinator or a daemon. Clients use the service verbs
+//! of protocol version 2 ([`sea_dist::frame::FrameKind::Submit`] and
+//! friends) via the [`client`] helpers.
+//!
+//! The determinism contract carries over unweakened: every campaign's
+//! streamed records and final report are byte-identical to the same
+//! spec run locally with `campaign --jobs N`, regardless of worker
+//! count, connection churn, daemon restarts (with a journal directory)
+//! or other in-flight campaigns.
+
+pub mod client;
+pub mod daemon;
+
+pub use client::{cancel, status, stop, submit, submit_watch, SubmitOutcome};
+pub use daemon::{run_daemon, DaemonConfig, DaemonReport, WorkerStats};
+
+use sea_campaign::CampaignError;
+
+/// Shorthand for transport-classified errors.
+pub(crate) fn terr(msg: impl Into<String>) -> CampaignError {
+    CampaignError::Transport(msg.into())
+}

@@ -62,6 +62,16 @@ pub enum Command {
     Serve(ServeArgs),
     /// Serve a coordinator as a worker: evaluate dispatched units.
     Worker(WorkerArgs),
+    /// Run the multi-campaign coordinator daemon.
+    Daemon(DaemonArgs),
+    /// Submit a campaign spec to a running daemon.
+    Submit(SubmitArgs),
+    /// Query a running daemon's progress and fleet stats.
+    Status(ConnectArgs),
+    /// Cancel one campaign on a running daemon.
+    Cancel(CancelArgs),
+    /// Stop a running daemon cleanly.
+    Stop(ConnectArgs),
     /// Maintain a result-cache directory (stats, verify, prune).
     CacheCmd(CacheArgs),
     /// Print usage.
@@ -106,6 +116,57 @@ pub struct WorkerArgs {
     /// Keep retrying the initial connect for this many seconds
     /// (`--retry`; workers often start before their coordinator).
     pub retry_s: u64,
+}
+
+/// `daemon` command arguments: the multi-campaign coordinator service.
+/// Campaigns arrive over the wire (`submit`), so there is no spec
+/// source here — only the listen address and fleet-wide persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonArgs {
+    /// TCP listen address (`--listen`; port 0 binds an ephemeral port,
+    /// printed to stderr).
+    pub listen: String,
+    /// Fleet-wide result-cache directory (`--cache`/`SEA_CACHE`),
+    /// probed daemon-side before dispatch.
+    pub cache_dir: Option<String>,
+    /// Directory for per-campaign write-ahead journals
+    /// (`--journal-dir`): each accepted campaign journals to
+    /// `<spec-hash>.jsonl` there, and a re-submitted spec resumes from
+    /// its journal after a daemon restart.
+    pub journal_dir: Option<String>,
+    /// Heartbeat timeout in seconds (`--timeout`), as on `serve`.
+    pub timeout_s: u64,
+}
+
+/// `submit` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Daemon address (`--connect`).
+    pub connect: String,
+    /// Path to a campaign spec file (`--spec`).
+    pub spec_path: Option<String>,
+    /// Name of a built-in campaign (`--builtin`).
+    pub builtin: Option<String>,
+    /// Stay connected and stream the campaign (`--watch`): records to
+    /// stderr as they complete, the final report alone to stdout.
+    pub watch: bool,
+}
+
+/// Arguments for daemon verbs that only need an address (`status`,
+/// `stop`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectArgs {
+    /// Daemon address (`--connect`).
+    pub connect: String,
+}
+
+/// `cancel` command arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CancelArgs {
+    /// Daemon address (`--connect`).
+    pub connect: String,
+    /// Campaign id to cancel (`--id`, as printed by `submit`/`status`).
+    pub id: u64,
 }
 
 /// `cache` maintenance actions.
@@ -356,6 +417,13 @@ USAGE:
                     [--cache <dir>] [--timeout <secs>]
   sea-dse worker    --connect <addr:port> [--jobs <N>] [--cache <dir>]
                     [--retry <secs>]
+  sea-dse daemon    --listen <addr:port> [--cache <dir>] [--journal-dir <dir>]
+                    [--timeout <secs>]
+  sea-dse submit    --connect <addr:port> --spec <file> | --builtin <name>
+                    [--watch]
+  sea-dse status    --connect <addr:port>
+  sea-dse cancel    --connect <addr:port> --id <N>
+  sea-dse stop      --connect <addr:port>
   sea-dse cache     stats|verify|prune [--dir <dir>] [--max-age-days <D>]
                     [--max-size-mib <M>] [--delete-corrupt]
   sea-dse help
@@ -404,6 +472,18 @@ DIST:      `serve` expands a campaign and fans units to TCP workers
            --resume and --cache work across the network boundary (the
            cache is probed coordinator-side before dispatch). See README
            \"Distributed campaigns\" for the frame-protocol spec.
+SERVICE:   `daemon` is the long-running multi-campaign coordinator: the
+           same workers connect to it, while `submit` registers campaign
+           specs over the wire, `status` reports per-campaign progress
+           plus per-worker fleet stats as JSON, `cancel` withdraws one
+           campaign and `stop` shuts the fleet down. Campaigns share the
+           worker pool fairly (round-robin, cost-model order within each
+           campaign), share one --cache, and deduplicate identical units
+           fleet-wide. `submit --watch` streams records to stderr and
+           the final report to stdout, byte-identical to a local
+           `campaign --format jsonl` run of the same spec. With
+           --journal-dir, re-submitting a spec after a daemon restart
+           resumes from its journal. See README \"Service mode\".
 ";
 
 /// Parses a full argument vector (without the program name).
@@ -435,6 +515,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "report" => Ok(Command::Report(parse_report_cmd(rest)?)),
         "serve" => Ok(Command::Serve(parse_serve_cmd(rest)?)),
         "worker" => Ok(Command::Worker(parse_worker_cmd(rest)?)),
+        "daemon" => Ok(Command::Daemon(parse_daemon_cmd(rest)?)),
+        "submit" => Ok(Command::Submit(parse_submit_cmd(rest)?)),
+        "status" => Ok(Command::Status(parse_connect_cmd(rest, "status")?)),
+        "cancel" => Ok(Command::Cancel(parse_cancel_cmd(rest)?)),
+        "stop" => Ok(Command::Stop(parse_connect_cmd(rest, "stop")?)),
         "cache" => Ok(Command::CacheCmd(parse_cache_cmd(rest)?)),
         "recovery" => {
             let policy = match get_flag(rest, "--policy")? {
@@ -850,6 +935,88 @@ fn parse_worker_cmd(args: &[String]) -> Result<WorkerArgs, CliError> {
         jobs,
         cache_dir: get_flag(args, "--cache")?,
         retry_s,
+    })
+}
+
+fn parse_daemon_cmd(args: &[String]) -> Result<DaemonArgs, CliError> {
+    reject_unknown_flags(
+        args,
+        &["--listen", "--cache", "--journal-dir", "--timeout"],
+        &[],
+        "--listen|--cache|--journal-dir|--timeout",
+    )?;
+    let Some(listen) = get_flag(args, "--listen")? else {
+        return Err(CliError(
+            "daemon needs --listen <addr:port> (e.g. 127.0.0.1:7411; port 0 = ephemeral)".into(),
+        ));
+    };
+    let timeout_s = match get_flag(args, "--timeout")? {
+        Some(t) => {
+            let t: u64 = parse_num(&t, "timeout seconds")?;
+            // Same floor as `serve`: workers heartbeat every 2 s.
+            if t < 5 {
+                return Err(CliError(
+                    "--timeout must be at least 5 seconds (workers heartbeat every 2 s)".into(),
+                ));
+            }
+            t
+        }
+        None => 30,
+    };
+    Ok(DaemonArgs {
+        listen,
+        cache_dir: get_flag(args, "--cache")?,
+        journal_dir: get_flag(args, "--journal-dir")?,
+        timeout_s,
+    })
+}
+
+fn parse_submit_cmd(args: &[String]) -> Result<SubmitArgs, CliError> {
+    reject_unknown_flags(
+        args,
+        &["--connect", "--spec", "--builtin"],
+        &["--watch"],
+        "--connect|--spec|--builtin|--watch",
+    )?;
+    let Some(connect) = get_flag(args, "--connect")? else {
+        return Err(CliError("submit needs --connect <addr:port>".into()));
+    };
+    let spec_path = get_flag(args, "--spec")?;
+    let builtin = get_flag(args, "--builtin")?;
+    if usize::from(spec_path.is_some()) + usize::from(builtin.is_some()) != 1 {
+        return Err(CliError(
+            "submit needs exactly one of --spec <file>, --builtin <name>".into(),
+        ));
+    }
+    Ok(SubmitArgs {
+        connect,
+        spec_path,
+        builtin,
+        watch: has_switch(args, "--watch"),
+    })
+}
+
+fn parse_connect_cmd(args: &[String], verb: &str) -> Result<ConnectArgs, CliError> {
+    reject_unknown_flags(args, &["--connect"], &[], "--connect")?;
+    let Some(connect) = get_flag(args, "--connect")? else {
+        return Err(CliError(format!("{verb} needs --connect <addr:port>")));
+    };
+    Ok(ConnectArgs { connect })
+}
+
+fn parse_cancel_cmd(args: &[String]) -> Result<CancelArgs, CliError> {
+    reject_unknown_flags(args, &["--connect", "--id"], &[], "--connect|--id")?;
+    let Some(connect) = get_flag(args, "--connect")? else {
+        return Err(CliError("cancel needs --connect <addr:port>".into()));
+    };
+    let Some(id) = get_flag(args, "--id")? else {
+        return Err(CliError(
+            "cancel needs --id <N> (a campaign id from `submit` or `status`)".into(),
+        ));
+    };
+    Ok(CancelArgs {
+        connect,
+        id: parse_num(&id, "campaign id")?,
     })
 }
 
@@ -1345,6 +1512,82 @@ mod tests {
         assert!(parse(&argv("worker")).is_err());
         assert!(parse(&argv("worker --connect a:1 --jobs 0")).is_err());
         assert!(parse(&argv("worker --connect a:1 --listen b:2")).is_err());
+    }
+
+    #[test]
+    fn parses_daemon_command() {
+        let Command::Daemon(d) = parse(&argv(
+            "daemon --listen 127.0.0.1:0 --cache /tmp/c --journal-dir /tmp/j --timeout 12",
+        ))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(d.listen, "127.0.0.1:0");
+        assert_eq!(d.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(d.journal_dir.as_deref(), Some("/tmp/j"));
+        assert_eq!(d.timeout_s, 12);
+
+        let Command::Daemon(d) = parse(&argv("daemon --listen :7411")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(d.cache_dir, None);
+        assert_eq!(d.journal_dir, None);
+        assert_eq!(d.timeout_s, 30, "default heartbeat timeout");
+
+        assert!(parse(&argv("daemon")).is_err());
+        // Same timeout floor as `serve`.
+        assert!(parse(&argv("daemon --listen :0 --timeout 2")).is_err());
+        // Campaigns arrive via `submit`, never on the daemon command line.
+        assert!(parse(&argv("daemon --listen :0 --spec a.toml")).is_err());
+        assert!(parse(&argv("daemon --listen :0 --builtin q")).is_err());
+    }
+
+    #[test]
+    fn parses_submit_and_status_commands() {
+        let Command::Submit(s) = parse(&argv(
+            "submit --connect localhost:7411 --spec a.toml --watch",
+        ))
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(s.connect, "localhost:7411");
+        assert_eq!(s.spec_path.as_deref(), Some("a.toml"));
+        assert!(s.watch);
+
+        let Command::Submit(s) =
+            parse(&argv("submit --connect :7411 --builtin quickstart")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(s.builtin.as_deref(), Some("quickstart"));
+        assert!(!s.watch);
+
+        // Exactly one spec source, and the daemon address is mandatory.
+        assert!(parse(&argv("submit --connect :7411")).is_err());
+        assert!(parse(&argv("submit --connect :7411 --spec a --builtin b")).is_err());
+        assert!(parse(&argv("submit --spec a.toml")).is_err());
+        // The spec's own budget rules service runs; no --budget override.
+        assert!(parse(&argv("submit --connect :7411 --spec a --budget fast")).is_err());
+
+        let Command::Status(c) = parse(&argv("status --connect h:1")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.connect, "h:1");
+        assert!(parse(&argv("status")).is_err());
+        assert!(parse(&argv("status --connect h:1 --watch")).is_err());
+
+        let Command::Stop(c) = parse(&argv("stop --connect h:1")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.connect, "h:1");
+
+        let Command::Cancel(c) = parse(&argv("cancel --connect h:1 --id 2")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(c.connect, "h:1");
+        assert_eq!(c.id, 2);
+        assert!(parse(&argv("cancel --connect h:1")).is_err());
+        assert!(parse(&argv("cancel --connect h:1 --id x")).is_err());
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   deterministic cross-scenario worker pool, streaming result sinks.
 //! * [`dist`] — distributed campaigns over TCP: coordinator, workers,
 //!   and the length-prefixed frame protocol between them.
+//! * [`serve`] — the multi-campaign coordinator daemon: wire-submitted
+//!   campaigns, fair scheduling over a shared worker fleet,
+//!   cross-campaign dedupe and live result streaming.
 //! * [`experiments`] — harnesses regenerating every table and figure,
 //!   defined as campaign unit lists.
 //!
@@ -50,5 +53,6 @@ pub use sea_dist as dist;
 pub use sea_experiments as experiments;
 pub use sea_opt as opt;
 pub use sea_sched as sched;
+pub use sea_serve as serve;
 pub use sea_sim as sim;
 pub use sea_taskgraph as taskgraph;

@@ -10,8 +10,8 @@ use sea_dse::campaign::{
     HumanSink, JsonlSink, RunConfig, Sink,
 };
 use sea_dse::cli::{
-    self, BaselineObjective, CacheAction, CacheArgs, CampaignArgs, Command, DesignArgs,
-    OptimizeArgs, OutputFormat, PolicySpec, ReportArgs, ServeArgs, WorkerArgs,
+    self, BaselineObjective, CacheAction, CacheArgs, CampaignArgs, Command, DaemonArgs, DesignArgs,
+    OptimizeArgs, OutputFormat, PolicySpec, ReportArgs, ServeArgs, SubmitArgs, WorkerArgs,
 };
 use sea_dse::experiments::campaigns as builtin_campaigns;
 use sea_dse::opt::{
@@ -176,6 +176,29 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::Report(r) => run_report(&r),
         Command::Serve(s) => run_serve(&s),
         Command::Worker(w) => run_worker_cmd(&w),
+        Command::Daemon(d) => run_daemon_cmd(&d),
+        Command::Submit(s) => run_submit(&s),
+        Command::Status(c) => {
+            println!(
+                "{}",
+                sea_dse::serve::status(&c.connect).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+        Command::Cancel(c) => {
+            eprintln!(
+                "{}",
+                sea_dse::serve::cancel(&c.connect, c.id).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+        Command::Stop(c) => {
+            eprintln!(
+                "{}",
+                sea_dse::serve::stop(&c.connect).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
         Command::CacheCmd(c) => run_cache_cmd(&c),
         Command::Recovery(r) => {
             let (app, arch, mapping, scaling) = build_design(&r.design)?;
@@ -229,6 +252,30 @@ fn run(cmd: Command) -> Result<(), String> {
     }
 }
 
+/// Resolves `--spec`/`--builtin` to campaign spec text — shared by the
+/// local loaders and `submit`, which ships the text verbatim so the
+/// daemon parses exactly what a local run would.
+fn spec_source(spec_path: Option<&str>, builtin: Option<&str>) -> Result<String, String> {
+    match (spec_path, builtin) {
+        (Some(path), _) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read campaign spec `{path}`: {e}")),
+        (None, Some(name)) => match builtin_campaigns::builtin(name) {
+            Some(b) => Ok(b.source.to_string()),
+            None => {
+                let names: Vec<&str> = builtin_campaigns::builtins()
+                    .iter()
+                    .map(|b| b.name)
+                    .collect();
+                Err(format!(
+                    "unknown built-in campaign `{name}` (available: {})",
+                    names.join(", ")
+                ))
+            }
+        },
+        (None, None) => unreachable!("validated at parse time"),
+    }
+}
+
 /// Loads and expands a campaign from `--spec`/`--builtin`, applying a
 /// `--budget` override — shared by `campaign` and `serve`.
 fn load_campaign(
@@ -236,24 +283,7 @@ fn load_campaign(
     builtin: Option<&str>,
     budget: Option<sea_dse::campaign::BudgetSpec>,
 ) -> Result<sea_dse::campaign::Campaign, String> {
-    let source = match (spec_path, builtin) {
-        (Some(path), _) => std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read campaign spec `{path}`: {e}"))?,
-        (None, Some(name)) => match builtin_campaigns::builtin(name) {
-            Some(b) => b.source.to_string(),
-            None => {
-                let names: Vec<&str> = builtin_campaigns::builtins()
-                    .iter()
-                    .map(|b| b.name)
-                    .collect();
-                return Err(format!(
-                    "unknown built-in campaign `{name}` (available: {})",
-                    names.join(", ")
-                ));
-            }
-        },
-        (None, None) => unreachable!("validated at parse time"),
-    };
+    let source = spec_source(spec_path, builtin)?;
     let mut campaign = sea_dse::campaign::parse_campaign(&source).map_err(|e| e.to_string())?;
     if let Some(budget) = budget {
         campaign.budget = budget;
@@ -316,9 +346,9 @@ fn run_campaign(c: &CampaignArgs) -> Result<(), String> {
     let mut sink = make_sink(c.format);
     let mut config = RunConfig::new(jobs);
     config.cache = cache.as_ref();
-    if let Some(plan) = &mut plan {
+    if let Some(mut plan) = plan.take() {
         config.prefilled = std::mem::take(&mut plan.prefilled);
-        config.journal = Some(&mut plan.writer);
+        config.journal = Some(plan.writer);
     }
     let outcome = run_units_configured(&units, config, sink.as_mut()).map_err(|e| e.to_string())?;
     if cache.is_some() {
@@ -443,9 +473,9 @@ fn run_serve(s: &ServeArgs) -> Result<(), String> {
     let mut sink = make_sink(s.format);
     let mut config = RunConfig::new(1);
     config.cache = cache.as_ref();
-    if let Some(plan) = &mut plan {
+    if let Some(mut plan) = plan.take() {
         config.prefilled = std::mem::take(&mut plan.prefilled);
-        config.journal = Some(&mut plan.writer);
+        config.journal = Some(plan.writer);
     }
     let mut serve_config = sea_dse::dist::ServeConfig::new(config);
     serve_config.heartbeat_timeout = std::time::Duration::from_secs(s.timeout_s);
@@ -460,6 +490,66 @@ fn run_serve(s: &ServeArgs) -> Result<(), String> {
     pruning_summary(&outcome.units);
     if let Some(e) = sink.take_io_error() {
         return Err(format!("writing the campaign report failed: {e}"));
+    }
+    Ok(())
+}
+
+fn run_daemon_cmd(d: &DaemonArgs) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(&d.listen)
+        .map_err(|e| format!("cannot listen on `{}`: {e}", d.listen))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve the listen address: {e}"))?;
+    // Same fixed discovery format as `serve` (scripts grep for it).
+    eprintln!("daemon: listening on {bound}");
+    let mut config = sea_dse::serve::DaemonConfig::new();
+    config.cache = Cache::resolve(d.cache_dir.as_deref())
+        .map_err(|e| format!("cannot open the result cache: {e}"))?;
+    if let Some(dir) = &d.journal_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create journal directory `{dir}`: {e}"))?;
+        config.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    config.heartbeat_timeout = std::time::Duration::from_secs(d.timeout_s);
+    let report = sea_dse::serve::run_daemon(&listener, &config).map_err(|e| e.to_string())?;
+    // The shutdown summary (per-worker fleet stats included) goes to
+    // stderr like all progress output.
+    eprintln!(
+        "daemon: stopped — {} campaign(s) ({} complete, {} cancelled), {} unit(s) evaluated, {} deduped",
+        report.campaigns, report.completed, report.cancelled, report.evaluated, report.deduped
+    );
+    for (id, w) in &report.workers {
+        eprintln!(
+            "  worker #{id}: {} unit(s) completed, {} cache hit(s), {} error(s), mean {:.1} ms/unit",
+            w.completed,
+            w.cache_hits,
+            w.errors,
+            w.mean_unit_ms()
+        );
+    }
+    Ok(())
+}
+
+fn run_submit(s: &SubmitArgs) -> Result<(), String> {
+    let spec = spec_source(s.spec_path.as_deref(), s.builtin.as_deref())?;
+    if s.watch {
+        // Streamed records are progress (stderr); the final report bytes
+        // go to stdout alone, cmp-able against a local
+        // `campaign --format jsonl` run of the same spec.
+        let mut records = std::io::stderr();
+        let mut report = std::io::stdout();
+        let outcome = sea_dse::serve::submit_watch(&s.connect, &spec, &mut records, &mut report)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "submit: campaign {} complete ({} unit(s), spec hash {})",
+            outcome.campaign_id, outcome.n_units, outcome.spec_hash
+        );
+    } else {
+        let outcome = sea_dse::serve::submit(&s.connect, &spec).map_err(|e| e.to_string())?;
+        println!(
+            "campaign {} accepted: {} unit(s), spec hash {}",
+            outcome.campaign_id, outcome.n_units, outcome.spec_hash
+        );
     }
     Ok(())
 }

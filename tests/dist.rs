@@ -206,9 +206,8 @@ fn resume_works_across_the_network_boundary() {
     let mut plan = open_journal(&full_journal, "quickstart", &units).unwrap();
     let mut config = RunConfig::new(1);
     config.prefilled = std::mem::take(&mut plan.prefilled);
-    config.journal = Some(&mut plan.writer);
+    config.journal = Some(plan.writer);
     let full = run_distributed_local(&units, config, 2, &mut NullSink).unwrap();
-    drop(plan);
     assert_eq!(full.executed, n);
     let golden = reports(&full.records());
 
@@ -230,7 +229,7 @@ fn resume_works_across_the_network_boundary() {
     assert_eq!(plan.resumed, keep);
     let mut config = RunConfig::new(1);
     config.prefilled = std::mem::take(&mut plan.prefilled);
-    config.journal = Some(&mut plan.writer);
+    config.journal = Some(plan.writer);
     let resumed = run_distributed_local(&units, config, 2, &mut NullSink).unwrap();
     assert_eq!(resumed.resumed, keep);
     assert_eq!(resumed.executed, n - keep, "only the missing units travel");

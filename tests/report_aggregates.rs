@@ -63,7 +63,7 @@ fn offline_report_matches_live_aggregates_byte_for_byte_at_any_job_count() {
         let mut plan = open_journal(&journal_path, "quickstart", &units).unwrap();
         let mut config = RunConfig::new(jobs);
         config.prefilled = std::mem::take(&mut plan.prefilled);
-        config.journal = Some(&mut plan.writer);
+        config.journal = Some(plan.writer);
         config.cache = Some(&cache);
         let outcome = run_units_configured(&units, config, &mut NullSink).unwrap();
         let live = stdout_renders(&outcome.records());

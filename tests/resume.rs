@@ -56,7 +56,7 @@ fn resuming_any_truncation_point_reproduces_the_reports_byte_for_byte() {
     let mut plan = open_journal(&full_journal, "quickstart", &units).unwrap();
     let mut config = RunConfig::new(1);
     config.prefilled = std::mem::take(&mut plan.prefilled);
-    config.journal = Some(&mut plan.writer);
+    config.journal = Some(plan.writer);
     let full = run_units_configured(&units, config, &mut NullSink).unwrap();
     assert_eq!(full.executed, n);
     let golden = reports(&full.records());
@@ -79,7 +79,7 @@ fn resuming_any_truncation_point_reproduces_the_reports_byte_for_byte() {
             assert_eq!(plan.resumed, k, "journal restores exactly k units");
             let mut config = RunConfig::new(jobs);
             config.prefilled = std::mem::take(&mut plan.prefilled);
-            config.journal = Some(&mut plan.writer);
+            config.journal = Some(plan.writer);
             let resumed = run_units_configured(&units, config, &mut NullSink).unwrap();
             assert_eq!(resumed.executed, n - k, "only missing units run");
             assert_eq!(resumed.resumed, k);
@@ -107,7 +107,7 @@ fn every_mid_run_journal_prefix_parses_as_valid_jsonl() {
     let mut plan = open_journal(&path, "quickstart", &units).unwrap();
     let mut config = RunConfig::new(1);
     config.prefilled = std::mem::take(&mut plan.prefilled);
-    config.journal = Some(&mut plan.writer);
+    config.journal = Some(plan.writer);
     run_units_configured(&units, config, &mut NullSink).unwrap();
 
     let source = std::fs::read_to_string(&path).unwrap();
@@ -143,7 +143,7 @@ fn resuming_a_torn_journal_truncates_the_fragment_and_survives_a_second_resume()
     let mut plan = open_journal(&path, "quickstart", &units).unwrap();
     let mut config = RunConfig::new(1);
     config.prefilled = std::mem::take(&mut plan.prefilled);
-    config.journal = Some(&mut plan.writer);
+    config.journal = Some(plan.writer);
     let full = run_units_configured(&units, config, &mut NullSink).unwrap();
     let golden = jsonl_report(&full.records());
     let lines: Vec<String> = std::fs::read_to_string(&path)
@@ -161,7 +161,7 @@ fn resuming_a_torn_journal_truncates_the_fragment_and_survives_a_second_resume()
     assert_eq!(plan.resumed, 2, "fragment is dropped, not restored");
     let mut config = RunConfig::new(1);
     config.prefilled = std::mem::take(&mut plan.prefilled);
-    config.journal = Some(&mut plan.writer);
+    config.journal = Some(plan.writer);
     let resumed = run_units_configured(&units, config, &mut NullSink).unwrap();
     assert_eq!(jsonl_report(&resumed.records()), golden);
 
